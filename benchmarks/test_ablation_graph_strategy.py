@@ -1,0 +1,69 @@
+"""Ablation: ALL_PLACEMENTS vs BALANCED successor strategies.
+
+The exact graph enumerates every canonically distinct accommodation per
+edge; the balanced graph keeps one deterministic accommodation per VM
+type (DESIGN.md 3.2).  On the toy world both are feasible, so this bench
+measures how much graph size and ranking quality the approximation
+costs.
+"""
+
+import numpy as np
+
+from repro.core.graph import SuccessorStrategy, build_profile_graph
+from repro.core.pagerank import profile_pagerank
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.experiments.report import format_catalog_table
+
+SHAPE = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(6, 6, 6, 6)),))
+VM_TYPES = (
+    VMType(name="vm2", demands=((1, 1),)),
+    VMType(name="vm4", demands=((1, 1, 1, 1),)),
+    VMType(name="big2", demands=((2, 2),)),
+)
+
+
+def test_ablation_graph_strategy(benchmark, emit):
+    def build_both():
+        graphs = {}
+        for strategy in (SuccessorStrategy.ALL_PLACEMENTS, SuccessorStrategy.BALANCED):
+            graph = build_profile_graph(SHAPE, VM_TYPES, strategy=strategy)
+            graphs[strategy] = (graph, profile_pagerank(graph))
+        return graphs
+
+    graphs = benchmark.pedantic(build_both, rounds=1, iterations=1)
+
+    exact_graph, exact = graphs[SuccessorStrategy.ALL_PLACEMENTS]
+    approx_graph, approx = graphs[SuccessorStrategy.BALANCED]
+
+    # Rank correlation on the shared nodes.
+    shared = [
+        (exact_graph.node_id(usage), approx_graph.node_id(usage))
+        for usage in approx_graph.profiles
+        if exact_graph.contains(usage)
+    ]
+    exact_scores = np.array([exact.scores[i] for i, _ in shared])
+    approx_scores = np.array([approx.scores[j] for _, j in shared])
+    rho = float(np.corrcoef(
+        np.argsort(np.argsort(exact_scores)),
+        np.argsort(np.argsort(approx_scores)),
+    )[0, 1])
+
+    emit(
+        format_catalog_table(
+            "Ablation: successor strategy (capacity [6,6,6,6], 3 VM types)",
+            ("strategy", "nodes", "edges", "PR iterations"),
+            [
+                ("all_placements", exact_graph.n_nodes, exact_graph.n_edges,
+                 exact.iterations),
+                ("balanced", approx_graph.n_nodes, approx_graph.n_edges,
+                 approx.iterations),
+                (f"rank correlation on {len(shared)} shared nodes",
+                 f"{rho:.3f}", "", ""),
+            ],
+        )
+    )
+
+    assert approx_graph.n_nodes <= exact_graph.n_nodes
+    assert approx_graph.n_edges < exact_graph.n_edges
+    # The approximation preserves the ranking's gross structure.
+    assert rho > 0.5

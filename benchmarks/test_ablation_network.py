@@ -1,0 +1,96 @@
+"""Ablation: network-aware PageRankVM (the paper's future work).
+
+Sweeps the locality weight on a burst-tenant workload and reports the
+bandwidth-efficiency frontier: PMs used vs hop-weighted traffic vs
+core-link load.
+"""
+
+import numpy as np
+
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.vm import VirtualMachine
+from repro.core.placement import PageRankVMPolicy
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.core.score_table import build_score_table
+from repro.experiments.report import format_catalog_table
+from repro.network import NetworkAwarePageRankVM, TreeTopology, evaluate_network_cost
+from repro.network.traffic import burst_tenant_traffic
+
+SHAPE = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
+TYPES = (
+    VMType(name="vm1", demands=((1,),)),
+    VMType(name="vm2", demands=((1, 1),)),
+    VMType(name="big", demands=((2, 2),)),
+    VMType(name="vm4", demands=((1, 1, 1, 1),)),
+)
+N_PMS, N_VMS = 32, 60
+VARIANTS = ((0.0, 0.4), (0.3, 0.4), (0.6, 0.3), (0.9, 0.1))
+
+
+def _run(policy, aware, traffic, topo, seed=1):
+    datacenter = Datacenter([PhysicalMachine(i, SHAPE) for i in range(N_PMS)])
+    rng = np.random.default_rng(seed)
+    locations = {}
+    for i in range(N_VMS):
+        vm = VirtualMachine(i, TYPES[int(rng.integers(len(TYPES)))])
+        if aware:
+            decision = policy.place(vm, datacenter)
+        else:
+            decision = policy.select(vm.vm_type, datacenter.machines)
+            if decision is not None:
+                datacenter.apply(vm, decision)
+        if decision is not None:
+            locations[i] = decision.pm_id
+    return datacenter.pms_used, evaluate_network_cost(topo, traffic, locations)
+
+
+def test_ablation_network(benchmark, emit):
+    topo = TreeTopology(n_pms=N_PMS, pms_per_rack=4, racks_per_pod=2)
+    traffic = burst_tenant_traffic(
+        range(N_VMS), np.random.default_rng(7), tenant_size=5
+    )
+    table = build_score_table(SHAPE, TYPES, mode="full")
+
+    def sweep():
+        results = {}
+        plain = PageRankVMPolicy({SHAPE: table})
+        results["plain"] = _run(plain, False, traffic, topo)
+        for weight, penalty in VARIANTS:
+            policy = NetworkAwarePageRankVM(
+                {SHAPE: table}, topo, traffic,
+                locality_weight=weight, open_penalty=penalty,
+            )
+            results[f"w={weight}"] = _run(policy, True, traffic, topo)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            label,
+            pms,
+            f"{cost.hop_weighted_traffic:.0f}",
+            f"{cost.tier_loads['core']:.0f}",
+            f"{100 * cost.localized_fraction:.0f}%",
+        )
+        for label, (pms, cost) in results.items()
+    ]
+    emit(
+        format_catalog_table(
+            "Ablation: network-aware placement (burst tenants of 5)",
+            ("variant", "PMs", "hop-traffic", "core load", "local"),
+            rows,
+        )
+    )
+
+    plain_pms, plain_cost = results["plain"]
+    strong_pms, strong_cost = results["w=0.9"]
+    # The headline of the future-work extension: large bandwidth savings
+    # for a tiny consolidation cost.
+    assert strong_cost.hop_weighted_traffic < plain_cost.hop_weighted_traffic
+    assert strong_pms <= plain_pms + 2
+    # w=0 must match plain PageRankVM exactly.
+    zero_pms, zero_cost = results["w=0.0"]
+    assert zero_pms == plain_pms
+    assert zero_cost.hop_weighted_traffic == plain_cost.hop_weighted_traffic

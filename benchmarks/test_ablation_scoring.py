@@ -1,0 +1,44 @@
+"""Ablation: Algorithm 1 (PageRank x BPRU) vs the alternative scorings.
+
+Compares the default Algorithm 1 table against the soft-BPRU variant
+(``pagerank-efu``) and the paper's stated semantic computed exactly
+(``expected-utilization``).  The trade-off surfaced in DESIGN.md 3.3b:
+EFU-based scorings trade a little consolidation for fewer migrations.
+"""
+
+from _ablation_common import run_variant, tables_for_variant
+from repro.experiments.report import format_catalog_table
+
+SCORINGS = ("pagerank", "pagerank-efu", "expected-utilization")
+
+
+def test_ablation_scoring(benchmark, emit):
+    def sweep():
+        return {
+            scoring: run_variant(tables_for_variant(scoring=scoring))
+            for scoring in SCORINGS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            scoring,
+            f"{metrics['pms_used']:.1f}",
+            f"{metrics['energy_kwh']:.1f}",
+            f"{metrics['migrations']:.1f}",
+            f"{100 * metrics['slo']:.2f}%",
+        )
+        for scoring, metrics in results.items()
+    ]
+    emit(
+        format_catalog_table(
+            "Ablation: scoring function (PageRankVM, 200 VMs, PlanetLab)",
+            ("scoring", "PMs", "energy kWh", "migrations", "SLO"),
+            rows,
+        )
+    )
+
+    # All scorings produce sane, comparable placements.
+    pms = [metrics["pms_used"] for metrics in results.values()]
+    assert max(pms) <= 1.3 * min(pms)

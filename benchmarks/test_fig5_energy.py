@@ -1,0 +1,27 @@
+"""Figure 5: 24-hour energy consumption, simulation (both traces).
+
+Regenerates Figures 5(a)/(b): cumulative datacenter energy (kWh) under
+the Table III power model.  Energy tracks active-PM count and
+utilization, so the paper's ordering follows Figure 3's.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5_energy
+
+
+@pytest.mark.parametrize("trace", ["planetlab", "google"])
+def test_fig5_energy(benchmark, emit, sim_grid, trace):
+    figure = benchmark.pedantic(
+        lambda: figure5_energy(trace, **sim_grid), rounds=1, iterations=1
+    )
+    emit(figure.text)
+    emit(f"ordering (best first): {figure.ordering()}")
+
+    # Headline claim: PageRankVM is the most energy-efficient (<=2% of best).
+    ordering = figure.ordering()
+    best = figure.series[ordering[0]][-1].median
+    assert figure.series["PageRankVM"][-1].median <= best * 1.02
+    # Energy grows with the number of VMs for every policy.
+    for series in figure.series.values():
+        assert series[-1].median > series[0].median

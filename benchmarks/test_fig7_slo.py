@@ -1,0 +1,26 @@
+"""Figure 7: SLO violations, simulation (both traces).
+
+Regenerates Figures 7(a)/(b): the SLATAH metric — the fraction of
+active-host time spent at 100 % CPU — per policy and VM count.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure7_slo
+
+
+@pytest.mark.parametrize("trace", ["planetlab", "google"])
+def test_fig7_slo(benchmark, emit, sim_grid, trace):
+    figure = benchmark.pedantic(
+        lambda: figure7_slo(trace, **sim_grid), rounds=1, iterations=1
+    )
+    emit(figure.text)
+    emit(f"ordering (best first): {figure.ordering()}")
+
+    # SLO violations are rates in [0, 1] and stay small at these scales.
+    for series in figure.series.values():
+        for stats in series:
+            assert 0.0 <= stats.median <= 1.0
+    # PageRankVM stays within the band of the best policy (+2 points).
+    last = {name: series[-1].median for name, series in figure.series.items()}
+    assert last["PageRankVM"] <= min(last.values()) + 0.02

@@ -1,0 +1,23 @@
+"""Figure 8: SLO violations on the GENI testbed emulator.
+
+Regenerates Figure 8: SLATAH-style SLO violations on the testbed as job
+count grows.  Paper shape: PageRankVM has fewer violations than FF,
+FFDSum and CompVM.
+"""
+
+from repro.experiments.figures import figure8_testbed_slo
+
+
+def test_fig8_testbed_slo(benchmark, emit, testbed_grid):
+    figure = benchmark.pedantic(
+        lambda: figure8_testbed_slo(**testbed_grid), rounds=1, iterations=1
+    )
+    emit(figure.text)
+    emit(f"ordering (best first): {figure.ordering()}")
+
+    for series in figure.series.values():
+        for stats in series:
+            assert 0.0 <= stats.median <= 1.0
+    # PageRankVM stays within 2 points of the best policy at full load.
+    last = {name: series[-1].median for name, series in figure.series.items()}
+    assert last["PageRankVM"] <= min(last.values()) + 0.02

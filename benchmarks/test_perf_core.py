@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the hot paths.
+
+Not a paper artifact — these keep an eye on the costs that dominate
+simulation wall-clock: placement enumeration, score lookups, one
+Algorithm 2 decision over a fleet, and the power-iteration step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import PhysicalMachine
+from repro.core.graph import build_profile_graph
+from repro.core.pagerank import profile_pagerank
+from repro.core.permutations import balanced_placement, enumerate_placements
+from repro.core.placement import PageRankVMPolicy
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.core.score_table import build_score_table
+
+SHAPE = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
+VM2 = VMType(name="vm2", demands=((1, 1),))
+VM4 = VMType(name="vm4", demands=((1, 1, 1, 1),))
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_score_table(SHAPE, (VM2, VM4), mode="full")
+
+
+def test_perf_enumerate_placements(benchmark):
+    usage = ((0, 1, 2, 3),)
+    result = benchmark(lambda: list(enumerate_placements(SHAPE, usage, VM2)))
+    assert len(result) == 6
+
+
+def test_perf_balanced_placement(benchmark):
+    usage = ((0, 1, 2, 3),)
+    result = benchmark(lambda: balanced_placement(SHAPE, usage, VM2))
+    assert result is not None
+
+
+def test_perf_score_lookup(benchmark, table):
+    usage = ((1, 1, 2, 2),)
+    score = benchmark(lambda: table.score_or_snap(usage))
+    assert score > 0
+
+
+def test_perf_placement_decision(benchmark, table):
+    policy = PageRankVMPolicy({SHAPE: table})
+    machines = [PhysicalMachine(i, SHAPE) for i in range(50)]
+    # Warm the fleet into distinct states.
+    rng = np.random.default_rng(0)
+    for machine in machines:
+        for _ in range(int(rng.integers(5))):
+            placement = balanced_placement(SHAPE, machine.usage, VM2)
+            if placement is None:
+                break
+            from repro.cluster.vm import VirtualMachine
+
+            machine.place(VirtualMachine(rng.integers(1 << 40), VM2), placement)
+
+    decision = benchmark(lambda: policy.select(VM2, machines))
+    assert decision is not None
+
+
+def test_perf_pagerank_iteration(benchmark):
+    graph = build_profile_graph(SHAPE, (VM2, VM4), mode="full")
+    result = benchmark(lambda: profile_pagerank(graph))
+    assert result.converged

@@ -1,0 +1,29 @@
+"""Table I: description of VM types.
+
+Regenerates the paper's Table I from the catalog and benchmarks catalog
+construction (VM type building is on the placement hot path when
+workloads are sampled).
+"""
+
+from repro.cluster.ec2 import EC2_VM_SPECS, ec2_vm_type
+from repro.experiments.report import format_catalog_table
+
+
+def test_table1_vm_types(benchmark, emit):
+    rows = []
+    for name, (n_vcpu, ghz, mem, n_disk, disk_gb) in EC2_VM_SPECS.items():
+        rows.append((name, n_vcpu, ghz, mem, n_disk, disk_gb))
+    emit(
+        format_catalog_table(
+            "Table I: Description of VM types",
+            ("VM type", "#vCPU", "GHz/vCPU", "Mem (GiB)", "#disk", "GB/disk"),
+            rows,
+        )
+    )
+
+    types = benchmark(lambda: [ec2_vm_type(name) for name in EC2_VM_SPECS])
+    assert len(types) == 6
+    # Spot-check the catalog against the paper's numbers.
+    by_name = {t.name: t for t in types}
+    assert by_name["m3.medium"].demands == ((6,), (15,), (4,))
+    assert by_name["c3.xlarge"].demands == ((7, 7, 7, 7), (30,), (40, 40))

@@ -1,0 +1,37 @@
+"""Table II: description of PM types.
+
+Regenerates the paper's Table II and benchmarks shape construction plus
+a feasibility sweep (the ``can_place`` check every allocator runs).
+"""
+
+from repro.cluster.ec2 import EC2_PM_SPECS, EC2_VM_TYPES, ec2_pm_shape
+from repro.core.permutations import can_place
+from repro.experiments.report import format_catalog_table
+
+
+def test_table2_pm_types(benchmark, emit):
+    rows = []
+    for name, (n_core, ghz, mem, n_disk, disk_gb) in EC2_PM_SPECS.items():
+        rows.append((name, n_core, ghz, mem, n_disk, disk_gb))
+    emit(
+        format_catalog_table(
+            "Table II: Description of PM types",
+            ("PM type", "#cores", "GHz/core", "Mem (GiB)", "#disk", "GB/disk"),
+            rows,
+        )
+    )
+
+    shapes = {name: ec2_pm_shape(name) for name in EC2_PM_SPECS}
+
+    def feasibility_sweep():
+        hits = 0
+        for shape in shapes.values():
+            empty = shape.empty_usage()
+            for vm in EC2_VM_TYPES:
+                hits += can_place(shape, empty, vm)
+        return hits
+
+    feasible = benchmark(feasibility_sweep)
+    # All six types fit an empty M3; the C3's 7.5 GiB admits only the
+    # four types needing <= 7.5 GiB (m3.medium/large, c3.large/xlarge).
+    assert feasible == 6 + 4

@@ -1,0 +1,34 @@
+"""Table III: power consumption vs CPU utilization.
+
+Regenerates the paper's Table III from the energy model and benchmarks
+power interpolation (called once per active PM per monitoring tick).
+"""
+
+import numpy as np
+
+from repro.cluster.energy import E5_2670, E5_2680
+from repro.experiments.report import format_catalog_table
+
+
+def test_table3_power_model(benchmark, emit):
+    points = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    rows = [
+        ("E5-2670 (W)",) + tuple(f"{E5_2670.power(u):.1f}" for u in points),
+        ("E5-2680 (W)",) + tuple(f"{E5_2680.power(u):.1f}" for u in points),
+    ]
+    emit(
+        format_catalog_table(
+            "Table III: Power consumption vs. CPU utilization",
+            ("CPU util.",) + tuple(f"{int(100 * u)}%" for u in points),
+            rows,
+        )
+    )
+
+    utilizations = np.linspace(0.0, 1.0, 1000)
+
+    def interpolate_all():
+        return sum(E5_2670.power(float(u)) for u in utilizations)
+
+    total = benchmark(interpolate_all)
+    # Sanity: the mean interpolated power sits between idle and max.
+    assert E5_2670.idle_watts < total / 1000 < E5_2670.max_watts

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Anti-collocation constraints in action.
+
+Demonstrates the per-unit dimension representation (Section IV): vCPUs
+of one VM land on distinct cores, virtual disks on distinct physical
+disks, and naive intra-PM assignment fragments capacity in ways a
+permutation-aware policy avoids.
+
+Run:  python examples/anti_collocation_demo.py
+"""
+
+from repro import MachineShape, ResourceGroup, VMType
+from repro.core.permutations import (
+    balanced_placement,
+    enumerate_placements,
+    first_fit_placement,
+)
+
+SHAPE = MachineShape(
+    groups=(
+        ResourceGroup(name="cpu", capacities=(26, 26, 26, 26)),
+        ResourceGroup(name="mem", capacities=(256,), anti_collocation=False),
+        ResourceGroup(name="disk", capacities=(250, 250)),
+    )
+)
+
+# A c3.xlarge-style VM: 4 vCPUs of 0.7 GHz, 7.5 GiB, 2 disks of 40 GB.
+VM = VMType(name="c3.xlarge", demands=((7, 7, 7, 7), (30,), (40, 40)))
+
+
+def main():
+    print("=== vCPUs spread across distinct cores ===")
+    empty = SHAPE.empty_usage()
+    placement = balanced_placement(SHAPE, empty, VM)
+    print(f"VM {VM.name} on an empty PM:")
+    for group, assignment in zip(SHAPE.groups, placement.assignments):
+        pairs = ", ".join(f"unit {idx} += {chunk}" for idx, chunk in assignment)
+        print(f"  {group.name}: {pairs}")
+    print("-> each vCPU on its own core, each virtual disk on its own disk")
+
+    print("\n=== Permutations are explored, symmetric ones collapsed ===")
+    small = VMType(name="c3.large", demands=((7, 7), (15,), (16, 16)))
+    usage = ((19, 13, 7, 0), (100,), (200, 40))
+    options = list(enumerate_placements(SHAPE, usage, small))
+    print(f"VM {small.name} at usage {usage}:")
+    print(f"  {len(options)} canonically distinct accommodations, e.g.:")
+    for placed in options[:4]:
+        print(f"    cpu -> {placed.new_usage[0]}, disk -> {placed.new_usage[2]}")
+
+    print("\n=== Naive first-fit fragments; balanced packing does not ===")
+    tight_shape = MachineShape(
+        groups=(ResourceGroup(name="cpu", capacities=(26, 26)),)
+    )
+    # Demands stored sorted ascending: first-fit puts the small chunk on
+    # the wrong core and then fails, even though a placement exists.
+    vm = VMType(name="awkward", demands=((13, 7),))
+    usage = ((13, 19),)
+    naive = first_fit_placement(tight_shape, usage, vm)
+    smart = balanced_placement(tight_shape, usage, vm)
+    print(f"usage {usage[0]}, demand (7, 13):")
+    print(f"  first-fit assignment: {'FAILS' if naive is None else naive}")
+    print(f"  balanced assignment:  cores -> {smart.new_usage[0]}")
+    print("-> exactly the dimension-unawareness the paper attributes to FF")
+
+
+if __name__ == "__main__":
+    main()

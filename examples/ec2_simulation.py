@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Trace-driven EC2 datacenter simulation: the paper's evaluation, small.
+
+Runs PageRankVM against CompVM, FFDSum and FF on a Table I/II datacenter
+driven by PlanetLab-style traces, reporting the paper's four metrics.
+This is the engine behind Figures 3, 5, 6 and 7; the bench suite in
+``benchmarks/`` runs the full grids.
+
+Run:  python examples/ec2_simulation.py [n_vms]
+"""
+
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig, WorkloadSpec
+from repro.experiments.runner import run_experiment
+
+
+def main():
+    n_vms = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    config = ExperimentConfig(
+        n_vms=n_vms,
+        datacenter=(("M3", max(8, n_vms // 2)), ("C3", max(2, n_vms // 8))),
+        workload=WorkloadSpec(trace="planetlab"),
+        policies=("PageRankVM", "CompVM", "FFDSum", "FF"),
+        repetitions=3,
+        seed=2018,
+    )
+    print(f"simulating {n_vms} VMs x {config.repetitions} repetitions "
+          f"on {config.total_pms()} PMs (24 h, 300 s ticks) ...")
+
+    start = time.time()
+    results = run_experiment(config)
+    print(f"done in {time.time() - start:.0f}s\n")
+
+    header = f"{'policy':12s} {'PMs used':>10s} {'energy kWh':>12s} " \
+             f"{'migrations':>12s} {'SLO':>8s}"
+    print(header)
+    print("-" * len(header))
+    for policy in config.policies:
+        pms = results.summarize("pms_used")[policy]
+        energy = results.summarize("energy_kwh")[policy]
+        migrations = results.summarize("migrations")[policy]
+        slo = results.summarize("slo_violations")[policy]
+        print(
+            f"{policy:12s} {pms.median:10.1f} {energy.median:12.1f} "
+            f"{migrations.median:12.1f} {100 * slo.median:7.2f}%"
+        )
+
+    print("\norderings (best first):")
+    for metric in ("pms_used", "energy_kwh", "migrations", "slo_violations"):
+        print(f"  {metric:15s}: {' < '.join(results.ordering(metric))}")
+
+
+if __name__ == "__main__":
+    main()

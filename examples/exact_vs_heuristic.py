@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Exact MIP optimum vs the heuristics on a small instance (Section IV).
+
+Builds a small placement instance, solves it exactly with branch and
+bound, verifies every constraint of the analytic model, and compares the
+heuristics' PM counts against the optimum — making the paper's
+"MIP is intractable at scale, heuristics are needed" argument concrete.
+
+Run:  python examples/exact_vs_heuristic.py
+"""
+
+import time
+
+from repro import (
+    MachineShape,
+    PageRankVMPolicy,
+    ResourceGroup,
+    VMType,
+    build_score_table,
+)
+from repro.baselines import CompVMPolicy, FFDSumPolicy, FirstFitPolicy
+from repro.model import (
+    BranchAndBound,
+    PlacementInstance,
+    solution_from_policy,
+    verify_constraints,
+)
+
+SHAPE = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
+VM2 = VMType(name="vm2", demands=((1, 1),))
+VM4 = VMType(name="vm4", demands=((1, 1, 1, 1),))
+BIG = VMType(name="big", demands=((2, 2),))
+
+
+def main():
+    vms = (VM4, BIG, VM2, VM2, VM4, BIG, VM2, VM4, VM2, BIG)
+    instance = PlacementInstance(
+        vms=vms, pms=tuple(SHAPE for _ in range(5))
+    )
+    demand = sum(vm.total_units() for vm in vms)
+    print(f"instance: {len(vms)} VMs ({demand} units) on up to 5 PMs "
+          f"(16 units each)\n")
+
+    start = time.time()
+    exact = BranchAndBound(node_budget=500_000).solve(instance)
+    elapsed = time.time() - start
+    violations = verify_constraints(instance, exact.solution)
+    print(f"branch & bound: optimum = {exact.cost:.0f} PMs "
+          f"({exact.nodes_explored} nodes, {elapsed * 1000:.0f} ms, "
+          f"proof={'complete' if exact.optimal else 'budget-limited'})")
+    print(f"constraint check: "
+          f"{'all (1)-(10) satisfied' if not violations else violations}\n")
+
+    table = build_score_table(SHAPE, (VM2, VM4, BIG), mode="full")
+    policies = {
+        "PageRankVM": PageRankVMPolicy({SHAPE: table}),
+        "CompVM": CompVMPolicy(),
+        "FFDSum": FFDSumPolicy(),
+        "FF": FirstFitPolicy(),
+    }
+    print(f"{'policy':12s} {'PMs used':>9s} {'gap':>7s}")
+    print("-" * 30)
+    for name, policy in policies.items():
+        solution = solution_from_policy(instance, policy)
+        if solution is None:
+            print(f"{name:12s} {'--':>9s}  (no feasible placement found)")
+            continue
+        assert verify_constraints(instance, solution) == []
+        cost = solution.total_cost(instance)
+        gap = cost / exact.cost - 1.0
+        print(f"{name:12s} {cost:9.0f} {100 * gap:6.1f}%")
+
+    print("\nwhy the paper needs a heuristic: the exact search explored")
+    print(f"{exact.nodes_explored} nodes for {len(vms)} VMs; the tree grows")
+    print("exponentially with the VM count, while Algorithm 2 is a table")
+    print("lookup per (PM, accommodation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: rank PM profiles and place VMs with PageRankVM.
+
+Builds the paper's toy world — a PM with capacity [4,4,4,4] and VM types
+{[1,1], [1,1,1,1]} — runs Algorithm 1 to produce the Profile-PageRank
+score table, and uses Algorithm 2 to place a stream of VMs onto a small
+fleet.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MachineShape,
+    PageRankVMPolicy,
+    ResourceGroup,
+    VMType,
+    build_score_table,
+)
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.vm import VirtualMachine
+
+
+def main():
+    # 1. Describe the PM shape: one anti-collocation group of 4 cores,
+    #    each with capacity 4 (fixed-point units).
+    shape = MachineShape(
+        groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),)
+    )
+
+    # 2. Describe the VM types.  A demand tuple lists permutable chunks:
+    #    [1,1] means two unit chunks on two *distinct* cores.
+    vm2 = VMType(name="vm2", demands=((1, 1),))
+    vm4 = VMType(name="vm4", demands=((1, 1, 1, 1),))
+
+    # 3. Algorithm 1: build the profile graph and the score table.
+    table = build_score_table(shape, [vm2, vm4], mode="full")
+    print(f"score table: {len(table)} canonical profiles")
+    print(f"best profile: {table.best_profile()} "
+          f"(score {table.score(table.best_profile()):.5f})")
+
+    # 4. Algorithm 2: place VMs on a fleet of 3 PMs.
+    datacenter = Datacenter([PhysicalMachine(i, shape) for i in range(3)])
+    policy = PageRankVMPolicy({shape: table})
+
+    stream = [vm2, vm4, vm2, vm2, vm4, vm2, vm4, vm2]
+    for i, vm_type in enumerate(stream):
+        vm = VirtualMachine(vm_id=i, vm_type=vm_type)
+        decision = policy.select(vm.vm_type, datacenter.machines)
+        if decision is None:
+            print(f"VM {i} ({vm_type.name}): no PM can host it")
+            continue
+        datacenter.apply(vm, decision)
+        machine = datacenter.machine(decision.pm_id)
+        print(
+            f"VM {i} ({vm_type.name}) -> PM {decision.pm_id}  "
+            f"usage now {list(machine.usage[0])}  "
+            f"(profile score {decision.score:.5f})"
+        )
+
+    print(f"\nPMs used: {datacenter.pms_used} of {datacenter.n_machines}")
+    for machine in datacenter.used_machines():
+        utilization = machine.committed_utilization()
+        print(f"  PM {machine.pm_id}: usage {list(machine.usage[0])}, "
+              f"utilization {utilization:.0%}, {machine.n_vms} VMs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs (which require ``bdist_wheel``) fail; keeping a
+``setup.py`` lets ``pip install -e .`` use the legacy develop path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""PageRankVM — a PageRank-based VM placement library (ICDCS 2018 repro).
+
+Reproduction of *PageRankVM: A PageRank Based Algorithm with
+Anti-Collocation Constraints for Virtual Machine Placement in Cloud
+Datacenters* (Li, Shen, Miles — ICDCS 2018), including the placement
+algorithm, a CloudSim-like datacenter simulator, trace generators, an
+energy model, a GENI-testbed emulator, comparison baselines and an exact
+MIP solver for small instances.
+
+Quickstart::
+
+    from repro import (
+        MachineShape, ResourceGroup, VMType,
+        build_score_table, PageRankVMPolicy,
+    )
+
+    shape = MachineShape(groups=(
+        ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),
+    ))
+    vm_types = [
+        VMType(name="vm2", demands=((1, 1),)),
+        VMType(name="vm4", demands=((1, 1, 1, 1),)),
+    ]
+    table = build_score_table(shape, vm_types, mode="full")
+    policy = PageRankVMPolicy({shape: table})
+"""
+
+from repro.core.profile import (
+    MachineShape,
+    Profile,
+    Quantizer,
+    ResourceGroup,
+    VMType,
+)
+from repro.core.graph import (
+    GraphLimitExceeded,
+    ProfileGraph,
+    SuccessorStrategy,
+    build_profile_graph,
+)
+from repro.core.pagerank import PageRankResult, compute_bpru, profile_pagerank
+from repro.core.score_table import ScoreTable, build_score_table
+from repro.core.policy import MachineView, PlacementDecision, PlacementPolicy
+from repro.core.placement import PageRankVMPolicy
+from repro.core.migration import PageRankMigrationSelector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # profiles
+    "ResourceGroup",
+    "MachineShape",
+    "VMType",
+    "Profile",
+    "Quantizer",
+    # graph + pagerank
+    "ProfileGraph",
+    "SuccessorStrategy",
+    "GraphLimitExceeded",
+    "build_profile_graph",
+    "PageRankResult",
+    "profile_pagerank",
+    "compute_bpru",
+    # score table + policies
+    "ScoreTable",
+    "build_score_table",
+    "MachineView",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "PageRankVMPolicy",
+    "PageRankMigrationSelector",
+]

@@ -1,0 +1,28 @@
+"""Best Fit — place where the least capacity remains afterwards.
+
+The paper cites this family via ref [10]: "allocate a VM to the best-fit
+PM that has the minimum remaining resources after allocating the VM",
+i.e. maximize the resulting mean utilization.  All accommodations of a VM
+on a given PM leave the same totals, so the deterministic balanced
+assignment is used for the concrete placement.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import ProfileScorePolicy
+from repro.core.profile import MachineShape, Usage
+
+__all__ = ["BestFitPolicy"]
+
+
+class BestFitPolicy(ProfileScorePolicy):
+    """Maximize resulting utilization (minimize remaining resources)."""
+
+    name = "BestFit"
+
+    def profile_score(self, shape: MachineShape, usage: Usage) -> float:
+        return shape.utilization(usage)
+
+    def candidate_mode(self, shape: MachineShape) -> str:
+        # Utilization is permutation-invariant; one accommodation suffices.
+        return "balanced"

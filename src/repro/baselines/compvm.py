@@ -1,0 +1,33 @@
+"""CompVM — consolidate complementary VMs (Chen & Shen, INFOCOM 2014).
+
+The paper characterizes CompVM as the strongest baseline: it
+"coordinates the requirements of resources and consolidates complementary
+VMs in the same PM", i.e. it is variance-aware — it prefers the placement
+that minimizes the variance of per-dimension resource utilization
+(the quantity ``v`` of Section III.B), so VMs with complementary demand
+shapes end up together and every dimension fills evenly.
+
+Score = (-variance, utilization): minimize variance first, and among
+equal-variance options prefer the fuller PM (requirement (1) of
+Section III.B).  Unlike BestFit, different accommodations of the same VM
+on one PM *do* differ in variance, so all canonically distinct
+accommodations are enumerated.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.policy import ProfileScorePolicy
+from repro.core.profile import MachineShape, Usage
+
+__all__ = ["CompVMPolicy"]
+
+
+class CompVMPolicy(ProfileScorePolicy):
+    """Variance-minimizing consolidation of complementary VMs."""
+
+    name = "CompVM"
+
+    def profile_score(self, shape: MachineShape, usage: Usage) -> Tuple[float, float]:
+        return (-shape.variance(usage), shape.utilization(usage))

@@ -1,0 +1,43 @@
+"""First Fit (FF) — the paper's simplest baseline (ref [27]).
+
+Places a VM on the first PM (in inventory order) that has sufficient
+resources, checking used PMs before opening an unused one.  The intra-PM
+unit assignment is equally naive — chunks go to the lowest-index unit
+with room (:func:`repro.core.permutations.first_fit_placement`) — which
+is what makes FF dimension-unaware: it fragments per-core/per-disk
+capacity exactly the way the paper criticizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.permutations import first_fit_placement
+from repro.core.policy import MachineView, PlacementDecision, PlacementPolicy
+from repro.core.profile import VMType
+
+__all__ = ["FirstFitPolicy"]
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """First PM with sufficient resources wins."""
+
+    name = "FF"
+
+    def _select_among_used(
+        self, vm: VMType, used: Sequence[MachineView]
+    ) -> Optional[PlacementDecision]:
+        for machine in used:
+            placement = first_fit_placement(machine.shape, machine.usage, vm)
+            if placement is not None:
+                return PlacementDecision(pm_id=machine.pm_id, placement=placement)
+        return None
+
+    def _select_among_unused(
+        self, vm: VMType, unused: Sequence[MachineView]
+    ) -> Optional[PlacementDecision]:
+        for machine in unused:
+            placement = first_fit_placement(machine.shape, machine.usage, vm)
+            if placement is not None:
+                return PlacementDecision(pm_id=machine.pm_id, placement=placement)
+        return None

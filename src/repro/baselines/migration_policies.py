@@ -1,0 +1,87 @@
+"""Eviction selectors used when a PM overloads (paper Section VI.A).
+
+PageRankVM uses :class:`repro.core.migration.PageRankMigrationSelector`;
+the baselines (FF, FFDSum, CompVM) use "the default VM migration
+algorithm in CloudSim", which is the Minimum Migration Time policy: evict
+the VM whose memory footprint — and therefore live-migration copy time —
+is smallest.  A random selector is included for ablations.
+
+All selectors share the duck-typed interface
+``select_victim(shape, usage, allocations) -> allocation | None`` where
+each allocation exposes ``vm_type`` and per-group ``assignments``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.core.profile import MachineShape, Usage, VMType
+
+__all__ = ["MigratableAllocation", "MinimumMigrationTimeSelector", "RandomVictimSelector"]
+
+
+@runtime_checkable
+class MigratableAllocation(Protocol):
+    """What eviction selectors need to know about a hosted VM."""
+
+    @property
+    def vm_type(self) -> VMType:
+        """The hosted VM's type (for demand-based selection)."""
+
+    @property
+    def assignments(self) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """Per-group concrete (unit_index, chunk) pairs."""
+
+
+def _memory_footprint(shape: MachineShape, vm: VMType) -> float:
+    """Memory demand of a VM, falling back to total demand.
+
+    Live-migration time is dominated by the memory copy; shapes without a
+    "mem" group (e.g. the CPU-only GENI configuration) fall back to the
+    VM's total demanded units, preserving "smallest VM first".
+    """
+    for idx, group in enumerate(shape.groups):
+        if group.name == "mem":
+            return float(sum(vm.demands[idx]))
+    return float(vm.total_units())
+
+
+class MinimumMigrationTimeSelector:
+    """CloudSim's default: evict the VM with the smallest migration time."""
+
+    name = "mmt"
+
+    def select_victim(
+        self,
+        shape: MachineShape,
+        usage: Usage,
+        allocations: Sequence[MigratableAllocation],
+    ) -> Optional[MigratableAllocation]:
+        """The allocation with the smallest memory footprint, or None."""
+        if not allocations:
+            return None
+        return min(
+            allocations, key=lambda a: _memory_footprint(shape, a.vm_type)
+        )
+
+
+class RandomVictimSelector:
+    """Uniform-random eviction; an ablation control."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select_victim(
+        self,
+        shape: MachineShape,
+        usage: Usage,
+        allocations: Sequence[MigratableAllocation],
+    ) -> Optional[MigratableAllocation]:
+        """A uniformly random allocation, or None when the PM is empty."""
+        if not allocations:
+            return None
+        return allocations[int(self._rng.integers(len(allocations)))]

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``rank``      — build a toy-world score table and print the ranking.
+* ``simulate``  — run the EC2 simulation for one or more policies.
+* ``testbed``   — run the GENI testbed emulation.
+* ``figures``   — regenerate one of the paper's figures as a text table.
+* ``exact``     — solve a small random instance exactly and report
+  heuristic gaps.
+
+All commands take ``--seed`` and print deterministic output for a given
+seed, so CLI runs are as reproducible as library calls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PageRankVM reproduction toolkit (ICDCS 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rank = sub.add_parser(
+        "rank", help="rank the toy-world profiles with Algorithm 1"
+    )
+    rank.add_argument("--capacity", type=int, default=4,
+                      help="per-core capacity of the toy PM (default 4)")
+    rank.add_argument("--cores", type=int, default=4,
+                      help="number of cores (default 4)")
+    rank.add_argument("--damping", type=float, default=0.85)
+    rank.add_argument("--direction", choices=("forward", "reverse"),
+                      default="forward")
+    rank.add_argument("--top", type=int, default=10,
+                      help="how many top profiles to print")
+
+    simulate = sub.add_parser(
+        "simulate", help="run the EC2 trace-driven simulation"
+    )
+    simulate.add_argument("--vms", type=int, default=200)
+    simulate.add_argument("--trace", choices=("planetlab", "google"),
+                          default="planetlab")
+    simulate.add_argument("--policies", nargs="+",
+                          default=["PageRankVM", "CompVM", "FFDSum", "FF"])
+    simulate.add_argument("--repetitions", type=int, default=3)
+    simulate.add_argument("--seed", type=int, default=2018)
+
+    testbed = sub.add_parser("testbed", help="run the GENI testbed emulation")
+    testbed.add_argument("--jobs", type=int, default=200)
+    testbed.add_argument("--policies", nargs="+",
+                         default=["PageRankVM", "CompVM", "FFDSum", "FF"])
+    testbed.add_argument("--hours", type=float, default=1.0)
+    testbed.add_argument("--seed", type=int, default=2018)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate a paper figure as a text table"
+    )
+    figures.add_argument("figure",
+                         choices=("fig3", "fig4", "fig5", "fig6", "fig7",
+                                  "fig8"))
+    figures.add_argument("--trace", choices=("planetlab", "google"),
+                         default="planetlab")
+    figures.add_argument("--repetitions", type=int, default=3)
+    figures.add_argument("--scale", type=int, nargs="+",
+                         default=[200, 400, 600],
+                         help="grid of VM (or job) counts")
+
+    exact = sub.add_parser(
+        "exact", help="solve a small random instance exactly"
+    )
+    exact.add_argument("--vms", type=int, default=8)
+    exact.add_argument("--pms", type=int, default=5)
+    exact.add_argument("--seed", type=int, default=2018)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_rank(args) -> int:
+    from repro.core.graph import build_profile_graph
+    from repro.core.pagerank import profile_pagerank
+    from repro.core.profile import MachineShape, ResourceGroup, VMType
+
+    shape = MachineShape(
+        groups=(
+            ResourceGroup(name="cpu", capacities=(args.capacity,) * args.cores),
+        )
+    )
+    vm_types = (
+        VMType(name="vm2", demands=((1, 1),)),
+        VMType(name="vm4", demands=((1,) * min(4, args.cores),)),
+    )
+    graph = build_profile_graph(shape, vm_types, mode="full")
+    result = profile_pagerank(
+        graph, damping=args.damping, vote_direction=args.direction
+    )
+    print(f"profiles: {graph.n_nodes}, edges: {graph.n_edges}, "
+          f"iterations: {result.iterations}")
+    print(f"{'profile':24s} {'score':>10s} {'BPRU':>7s}")
+    for node in result.ranking()[: args.top]:
+        profile = list(graph.profiles[node][0])
+        print(f"{str(profile):24s} {result.scores[node]:10.6f} "
+              f"{result.bpru[node]:7.3f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.experiments.config import ExperimentConfig, WorkloadSpec
+    from repro.experiments.runner import run_experiment
+
+    config = ExperimentConfig(
+        n_vms=args.vms,
+        datacenter=(("M3", max(8, args.vms // 2)), ("C3", max(2, args.vms // 8))),
+        workload=WorkloadSpec(trace=args.trace),
+        policies=tuple(args.policies),
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    results = run_experiment(config)
+    print(f"{'policy':12s} {'PMs':>8s} {'kWh':>10s} {'migr':>8s} {'SLO':>8s}")
+    for policy in config.policies:
+        pms = results.summarize("pms_used")[policy].median
+        kwh = results.summarize("energy_kwh")[policy].median
+        migr = results.summarize("migrations")[policy].median
+        slo = results.summarize("slo_violations")[policy].median
+        print(f"{policy:12s} {pms:8.1f} {kwh:10.1f} {migr:8.1f} "
+              f"{100 * slo:7.2f}%")
+    return 0
+
+
+def _cmd_testbed(args) -> int:
+    from repro.experiments.figures import make_testbed_policy
+    from repro.testbed.experiment import TestbedConfig, TestbedExperiment
+
+    config = TestbedConfig(duration_s=args.hours * 3600.0, seed=args.seed)
+    print(f"{'policy':12s} {'instances':>10s} {'migr':>8s} {'SLO':>8s}")
+    for name in args.policies:
+        policy, selector = make_testbed_policy(name, config)
+        result = TestbedExperiment(policy, selector, config).run(args.jobs)
+        print(f"{name:12s} {result.instances_used_peak:10d} "
+              f"{result.migrations:8d} "
+              f"{100 * result.slo_violation_rate:7.2f}%")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import figures as fig
+
+    grid = tuple(args.scale)
+    if args.figure in ("fig4", "fig8"):
+        kwargs = dict(n_jobs_list=grid, repetitions=args.repetitions)
+        if args.figure == "fig4":
+            pms, migrations = fig.figure4_testbed(**kwargs)
+            print(pms.text)
+            print()
+            print(migrations.text)
+        else:
+            print(fig.figure8_testbed_slo(**kwargs).text)
+        return 0
+    maker = {
+        "fig3": fig.figure3_pms_used,
+        "fig5": fig.figure5_energy,
+        "fig6": fig.figure6_migrations,
+        "fig7": fig.figure7_slo,
+    }[args.figure]
+    figure = maker(args.trace, n_vms_list=grid, repetitions=args.repetitions)
+    print(figure.text)
+    print(f"ordering (best first): {' < '.join(figure.ordering())}")
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    from repro.core.profile import MachineShape, ResourceGroup, VMType
+    from repro.model.analytic import PlacementInstance, solution_from_policy
+    from repro.model.branch_bound import BranchAndBound
+    from repro.baselines import FirstFitPolicy
+
+    shape = MachineShape(
+        groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),)
+    )
+    vm_types = (
+        VMType(name="vm1", demands=((1,),)),
+        VMType(name="vm2", demands=((1, 1),)),
+        VMType(name="vm4", demands=((1, 1, 1, 1),)),
+    )
+    rng = np.random.default_rng(args.seed)
+    vms = tuple(
+        vm_types[int(rng.integers(len(vm_types)))] for _ in range(args.vms)
+    )
+    instance = PlacementInstance(
+        vms=vms, pms=tuple(shape for _ in range(args.pms))
+    )
+    exact = BranchAndBound().solve(instance)
+    if not exact.feasible:
+        print("instance infeasible (not enough PMs)")
+        return 1
+    print(f"optimum: {exact.cost:.0f} PMs "
+          f"({exact.nodes_explored} nodes, "
+          f"proof {'complete' if exact.optimal else 'budget-limited'})")
+    heuristic = solution_from_policy(instance, FirstFitPolicy())
+    if heuristic is not None:
+        print(f"FF heuristic: {heuristic.total_cost(instance):.0f} PMs")
+    return 0
+
+
+_COMMANDS = {
+    "rank": _cmd_rank,
+    "simulate": _cmd_simulate,
+    "testbed": _cmd_testbed,
+    "figures": _cmd_figures,
+    "exact": _cmd_exact,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

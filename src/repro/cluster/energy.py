@@ -1,0 +1,118 @@
+"""The paper's energy model (Table III).
+
+Power draw is a piecewise-linear function of CPU utilization, anchored
+at the utilization points the paper tabulates for the two server
+processors (E5-2670 for M3 PMs, E5-2680 for C3 PMs).  A powered-off PM
+draws nothing: the paper assumes a fixed operating cost while a PM is on
+and zero when off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.util.validation import ValidationError, require
+
+__all__ = [
+    "PowerModel",
+    "E5_2670",
+    "E5_2680",
+    "POWER_MODELS",
+    "power_model_for",
+    "EnergyMeter",
+]
+
+
+class PowerModel:
+    """Piecewise-linear power curve over CPU utilization.
+
+    Args:
+        name: processor label.
+        utilization_points: increasing utilization fractions in [0, 1].
+        watts: power draw at each point.
+    """
+
+    def __init__(
+        self, name: str, utilization_points: Sequence[float], watts: Sequence[float]
+    ):
+        points = np.asarray(list(utilization_points), dtype=float)
+        power = np.asarray(list(watts), dtype=float)
+        require(points.size >= 2, "need at least two calibration points")
+        require(points.size == power.size, "points and watts differ in length")
+        require(bool(np.all(np.diff(points) > 0)), "points must be increasing")
+        if points[0] != 0.0 or points[-1] != 1.0:
+            raise ValidationError("utilization points must span [0, 1]")
+        self.name = name
+        self._points = points
+        self._watts = power
+
+    def power(self, utilization: float) -> float:
+        """Watts drawn at a CPU utilization (clamped into [0, 1])."""
+        u = min(max(utilization, 0.0), 1.0)
+        return float(np.interp(u, self._points, self._watts))
+
+    @property
+    def idle_watts(self) -> float:
+        """Power at zero utilization (a powered-on idle PM)."""
+        return float(self._watts[0])
+
+    @property
+    def max_watts(self) -> float:
+        """Power at full utilization."""
+        return float(self._watts[-1])
+
+    def __repr__(self) -> str:
+        return f"PowerModel({self.name!r}, idle={self.idle_watts}W, max={self.max_watts}W)"
+
+
+_TABLE3_POINTS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Table III, first row — the M3 PM's processor.
+E5_2670 = PowerModel("E5-2670", _TABLE3_POINTS,
+                     (337.3, 349.2, 363.6, 378.0, 396.0, 417.6))
+
+#: Table III, second row — the C3 PM's processor.
+E5_2680 = PowerModel("E5-2680", _TABLE3_POINTS,
+                     (394.4, 408.3, 425.2, 442.0, 463.1, 488.3))
+
+#: PM type name -> power model, as configured in the paper.
+POWER_MODELS: Dict[str, PowerModel] = {"M3": E5_2670, "C3": E5_2680}
+
+
+def power_model_for(pm_type_name: str) -> PowerModel:
+    """Power model of a PM type.
+
+    Raises:
+        KeyError: for unknown PM types, listing the known ones.
+    """
+    model = POWER_MODELS.get(pm_type_name)
+    if model is None:
+        raise KeyError(
+            f"no power model for PM type {pm_type_name!r}; "
+            f"known types: {sorted(POWER_MODELS)}"
+        )
+    return model
+
+
+class EnergyMeter:
+    """Integrates power draw over time into total energy."""
+
+    def __init__(self):
+        self._joules = 0.0
+
+    def accumulate(self, model: PowerModel, utilization: float, dt_s: float) -> None:
+        """Add ``dt_s`` seconds of draw at ``utilization`` for one PM."""
+        require(dt_s >= 0, f"dt must be non-negative, got {dt_s}")
+        self._joules += model.power(utilization) * dt_s
+
+    @property
+    def total_joules(self) -> float:
+        """Accumulated energy in joules."""
+        return self._joules
+
+    @property
+    def total_kwh(self) -> float:
+        """Accumulated energy in kilowatt-hours (the paper's unit)."""
+        return self._joules / 3.6e6

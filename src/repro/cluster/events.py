@@ -1,0 +1,131 @@
+"""A minimal discrete-event kernel.
+
+The simulator's needs are periodic monitor ticks and an end-of-horizon
+event, but the kernel is general: schedule callbacks at absolute or
+relative times, cancel them through handles, and run until a deadline.
+Events at equal times fire in scheduling order (FIFO), which keeps runs
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.util.validation import ValidationError, require
+
+__all__ = ["EventHandle", "EventLoop"]
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "_cancelled", "_action")
+
+    def __init__(self, time: float, action: Callable[[], None]):
+        self.time = time
+        self._action = action
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` was called before firing."""
+        return self._cancelled
+
+
+class EventLoop:
+    """A heap-based discrete-event loop with a monotonic clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at absolute time ``time``.
+
+        Raises:
+            ValidationError: when ``time`` is in the past.
+        """
+        if time < self._now:
+            raise ValidationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        handle = EventHandle(time, action)
+        heapq.heappush(self._heap, (time, next(self._seq), handle))
+        return handle
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``action`` after ``delay`` seconds."""
+        require(delay >= 0, f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        first_at: Optional[float] = None,
+    ) -> EventHandle:
+        """Schedule ``action`` periodically.
+
+        The returned handle cancels the *whole series*.  The first firing
+        defaults to ``now + interval``.
+        """
+        require(interval > 0, f"interval must be positive, got {interval}")
+        series = EventHandle(self._now, action)
+
+        def fire() -> None:
+            if series.cancelled:
+                return
+            action()
+            if not series.cancelled:
+                self.schedule_after(interval, fire)
+
+        start = first_at if first_at is not None else self._now + interval
+        self.schedule_at(start, fire)
+        return series
+
+    def run_until(self, deadline: float) -> int:
+        """Fire events in time order up to and including ``deadline``.
+
+        Advances the clock to ``deadline`` even if the queue drains
+        early.  Returns the number of events fired.
+        """
+        require(deadline >= self._now, "deadline is in the past")
+        fired = 0
+        while self._heap and self._heap[0][0] <= deadline:
+            time, _, handle = heapq.heappop(self._heap)
+            self._now = time
+            if handle.cancelled:
+                continue
+            handle._action()
+            fired += 1
+        self._now = deadline
+        return fired
+
+    def run_all(self) -> int:
+        """Fire every pending event (series must be cancelled first)."""
+        fired = 0
+        while self._heap:
+            time, _, handle = heapq.heappop(self._heap)
+            self._now = time
+            if handle.cancelled:
+                continue
+            handle._action()
+            fired += 1
+        return fired

@@ -1,0 +1,405 @@
+"""The CloudSim-equivalent simulation driver (paper Section VI.A).
+
+One simulation run:
+
+1. *Initial allocation* — a batch of VM requests is placed by the policy
+   under test (Algorithm 2 for PageRankVM, the baselines' own rules
+   otherwise).
+2. *Monitoring loop* — every ``monitor_interval_s`` (300 s in the paper)
+   the trace-driven CPU utilization of every PM is sampled; energy and
+   SLO accounting integrate over the interval, and PMs above the
+   overload threshold (90 %) shed VMs: an eviction selector picks the
+   victim, the placement policy picks the destination, and the move is
+   counted as a migration.
+3. After ``duration_s`` (24 h) the run reports the paper's four metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.energy import EnergyMeter, PowerModel, power_model_for
+from repro.cluster.events import EventLoop
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.monitor import UtilizationMonitor
+from repro.cluster.slo import SLOTracker
+from repro.cluster.vm import VirtualMachine
+from repro.core.permutations import balanced_placement
+from repro.core.policy import PlacementDecision, PlacementPolicy
+from repro.util.validation import require
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "CloudSimulation",
+    "WorkloadEvent",
+    "DynamicSimulation",
+]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulation run (paper defaults).
+
+    ``underload_threshold`` enables the classic energy-saving
+    consolidation loop (off by default — the paper's evaluation does not
+    use it): at each tick, an active PM whose trace-driven utilization
+    falls below the threshold has *all* its VMs migrated to other used
+    PMs (all-or-nothing) so it can power off.
+    """
+
+    duration_s: float = 86_400.0          # 24 hours
+    monitor_interval_s: float = 300.0     # 5 minutes
+    overload_threshold: float = 0.9       # overload flag (Section VI.D)
+    slo_threshold: float = 1.0            # SLO violation at 100 % CPU
+    burst_model: object = "core"          # vCPU slots burst to a full core
+    underload_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require(self.duration_s > 0, "duration_s must be positive")
+        require(self.monitor_interval_s > 0, "monitor_interval_s must be positive")
+        require(
+            self.monitor_interval_s <= self.duration_s,
+            "monitor interval exceeds the simulation duration",
+        )
+        if self.underload_threshold is not None:
+            require(
+                0.0 < self.underload_threshold < self.overload_threshold,
+                "underload_threshold must sit in (0, overload_threshold)",
+            )
+
+
+@dataclass
+class SimulationResult:
+    """The metrics one run produces (the paper's comparison metrics).
+
+    The trailing fields only move under the optional extensions:
+    ``consolidations`` counts PMs drained by underload consolidation,
+    ``rejected_arrivals``/``completed_vms`` are dynamic-workload
+    counters (see :class:`DynamicSimulation`).
+    """
+
+    policy_name: str
+    n_vms: int
+    unplaced_vms: int
+    pms_used_initial: int
+    pms_used_peak: int
+    pms_used_final: int
+    energy_kwh: float
+    migrations: int
+    failed_migrations: int
+    overload_events: int
+    slo_violation_rate: float
+    duration_s: float
+    consolidations: int = 0
+    rejected_arrivals: int = 0
+    completed_vms: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.policy_name}: pms={self.pms_used_initial} "
+            f"(peak {self.pms_used_peak}), energy={self.energy_kwh:.1f} kWh, "
+            f"migrations={self.migrations}, "
+            f"slo={100 * self.slo_violation_rate:.2f}%"
+        )
+
+
+class CloudSimulation:
+    """Drives one policy over one datacenter for one simulated day.
+
+    Args:
+        datacenter: the PM inventory (freshly built per run).
+        policy: the placement policy under test.
+        victim_selector: eviction selector used on overload; must expose
+            ``select_victim(shape, usage, allocations)``.
+        config: timing and thresholds.
+        power_models: optional override mapping a PM ``type_name`` to a
+            :class:`PowerModel`; defaults to the paper's Table III via
+            :func:`repro.cluster.energy.power_model_for`.
+    """
+
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        policy: PlacementPolicy,
+        victim_selector,
+        config: SimulationConfig = SimulationConfig(),
+        power_models: Optional[dict] = None,
+    ):
+        self._dc = datacenter
+        self._policy = policy
+        self._selector = victim_selector
+        self._config = config
+        self._power_models = power_models
+        self._monitor = UtilizationMonitor(
+            config.overload_threshold, config.burst_model
+        )
+        self._slo = SLOTracker(config.slo_threshold)
+        self._energy = EnergyMeter()
+        self._migrations = 0
+        self._failed_migrations = 0
+        self._overload_events = 0
+        self._unplaced = 0
+        self._peak_pms = 0
+        self._consolidations = 0
+
+    # ------------------------------------------------------------------
+    # Phase 1: initial allocation
+    # ------------------------------------------------------------------
+    def allocate_initial(self, vms: Sequence[VirtualMachine]) -> int:
+        """Place the request batch; returns the number placed."""
+        ordered = self._policy.order_vms(list(vms))
+        placed = 0
+        for vm in ordered:
+            decision = self._policy.select(vm.vm_type, self._dc.machines)
+            if decision is None:
+                self._unplaced += 1
+                continue
+            self._dc.apply(vm, decision, time_s=0.0)
+            placed += 1
+        self._peak_pms = self._dc.pms_used
+        return placed
+
+    # ------------------------------------------------------------------
+    # Phase 2: monitored run
+    # ------------------------------------------------------------------
+    def run(self, vms: Sequence[VirtualMachine]) -> SimulationResult:
+        """Allocate ``vms`` and simulate the full horizon."""
+        self.allocate_initial(vms)
+        pms_initial = self._dc.pms_used
+
+        loop = EventLoop()
+        interval = self._config.monitor_interval_s
+
+        def tick() -> None:
+            self._on_tick(loop.now, interval)
+
+        loop.schedule_every(interval, tick)
+        loop.run_until(self._config.duration_s)
+
+        return SimulationResult(
+            policy_name=self._policy.name,
+            n_vms=len(vms),
+            unplaced_vms=self._unplaced,
+            pms_used_initial=pms_initial,
+            pms_used_peak=self._peak_pms,
+            pms_used_final=self._dc.pms_used,
+            energy_kwh=self._energy.total_kwh,
+            migrations=self._migrations,
+            failed_migrations=self._failed_migrations,
+            overload_events=self._overload_events,
+            slo_violation_rate=self._slo.violation_rate,
+            duration_s=self._config.duration_s,
+            consolidations=self._consolidations,
+        )
+
+    def _power_model(self, machine: PhysicalMachine) -> PowerModel:
+        if self._power_models is not None:
+            return self._power_models[machine.type_name]
+        return power_model_for(machine.type_name)
+
+    def _on_tick(self, time_s: float, dt_s: float) -> None:
+        snapshots = self._monitor.snapshot(self._dc.machines, time_s)
+        for snap in snapshots:
+            self._slo.record(snap.cpu_utilization, dt_s, active=snap.active)
+            if snap.active:
+                self._energy.accumulate(
+                    self._power_model(snap.machine),
+                    min(snap.cpu_utilization, 1.0),
+                    dt_s,
+                )
+        for snap in self._monitor.overloaded(snapshots):
+            self._overload_events += 1
+            self._relieve(snap.machine, time_s)
+        if self._config.underload_threshold is not None:
+            self._consolidate_underloaded(time_s)
+        self._peak_pms = max(self._peak_pms, self._dc.pms_used)
+
+    def _relieve(self, machine: PhysicalMachine, time_s: float) -> None:
+        """Migrate VMs off an overloaded PM until it drops below threshold."""
+        threshold = self._config.overload_threshold
+        burst = self._config.burst_model
+        while (
+            machine.is_used
+            and machine.actual_cpu_utilization(time_s, burst) > threshold
+        ):
+            victim = self._selector.select_victim(
+                machine.shape, machine.usage, machine.allocations
+            )
+            if victim is None:
+                break
+            candidates = self._destination_candidates(machine, time_s)
+            decision = self._policy.select(victim.vm_type, candidates)
+            if decision is None:
+                self._failed_migrations += 1
+                break
+            self._dc.migrate(victim.vm_id, decision, time_s)
+            self._migrations += 1
+
+    def _consolidate_underloaded(self, time_s: float) -> None:
+        """Drain PMs below the underload threshold (all-or-nothing).
+
+        Beloglazov-style energy saving: least-utilized PMs first, every
+        VM must find a home on another *used* PM (draining into fresh PMs
+        would defeat the purpose); on any failure the moves already made
+        for that PM are rolled back.
+        """
+        threshold = self._config.underload_threshold
+        burst = self._config.burst_model
+        candidates = sorted(
+            (
+                m
+                for m in self._dc.machines
+                if m.is_used
+                and m.actual_cpu_utilization(time_s, burst) < threshold
+            ),
+            key=lambda m: m.actual_cpu_utilization(time_s, burst),
+        )
+        drained = set()
+        for machine in candidates:
+            if machine.pm_id in drained or not machine.is_used:
+                continue
+            moves = []
+            success = True
+            for allocation in machine.allocations:
+                targets = [
+                    m
+                    for m in self._dc.machines
+                    if m.pm_id != machine.pm_id
+                    and m.is_used
+                    and m.pm_id not in drained
+                ]
+                decision = self._policy.select(allocation.vm_type, targets)
+                if decision is None:
+                    success = False
+                    break
+                self._dc.migrate(allocation.vm_id, decision, time_s)
+                moves.append((allocation.vm_id, machine.pm_id))
+            if success and moves:
+                self._migrations += len(moves)
+                self._consolidations += 1
+                drained.add(machine.pm_id)
+            elif moves:
+                # Roll back: return every moved VM to the source PM.
+                for vm_id, source_pm in moves:
+                    source = self._dc.machine(source_pm)
+                    vm_type = self._dc.machine(
+                        self._dc.locate(vm_id)
+                    ).allocation_of(vm_id).vm_type
+                    placement = balanced_placement(
+                        source.shape, source.usage, vm_type
+                    )
+                    self._dc.migrate(
+                        vm_id,
+                        PlacementDecision(pm_id=source_pm, placement=placement),
+                        time_s,
+                    )
+
+    def _destination_candidates(
+        self, source: PhysicalMachine, time_s: float
+    ) -> List[PhysicalMachine]:
+        """Migration destinations: every PM but the source.
+
+        Per the paper, "the destination PM ... is then selected based on
+        their own VM allocation algorithms" — there is no global filter
+        keeping policies away from already-hot PMs.  A policy that picks
+        a destination about to overload pays for it with further
+        migrations, which is exactly the churn the evaluation measures.
+        """
+        return [m for m in self._dc.machines if m.pm_id != source.pm_id]
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One VM's lifecycle in a dynamic workload.
+
+    Attributes:
+        arrival_s: when the request arrives.
+        vm: the VM (type + trace).
+        departure_s: when the VM terminates; None means it outlives the
+            simulation horizon.
+    """
+
+    arrival_s: float
+    vm: VirtualMachine
+    departure_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require(self.arrival_s >= 0, "arrival_s must be non-negative")
+        if self.departure_s is not None:
+            require(
+                self.departure_s > self.arrival_s,
+                "departure must come after arrival",
+            )
+
+
+class DynamicSimulation(CloudSimulation):
+    """A :class:`CloudSimulation` driven by arrivals and departures.
+
+    Extends the paper's initial-allocation-only evaluation with the
+    general cloud setting: VM requests arrive over time (each placed on
+    arrival by the policy under test, or rejected when nothing fits) and
+    depart when their lifetime ends.  All monitoring, overload and
+    consolidation machinery is inherited unchanged.
+    """
+
+    def run_events(self, events: Sequence[WorkloadEvent]) -> SimulationResult:
+        """Simulate the full horizon under a dynamic workload."""
+        events = list(events)
+        loop = EventLoop()
+        interval = self._config.monitor_interval_s
+        rejected = [0]
+        completed = [0]
+
+        def arrive(event: WorkloadEvent) -> None:
+            decision = self._policy.select(
+                event.vm.vm_type, self._dc.machines
+            )
+            if decision is None:
+                rejected[0] += 1
+                return
+            self._dc.apply(event.vm, decision, loop.now)
+            self._peak_pms = max(self._peak_pms, self._dc.pms_used)
+            if (
+                event.departure_s is not None
+                and event.departure_s <= self._config.duration_s
+            ):
+                loop.schedule_at(event.departure_s, lambda: depart(event))
+
+        def depart(event: WorkloadEvent) -> None:
+            if self._dc.locate(event.vm.vm_id) is None:
+                return  # already gone (defensive; should not happen)
+            self._dc.evict(event.vm.vm_id)
+            completed[0] += 1
+
+        for event in sorted(events, key=lambda e: e.arrival_s):
+            if event.arrival_s > self._config.duration_s:
+                continue
+            loop.schedule_at(event.arrival_s, lambda e=event: arrive(e))
+
+        def tick() -> None:
+            self._on_tick(loop.now, interval)
+
+        loop.schedule_every(interval, tick)
+        pms_initial = self._dc.pms_used
+        loop.run_until(self._config.duration_s)
+
+        return SimulationResult(
+            policy_name=self._policy.name,
+            n_vms=len(events),
+            unplaced_vms=rejected[0],
+            pms_used_initial=pms_initial,
+            pms_used_peak=self._peak_pms,
+            pms_used_final=self._dc.pms_used,
+            energy_kwh=self._energy.total_kwh,
+            migrations=self._migrations,
+            failed_migrations=self._failed_migrations,
+            overload_events=self._overload_events,
+            slo_violation_rate=self._slo.violation_rate,
+            duration_s=self._config.duration_s,
+            consolidations=self._consolidations,
+            rejected_arrivals=rejected[0],
+            completed_vms=completed[0],
+        )

@@ -1,0 +1,64 @@
+"""SLO-violation accounting (paper Section VI.A, comparison metrics).
+
+The paper measures SLO violations as "the percentage of time, during
+which active hosts have experienced the CPU utilization of 100%" — the
+SLATAH metric of Beloglazov & Buyya.  The tracker accumulates, across
+all hosts, the active time and the at-capacity time, and reports their
+ratio.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require
+
+__all__ = ["SLOTracker"]
+
+
+class SLOTracker:
+    """Accumulates active-host time and time spent at full CPU.
+
+    Args:
+        violation_threshold: CPU utilization (fraction) at or above which
+            a host is counted as violating; the paper uses 100 %.
+    """
+
+    def __init__(self, violation_threshold: float = 1.0):
+        require(
+            0.0 < violation_threshold <= 1.0,
+            f"violation_threshold must be in (0,1], got {violation_threshold}",
+        )
+        self._threshold = violation_threshold
+        self._active_seconds = 0.0
+        self._violation_seconds = 0.0
+
+    def record(self, cpu_utilization: float, dt_s: float, active: bool = True) -> None:
+        """Record ``dt_s`` seconds of one host at ``cpu_utilization``.
+
+        Inactive (powered-off / empty) hosts contribute nothing —
+        SLATAH averages over *active* host time only.  Utilization may
+        exceed 1.0 (demand beyond capacity); any value at or above the
+        threshold counts as violating.
+        """
+        require(dt_s >= 0, f"dt must be non-negative, got {dt_s}")
+        if not active:
+            return
+        self._active_seconds += dt_s
+        if cpu_utilization >= self._threshold - 1e-12:
+            self._violation_seconds += dt_s
+
+    @property
+    def active_seconds(self) -> float:
+        """Total accumulated active-host seconds."""
+        return self._active_seconds
+
+    @property
+    def violation_seconds(self) -> float:
+        """Total accumulated at-capacity host seconds."""
+        return self._violation_seconds
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of active-host time at full CPU (0 when never active)."""
+        if self._active_seconds == 0.0:
+            return 0.0
+        return self._violation_seconds / self._active_seconds

@@ -1,0 +1,245 @@
+"""The profile graph G (Algorithm 1, line 1).
+
+Nodes are canonical PM usage profiles; an edge ``P_a -> P_b`` means that a
+PM at profile ``P_a`` reaches ``P_b`` by accommodating one VM from the VM
+type set.  The paper treats such an edge as a "vote of support" from
+``P_a`` for ``P_b``.
+
+Two generation modes:
+
+* ``reachable`` (default) — BFS from the empty profile, covering exactly
+  the states the allocator can produce.  Scales to EC2-size machines.
+* ``full`` — every canonical lattice point, as in the paper's toy
+  [4,4,4,4] examples (Figures 1-2).  Only sensible for small capacities.
+
+Two successor strategies:
+
+* :attr:`SuccessorStrategy.ALL_PLACEMENTS` — one edge per canonically
+  distinct placement (exact; the default).
+* :attr:`SuccessorStrategy.BALANCED` — one edge per VM type via the
+  deterministic least-loaded packing (scalable approximation, see
+  DESIGN.md section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import permutations
+from repro.core.profile import (
+    MachineShape,
+    Profile,
+    Usage,
+    VMType,
+    iter_all_profiles,
+)
+from repro.util.validation import ValidationError, require
+
+__all__ = [
+    "SuccessorStrategy",
+    "GraphLimitExceeded",
+    "ProfileGraph",
+    "build_profile_graph",
+]
+
+
+class SuccessorStrategy(enum.Enum):
+    """How edges out of a profile are generated (see module docstring)."""
+
+    ALL_PLACEMENTS = "all_placements"
+    BALANCED = "balanced"
+
+
+class GraphLimitExceeded(RuntimeError):
+    """Raised when graph generation would exceed ``node_limit`` nodes."""
+
+
+@dataclass
+class ProfileGraph:
+    """An immutable profile graph plus index structures.
+
+    Attributes:
+        shape: the PM shape the graph is built for.
+        vm_types: the VM type set ``S_v`` driving the edges.
+        strategy: the successor strategy used.
+        profiles: node id -> canonical usage.
+        successors: node id -> sorted tuple of distinct successor node ids.
+    """
+
+    shape: MachineShape
+    vm_types: Tuple[VMType, ...]
+    strategy: SuccessorStrategy
+    profiles: List[Usage]
+    successors: List[Tuple[int, ...]]
+    _index: Dict[Usage, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._index:
+            self._index = {usage: i for i, usage in enumerate(self.profiles)}
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of profiles in the graph."""
+        return len(self.profiles)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct (profile, successor-profile) edges."""
+        return sum(len(s) for s in self.successors)
+
+    def node_id(self, usage: Usage) -> Optional[int]:
+        """Node id of a canonical usage, or None if absent."""
+        return self._index.get(usage)
+
+    def contains(self, usage: Usage) -> bool:
+        """True when the canonical usage is a node of the graph."""
+        return usage in self._index
+
+    def profile(self, node: int) -> Profile:
+        """The :class:`Profile` of a node id."""
+        return Profile(self.profiles[node])
+
+    def out_degree(self, node: int) -> int:
+        """Out-degree |S(P_i)| of a node."""
+        return len(self.successors[node])
+
+    def sinks(self) -> List[int]:
+        """Node ids that cannot accommodate any further VM."""
+        return [i for i, succ in enumerate(self.successors) if not succ]
+
+    def topological_order(self) -> List[int]:
+        """Node ids sorted by total used units (a topological order).
+
+        Every edge adds a VM with positive total demand, so total usage
+        strictly increases along edges and sorting by it is topological.
+        """
+        return sorted(range(self.n_nodes), key=lambda i: sum(
+            sum(g) for g in self.profiles[i]
+        ))
+
+    def utilizations(self) -> List[float]:
+        """Mean per-dimension utilization of every node."""
+        return [self.shape.utilization(u) for u in self.profiles]
+
+
+def _successor_usages(
+    shape: MachineShape,
+    usage: Usage,
+    vm_types: Sequence[VMType],
+    strategy: SuccessorStrategy,
+) -> List[Usage]:
+    """Distinct canonical successors of ``usage`` over all VM types."""
+    seen: Dict[Usage, None] = {}
+    for vm in vm_types:
+        if strategy is SuccessorStrategy.ALL_PLACEMENTS:
+            for placement in permutations.enumerate_placements(shape, usage, vm):
+                seen.setdefault(placement.new_usage)
+        else:
+            placement = permutations.balanced_placement(shape, usage, vm)
+            if placement is not None:
+                seen.setdefault(placement.new_usage)
+    return list(seen)
+
+
+def build_profile_graph(
+    shape: MachineShape,
+    vm_types: Sequence[VMType],
+    strategy: SuccessorStrategy = SuccessorStrategy.ALL_PLACEMENTS,
+    mode: str = "reachable",
+    node_limit: int = 1_000_000,
+) -> ProfileGraph:
+    """Generate the profile graph G for a PM shape and VM type set.
+
+    Args:
+        shape: PM capacity across groups.
+        vm_types: the VM type set ``S_v``; every type must be compatible
+            with ``shape`` (incompatible types simply contribute no edges,
+            but a type with zero total demand is rejected because it would
+            create self-loops and break the DAG property).
+        strategy: edge-generation strategy.
+        mode: ``"reachable"`` (BFS from the empty profile) or ``"full"``
+            (entire canonical lattice).
+        node_limit: safety bound on the number of nodes.
+
+    Raises:
+        GraphLimitExceeded: when more than ``node_limit`` nodes arise.
+        ValidationError: on an empty or degenerate VM type set.
+    """
+    vm_types = tuple(vm_types)
+    require(len(vm_types) > 0, "vm_types must not be empty")
+    for vm in vm_types:
+        require(
+            vm.total_units() > 0,
+            f"VM type {vm.name!r} has zero total demand (would self-loop)",
+        )
+        require(
+            len(vm.demands) == shape.n_groups,
+            f"VM type {vm.name!r} has {len(vm.demands)} demand groups, "
+            f"shape has {shape.n_groups}",
+        )
+    if mode not in ("reachable", "full"):
+        raise ValidationError(f"unknown graph mode {mode!r}")
+
+    if mode == "full":
+        profiles = [p.usage for p in iter_all_profiles(shape)]
+        if len(profiles) > node_limit:
+            raise GraphLimitExceeded(
+                f"full lattice has {len(profiles)} profiles "
+                f"(> node_limit={node_limit}); use mode='reachable'"
+            )
+        index = {usage: i for i, usage in enumerate(profiles)}
+        successors: List[Tuple[int, ...]] = []
+        for usage in profiles:
+            succ_ids = sorted(
+                index[s]
+                for s in _successor_usages(shape, usage, vm_types, strategy)
+            )
+            successors.append(tuple(succ_ids))
+        return ProfileGraph(
+            shape=shape,
+            vm_types=vm_types,
+            strategy=strategy,
+            profiles=profiles,
+            successors=successors,
+            _index=index,
+        )
+
+    # Reachable-set BFS from the empty profile.
+    empty = shape.empty_usage()
+    index = {empty: 0}
+    profiles = [empty]
+    succ_map: Dict[int, Tuple[int, ...]] = {}
+    frontier = deque([0])
+    while frontier:
+        node = frontier.popleft()
+        succ_ids: List[int] = []
+        for succ_usage in _successor_usages(
+            shape, profiles[node], vm_types, strategy
+        ):
+            succ_id = index.get(succ_usage)
+            if succ_id is None:
+                if len(profiles) >= node_limit:
+                    raise GraphLimitExceeded(
+                        f"reachable profile graph exceeded node_limit="
+                        f"{node_limit}; coarsen the quantizers or use "
+                        f"SuccessorStrategy.BALANCED"
+                    )
+                succ_id = len(profiles)
+                index[succ_usage] = succ_id
+                profiles.append(succ_usage)
+                frontier.append(succ_id)
+            succ_ids.append(succ_id)
+        succ_map[node] = tuple(sorted(set(succ_ids)))
+
+    successors = [succ_map[i] for i in range(len(profiles))]
+    return ProfileGraph(
+        shape=shape,
+        vm_types=vm_types,
+        strategy=strategy,
+        profiles=profiles,
+        successors=successors,
+        _index=index,
+    )

@@ -1,0 +1,107 @@
+"""Algorithm 2: the PageRankVM initial allocation policy.
+
+For each VM the policy scans the used PMs, derives every canonically
+distinct accommodation of the VM's (permutable) demands, looks the
+resulting profiles up in the Profile-PageRank score table, and picks the
+PM + accommodation with the globally highest score.  When no used PM
+fits, the first unused PM with sufficient resources is opened.
+
+The heavy lifting (candidate enumeration, caching, 2-choice pool
+sampling) lives in :class:`repro.core.policy.ProfileScorePolicy`; this
+class contributes the score function — the Profile-PageRank table lookup
+with nearest-profile snapping for off-graph profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.graph import SuccessorStrategy
+from repro.core.policy import ProfileScorePolicy
+from repro.core.profile import MachineShape, Usage, VMType
+from repro.core.score_table import ScoreTable, build_score_table
+from repro.util.validation import require
+
+__all__ = ["PageRankVMPolicy"]
+
+
+class PageRankVMPolicy(ProfileScorePolicy):
+    """The paper's placement algorithm, driven by precomputed score tables.
+
+    Args:
+        tables: one :class:`ScoreTable` per PM shape present in the
+            datacenter.
+        pool_size: when set, the number of feasible used PMs sampled per
+            decision (the 2-choice method uses ``pool_size=2``); None
+            scans every used PM, as in Algorithm 2.
+        rng: random generator for pool sampling.
+    """
+
+    name = "PageRankVM"
+
+    def __init__(
+        self,
+        tables: Mapping[MachineShape, ScoreTable],
+        pool_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(pool_size=pool_size, rng=rng)
+        require(len(tables) > 0, "PageRankVMPolicy needs at least one score table")
+        self._tables = dict(tables)
+        self._shape_ids = {shape: i for i, shape in enumerate(self._tables)}
+
+    @classmethod
+    def for_shapes(
+        cls,
+        shapes: Sequence[MachineShape],
+        vm_types: Sequence[VMType],
+        strategy: SuccessorStrategy = SuccessorStrategy.ALL_PLACEMENTS,
+        damping: float = 0.85,
+        pool_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        **table_kwargs,
+    ) -> "PageRankVMPolicy":
+        """Build score tables for every distinct shape and wrap a policy."""
+        tables = {
+            shape: build_score_table(
+                shape, vm_types, strategy=strategy, damping=damping, **table_kwargs
+            )
+            for shape in dict.fromkeys(shapes)
+        }
+        return cls(tables, pool_size=pool_size, rng=rng)
+
+    @property
+    def tables(self) -> Dict[MachineShape, ScoreTable]:
+        """The per-shape score tables (read-only use intended)."""
+        return self._tables
+
+    def table_for(self, shape: MachineShape) -> ScoreTable:
+        """The table for a shape.
+
+        Raises:
+            KeyError: when the shape was not given a table — the caller
+                must build one with :func:`build_score_table` first.
+        """
+        table = self._tables.get(shape)
+        if table is None:
+            raise KeyError(
+                f"no score table for shape {shape!r}; build one with "
+                "build_score_table(shape, vm_types) and pass it to the policy"
+            )
+        return table
+
+    def profile_score(self, shape: MachineShape, usage: Usage) -> float:
+        """Profile-PageRank table lookup with nearest-profile snapping."""
+        return self.table_for(shape).score_or_snap(usage)
+
+    def candidate_mode(self, shape: MachineShape) -> str:
+        """Match the candidate set to the table's successor strategy."""
+        table = self.table_for(shape)
+        if table.strategy is SuccessorStrategy.BALANCED:
+            return "balanced"
+        return "all"
+
+    def _shape_key(self, shape: MachineShape) -> int:
+        return self._shape_ids.setdefault(shape, len(self._shape_ids))

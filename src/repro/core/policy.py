@@ -1,0 +1,300 @@
+"""Abstract placement-policy interfaces shared by PageRankVM and baselines.
+
+A policy never mutates machines: it receives read-only *machine views*
+(anything exposing ``pm_id``, ``shape``, ``usage`` and ``is_used``) and
+returns a :class:`PlacementDecision` naming the chosen PM and a concrete
+per-group unit assignment.  The datacenter substrate applies the decision.
+
+Policies follow the two-phase structure of Algorithm 2: scan the used PMs
+with a policy-specific preference, then fall back to opening an unused PM.
+
+:class:`ProfileScorePolicy` factors the machinery common to every
+"score the resulting profile" policy (PageRankVM, CompVM, BestFit):
+candidate enumeration over canonically-distinct accommodations, caching
+per (canonical profile, VM type), optional pool sampling (the paper's
+2-choice variant), and realization of a concrete assignment on the
+winning machine.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.core import permutations
+from repro.core.permutations import Placement, balanced_placement, can_place
+from repro.core.profile import MachineShape, Usage, VMType
+from repro.util.validation import require
+
+__all__ = [
+    "MachineView",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "ProfileScorePolicy",
+]
+
+
+@runtime_checkable
+class MachineView(Protocol):
+    """Read-only view of a PM as seen by placement policies."""
+
+    @property
+    def pm_id(self) -> int:
+        """Stable identifier of the PM."""
+
+    @property
+    def shape(self) -> MachineShape:
+        """The PM's capacity shape."""
+
+    @property
+    def usage(self) -> Usage:
+        """Current committed usage in real (non-canonical) unit order."""
+
+    @property
+    def is_used(self) -> bool:
+        """True when at least one VM is currently placed on the PM."""
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The PM and concrete assignment chosen for a VM.
+
+    ``score`` is whatever comparable object the policy used to rank the
+    decision (a float for PageRankVM, a tuple for CompVM); it is carried
+    for observability only.
+    """
+
+    pm_id: int
+    placement: Placement
+    score: Any = 0.0
+
+    def __str__(self) -> str:
+        return f"PlacementDecision(pm={self.pm_id}, score={self.score!r})"
+
+
+class PlacementPolicy(abc.ABC):
+    """Base class for VM placement policies (Algorithm 2 skeleton).
+
+    Subclasses implement :meth:`_select_among_used`, the policy-specific
+    choice among used PMs.  The shared :meth:`select` then falls back to
+    the first unused PM with sufficient resources, exactly as Algorithm 2
+    lines 17-24 prescribe.
+    """
+
+    #: Human-readable policy name used in reports and figures.
+    name: str = "policy"
+
+    def order_vms(self, vms: Sequence[VMType]) -> List[VMType]:
+        """Order a batch of VM requests before placement.
+
+        The default keeps arrival order; FFDSum overrides this to sort by
+        decreasing demand.
+        """
+        return list(vms)
+
+    @abc.abstractmethod
+    def _select_among_used(
+        self, vm: VMType, used: Sequence[MachineView]
+    ) -> Optional[PlacementDecision]:
+        """Choose a PM among the used ones, or None when none fits."""
+
+    def _select_among_unused(
+        self, vm: VMType, unused: Sequence[MachineView]
+    ) -> Optional[PlacementDecision]:
+        """Open the first unused PM with sufficient resources.
+
+        Uses the deterministic balanced assignment; subclasses with a
+        smarter opinion (scored policies pick their best accommodation)
+        may override.
+        """
+        for machine in unused:
+            placement = balanced_placement(machine.shape, machine.usage, vm)
+            if placement is not None:
+                return PlacementDecision(pm_id=machine.pm_id, placement=placement)
+        return None
+
+    def select(
+        self, vm: VMType, machines: Sequence[MachineView]
+    ) -> Optional[PlacementDecision]:
+        """Place ``vm`` following Algorithm 2's used-then-unused scan.
+
+        Returns None when no PM in the system can host the VM.
+        """
+        used = [m for m in machines if m.is_used]
+        unused = [m for m in machines if not m.is_used]
+        decision = self._select_among_used(vm, used)
+        if decision is not None:
+            return decision
+        return self._select_among_unused(vm, unused)
+
+    def select_excluding(
+        self, vm: VMType, machines: Sequence[MachineView], excluded_pm: int
+    ) -> Optional[PlacementDecision]:
+        """Variant of :meth:`select` that skips one PM (migration source)."""
+        return self.select(vm, [m for m in machines if m.pm_id != excluded_pm])
+
+    @staticmethod
+    def _fits(machine: MachineView, vm: VMType) -> bool:
+        """Sufficient-resource check (Algorithm 2 line 3/18)."""
+        return can_place(machine.shape, machine.usage, vm)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# Cached candidate: (score, target canonical usage) or None when infeasible.
+_Candidate = Optional[Tuple[Any, Usage]]
+
+
+class ProfileScorePolicy(PlacementPolicy):
+    """Greedy policy template: maximize a score of the resulting profile.
+
+    Subclasses implement :meth:`profile_score`, mapping a canonical usage
+    to any comparable score (larger is better).  Everything else —
+    accommodation enumeration, per-profile caching, pool sampling,
+    concrete-assignment realization — is shared.
+
+    Args:
+        pool_size: when set, only this many randomly sampled used PMs are
+            scored per decision (``pool_size=2`` is the paper's 2-choice
+            method); None scans every used PM.
+        rng: generator for pool sampling; defaults to a fixed-seed
+            generator so runs are reproducible unless a seeded stream is
+            injected.
+    """
+
+    def __init__(
+        self,
+        pool_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if pool_size is not None:
+            require(pool_size >= 1, f"pool_size must be >= 1, got {pool_size}")
+        self._pool_size = pool_size
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._cache: Dict[Tuple[Any, Usage, str], _Candidate] = {}
+
+    @abc.abstractmethod
+    def profile_score(self, shape: MachineShape, usage: Usage) -> Any:
+        """Score of a canonical usage; larger compares better."""
+
+    def candidate_mode(self, shape: MachineShape) -> str:
+        """``"all"`` to enumerate every accommodation, ``"balanced"`` for
+        the deterministic least-loaded one (scalable approximation)."""
+        return "all"
+
+    def _shape_key(self, shape: MachineShape) -> Any:
+        return shape
+
+    def invalidate_cache(self) -> None:
+        """Drop cached candidates (call if score definitions change)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Candidate scoring
+    # ------------------------------------------------------------------
+    def _candidates(
+        self, shape: MachineShape, usage: Usage, vm: VMType
+    ) -> List[Tuple[Any, Usage]]:
+        results: List[Tuple[Any, Usage]] = []
+        if self.candidate_mode(shape) == "balanced":
+            placed = permutations.balanced_placement(shape, usage, vm)
+            if placed is not None:
+                results.append(
+                    (self.profile_score(shape, placed.new_usage), placed.new_usage)
+                )
+        else:
+            for placed in permutations.enumerate_placements(shape, usage, vm):
+                results.append(
+                    (self.profile_score(shape, placed.new_usage), placed.new_usage)
+                )
+        return results
+
+    def best_candidate(
+        self, shape: MachineShape, usage: Usage, vm: VMType
+    ) -> _Candidate:
+        """Best (score, target usage) for placing ``vm`` at ``usage``.
+
+        Cached on the canonical usage, so machines at equal resource
+        states share one evaluation.  Returns None when the VM does not
+        fit.
+        """
+        canonical = shape.canonicalize(usage)
+        key = (self._shape_key(shape), canonical, vm.name)
+        if key in self._cache:
+            return self._cache[key]
+        candidates = self._candidates(shape, canonical, vm)
+        best: _Candidate = None
+        if candidates:
+            best = max(candidates, key=lambda c: c[0])
+        self._cache[key] = best
+        return best
+
+    def _realize(
+        self, machine: MachineView, vm: VMType, target: Usage, score: Any
+    ) -> Optional[PlacementDecision]:
+        """Find a concrete assignment on ``machine`` reaching ``target``."""
+        shape = machine.shape
+        if self.candidate_mode(shape) == "balanced":
+            placed = permutations.balanced_placement(shape, machine.usage, vm)
+            if placed is None:
+                return None
+            return PlacementDecision(
+                pm_id=machine.pm_id, placement=placed, score=score
+            )
+        for placed in permutations.enumerate_placements(shape, machine.usage, vm):
+            if placed.new_usage == target:
+                return PlacementDecision(
+                    pm_id=machine.pm_id, placement=placed, score=score
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def _select_among_used(
+        self, vm: VMType, used: Sequence[MachineView]
+    ) -> Optional[PlacementDecision]:
+        pool = list(used)
+        if self._pool_size is not None and len(pool) > self._pool_size:
+            picks = self._rng.choice(len(pool), size=self._pool_size, replace=False)
+            pool = [pool[i] for i in picks]
+
+        best_machine: Optional[MachineView] = None
+        best_score: Any = None
+        best_target: Optional[Usage] = None
+        for machine in pool:
+            candidate = self.best_candidate(machine.shape, machine.usage, vm)
+            if candidate is None:
+                continue
+            score, target = candidate
+            if best_machine is None or score > best_score:
+                best_machine, best_score, best_target = machine, score, target
+        if best_machine is None:
+            return None
+        return self._realize(best_machine, vm, best_target, best_score)
+
+    def _select_among_unused(
+        self, vm: VMType, unused: Sequence[MachineView]
+    ) -> Optional[PlacementDecision]:
+        # Algorithm 2 opens the first unused PM with sufficient resources;
+        # among its accommodations the policy still picks its best-scored.
+        for machine in unused:
+            candidate = self.best_candidate(machine.shape, machine.usage, vm)
+            if candidate is None:
+                continue
+            score, target = candidate
+            return self._realize(machine, vm, target, score)
+        return None

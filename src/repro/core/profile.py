@@ -1,0 +1,448 @@
+"""Resource profiles, machine shapes and VM types (paper Sections III-IV).
+
+The paper abstracts the resource usage of a physical machine (PM) across
+multiple dimensions as a *profile* ``[p_1, ..., p_m]``.  To support
+anti-collocation constraints, each physical unit (each CPU core, each
+disk) is its own dimension.  Dimensions belonging to the same physical
+resource are grouped into a :class:`ResourceGroup`; demands of a VM within
+an anti-collocation group are *permutable* across the group's units
+(``{a, b, 0, 0}`` and ``{0, 0, a, b}`` are the same demand).
+
+All quantities are fixed-point integers (see :class:`Quantizer`) so that
+profiles hash and compare exactly, which makes graph nodes well defined.
+
+Canonical form
+--------------
+Within a group, unit order is physically meaningless as long as units have
+equal capacity.  A profile is *canonical* when, inside every group, the
+usages of equal-capacity units appear in non-decreasing order.  Group unit
+capacities are themselves required to be sorted non-decreasingly, so the
+canonical order is simply "sorted within runs of equal capacity".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.util.validation import ValidationError, require
+
+__all__ = [
+    "Quantizer",
+    "ResourceGroup",
+    "MachineShape",
+    "VMType",
+    "Profile",
+]
+
+GroupUsage = Tuple[int, ...]
+Usage = Tuple[GroupUsage, ...]
+
+
+class Quantizer:
+    """Fixed-point converter between physical values and integer units.
+
+    Example: CPU demands of 0.6 and 0.7 GHz with ``Quantizer(0.1)`` become
+    6 and 7 units; an E5 core of 2.6 GHz becomes 26 units.
+
+    Args:
+        quantum: the physical value of one unit (must be positive).
+        tolerance: maximum relative rounding error accepted by
+            :meth:`to_units` before raising, guarding against silently
+            distorting a demand that is not a multiple of the quantum.
+    """
+
+    def __init__(self, quantum: float, tolerance: float = 1e-6):
+        if not quantum > 0:
+            raise ValidationError(f"quantum must be positive, got {quantum!r}")
+        self._quantum = float(quantum)
+        self._tolerance = float(tolerance)
+
+    @property
+    def quantum(self) -> float:
+        """Physical value of one fixed-point unit."""
+        return self._quantum
+
+    def to_units(self, value: float, exact: bool = True) -> int:
+        """Convert a physical value to integer units.
+
+        Args:
+            value: non-negative physical quantity.
+            exact: when True (default), raise if ``value`` is not a
+                multiple of the quantum (within tolerance); when False,
+                round to the nearest unit (used for trace-driven
+                utilizations, which are inherently continuous).
+        """
+        if value < 0:
+            raise ValidationError(f"cannot quantize negative value {value!r}")
+        units = value / self._quantum
+        rounded = int(round(units))
+        if exact and abs(units - rounded) > self._tolerance * max(1.0, abs(units)):
+            raise ValidationError(
+                f"value {value!r} is not a multiple of quantum {self._quantum!r}"
+            )
+        return rounded
+
+    def to_value(self, units: int) -> float:
+        """Convert integer units back to a physical value."""
+        return units * self._quantum
+
+    def __repr__(self) -> str:
+        return f"Quantizer(quantum={self._quantum})"
+
+
+@dataclass(frozen=True)
+class ResourceGroup:
+    """One physical resource of a machine, split into per-unit dimensions.
+
+    Attributes:
+        name: resource label ("cpu", "mem", "disk", ...).
+        capacities: per-unit capacities in fixed-point units, sorted
+            non-decreasingly.  A scalar resource (memory) is a group with a
+            single unit.
+        anti_collocation: when True, a single VM may place at most one of
+            its demand chunks on each unit (paper Equ. (3)-(4), (8)-(9)).
+            Scalar groups should set this to False.
+    """
+
+    name: str
+    capacities: Tuple[int, ...]
+    anti_collocation: bool = True
+
+    def __post_init__(self) -> None:
+        require(len(self.capacities) > 0, f"group {self.name!r} has no units")
+        require(
+            all(isinstance(c, int) and c > 0 for c in self.capacities),
+            f"group {self.name!r} capacities must be positive ints, "
+            f"got {self.capacities!r}",
+        )
+        require(
+            tuple(sorted(self.capacities)) == self.capacities,
+            f"group {self.name!r} capacities must be sorted non-decreasingly",
+        )
+        if not self.anti_collocation:
+            require(
+                len(self.capacities) == 1,
+                f"non-anti-collocation group {self.name!r} must be scalar "
+                f"(one unit), got {len(self.capacities)} units",
+            )
+
+    @property
+    def n_units(self) -> int:
+        """Number of physical units (dimensions) in this group."""
+        return len(self.capacities)
+
+    @property
+    def total_capacity(self) -> int:
+        """Sum of unit capacities."""
+        return sum(self.capacities)
+
+    def uniform(self) -> bool:
+        """True when all units have the same capacity."""
+        return self.capacities[0] == self.capacities[-1]
+
+
+@dataclass(frozen=True)
+class MachineShape:
+    """The multi-dimensional capacity of a PM type (paper's ``R_j``).
+
+    A shape is the ordered tuple of its resource groups.  The paper's
+    ``R_j = {C_j, B_j, D_j}`` maps to three groups: per-core CPU
+    capacities, scalar memory, per-disk capacities.  Any number of
+    resources is supported by adding groups.
+    """
+
+    groups: Tuple[ResourceGroup, ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.groups) > 0, "a machine shape needs at least one group")
+        names = [g.name for g in self.groups]
+        require(
+            len(set(names)) == len(names),
+            f"duplicate group names in shape: {names!r}",
+        )
+
+    @property
+    def n_groups(self) -> int:
+        """Number of resource groups."""
+        return len(self.groups)
+
+    @property
+    def n_dimensions(self) -> int:
+        """Total number of dimensions m (the paper's profile length)."""
+        return sum(g.n_units for g in self.groups)
+
+    def group_named(self, name: str) -> ResourceGroup:
+        """Return the group with the given name.
+
+        Raises:
+            KeyError: if no group has that name.
+        """
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(f"no group named {name!r} in shape")
+
+    def group_index(self, name: str) -> int:
+        """Return the index of the named group."""
+        for i, group in enumerate(self.groups):
+            if group.name == name:
+                return i
+        raise KeyError(f"no group named {name!r} in shape")
+
+    def empty_usage(self) -> Usage:
+        """The all-zero usage (an empty PM)."""
+        return tuple(tuple(0 for _ in g.capacities) for g in self.groups)
+
+    def full_usage(self) -> Usage:
+        """The best profile: full utilization in every dimension."""
+        return tuple(g.capacities for g in self.groups)
+
+    def canonicalize(self, usage: Sequence[Sequence[int]]) -> Usage:
+        """Return the canonical form of ``usage``.
+
+        Within each group, usages of equal-capacity units are sorted
+        non-decreasingly; units of different capacity keep their (sorted
+        by capacity) positions.
+        """
+        canonical = []
+        for group, group_usage in zip(self.groups, usage):
+            values = list(group_usage)
+            if group.uniform():
+                values.sort()
+            else:
+                start = 0
+                caps = group.capacities
+                while start < len(caps):
+                    end = start
+                    while end < len(caps) and caps[end] == caps[start]:
+                        end += 1
+                    values[start:end] = sorted(values[start:end])
+                    start = end
+            canonical.append(tuple(values))
+        return tuple(canonical)
+
+    def validate_usage(self, usage: Sequence[Sequence[int]]) -> None:
+        """Raise :class:`ValidationError` unless ``usage`` is well formed.
+
+        Checks group count, unit counts, non-negativity and capacity.
+        """
+        require(
+            len(usage) == self.n_groups,
+            f"usage has {len(usage)} groups, shape has {self.n_groups}",
+        )
+        for group, group_usage in zip(self.groups, usage):
+            require(
+                len(group_usage) == group.n_units,
+                f"group {group.name!r}: usage has {len(group_usage)} units, "
+                f"capacity has {group.n_units}",
+            )
+            for used, cap in zip(group_usage, group.capacities):
+                require(
+                    0 <= used <= cap,
+                    f"group {group.name!r}: usage {used} outside [0, {cap}]",
+                )
+
+    def fits_usage(self, usage: Sequence[Sequence[int]]) -> bool:
+        """True when ``usage`` respects every unit capacity."""
+        if len(usage) != self.n_groups:
+            return False
+        for group, group_usage in zip(self.groups, usage):
+            if len(group_usage) != group.n_units:
+                return False
+            for used, cap in zip(group_usage, group.capacities):
+                if used < 0 or used > cap:
+                    return False
+        return True
+
+    def utilization(self, usage: Usage) -> float:
+        """Mean per-dimension utilization of ``usage``, in [0, 1].
+
+        This is the resource-utilization measure used for BPRU: each
+        dimension contributes ``used / capacity`` and dimensions are
+        averaged, so resources of different physical scales (GHz vs GiB)
+        weigh equally.
+        """
+        total = 0.0
+        count = 0
+        for group, group_usage in zip(self.groups, usage):
+            for used, cap in zip(group_usage, group.capacities):
+                total += used / cap
+                count += 1
+        return total / count
+
+    def dimension_utilizations(self, usage: Usage) -> Tuple[float, ...]:
+        """Per-dimension utilization vector (flattened across groups)."""
+        utils = []
+        for group, group_usage in zip(self.groups, usage):
+            for used, cap in zip(group_usage, group.capacities):
+                utils.append(used / cap)
+        return tuple(utils)
+
+    def variance(self, usage: Usage) -> float:
+        """Population variance of per-dimension utilizations.
+
+        This is the paper's ``v`` (Section III.B), the quantity
+        variance-based placement approaches minimize.
+        """
+        utils = self.dimension_utilizations(usage)
+        mean = sum(utils) / len(utils)
+        return sum((u - mean) ** 2 for u in utils) / len(utils)
+
+
+@dataclass(frozen=True)
+class VMType:
+    """A VM type: the paper's permutable multi-dimensional demand ``r_i``.
+
+    Attributes:
+        name: type label (e.g. "m3.large").
+        demands: one tuple per shape group.  For an anti-collocation group
+            the tuple holds the per-chunk demands (one chunk per vCPU /
+            per virtual disk), each of which must land on a *distinct*
+            unit of the group; for a scalar group it holds a single value.
+            Chunks are stored sorted non-decreasingly (they are permutable
+            anyway).
+    """
+
+    name: str
+    demands: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.demands) > 0, f"VM type {self.name!r} has no demands")
+        for chunk_set in self.demands:
+            require(
+                all(isinstance(c, int) and c >= 0 for c in chunk_set),
+                f"VM type {self.name!r} demands must be non-negative ints",
+            )
+        # Normalize chunk order so that equal demands compare equal.
+        object.__setattr__(
+            self, "demands", tuple(tuple(sorted(cs)) for cs in self.demands)
+        )
+
+    def group_demand(self, group_idx: int) -> Tuple[int, ...]:
+        """Demand chunks for the given shape group (zeros filtered out)."""
+        return tuple(c for c in self.demands[group_idx] if c > 0)
+
+    def total_units(self) -> int:
+        """Total demanded fixed-point units across all dimensions."""
+        return sum(sum(cs) for cs in self.demands)
+
+    def compatible_with(self, shape: MachineShape) -> bool:
+        """True when group counts line up and chunks can ever fit.
+
+        A VM is compatible when, for every group, the number of non-zero
+        chunks does not exceed the number of units (anti-collocation needs
+        distinct units) and every chunk fits in some unit capacity.
+        """
+        if len(self.demands) != shape.n_groups:
+            return False
+        for group, chunk_set in zip(shape.groups, self.demands):
+            chunks = [c for c in chunk_set if c > 0]
+            if group.anti_collocation:
+                if len(chunks) > group.n_units:
+                    return False
+                # Largest chunks must fit in the largest units (Hall).
+                biggest = sorted(group.capacities, reverse=True)
+                for chunk, cap in zip(sorted(chunks, reverse=True), biggest):
+                    if chunk > cap:
+                        return False
+            else:
+                if sum(chunks) > group.capacities[0]:
+                    return False
+        return True
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A canonical PM resource-usage profile (a node of the profile graph).
+
+    Wraps the usage tuple; construction via :meth:`Profile.of` enforces
+    canonical form so two equal resource states always compare equal.
+    """
+
+    usage: Usage
+
+    @staticmethod
+    def of(shape: MachineShape, usage: Sequence[Sequence[int]]) -> "Profile":
+        """Validate, canonicalize and wrap ``usage`` for ``shape``."""
+        shape.validate_usage(usage)
+        return Profile(shape.canonicalize(usage))
+
+    @staticmethod
+    def empty(shape: MachineShape) -> "Profile":
+        """The all-zero profile."""
+        return Profile(shape.empty_usage())
+
+    @staticmethod
+    def full(shape: MachineShape) -> "Profile":
+        """The best profile (full usage in every dimension)."""
+        return Profile(shape.full_usage())
+
+    @property
+    def flat(self) -> Tuple[int, ...]:
+        """The profile flattened to the paper's ``[p_1, ..., p_m]`` form."""
+        return tuple(u for group in self.usage for u in group)
+
+    def total_units(self) -> int:
+        """Total used fixed-point units (monotone under VM addition)."""
+        return sum(sum(group) for group in self.usage)
+
+    def is_empty(self) -> bool:
+        """True when no resource is used."""
+        return all(u == 0 for group in self.usage for u in group)
+
+    def __str__(self) -> str:
+        groups = ", ".join("[" + ",".join(map(str, g)) + "]" for g in self.usage)
+        return f"Profile({groups})"
+
+
+def iter_all_profiles(shape: MachineShape) -> Iterable[Profile]:
+    """Yield every canonical profile of ``shape`` (full lattice).
+
+    Only sensible for toy shapes (the paper's [4,4,4,4] world has 5^4
+    lattice points, 70 canonical ones); EC2-scale shapes should use the
+    reachable-set BFS in :mod:`repro.core.graph` instead.
+    """
+    def group_choices(group: ResourceGroup) -> Iterable[GroupUsage]:
+        def rec(idx: int, prefix: Tuple[int, ...], floor: int) -> Iterable[GroupUsage]:
+            if idx == group.n_units:
+                yield prefix
+                return
+            cap = group.capacities[idx]
+            # Canonical: non-decreasing within runs of equal capacity.
+            start = floor if idx > 0 and cap == group.capacities[idx - 1] else 0
+            for used in range(start, cap + 1):
+                yield from rec(idx + 1, prefix + (used,), used)
+        return rec(0, (), 0)
+
+    def rec_groups(gi: int, prefix: Usage) -> Iterable[Profile]:
+        if gi == shape.n_groups:
+            yield Profile(prefix)
+            return
+        for choice in group_choices(shape.groups[gi]):
+            yield from rec_groups(gi + 1, prefix + (choice,))
+
+    yield from rec_groups(0, ())
+
+
+def count_all_profiles(shape: MachineShape) -> int:
+    """Number of canonical profiles in the full lattice of ``shape``.
+
+    Uses the stars-and-bars closed form per uniform group run, avoiding
+    enumeration.
+    """
+    total = 1
+    for group in shape.groups:
+        start = 0
+        caps = group.capacities
+        while start < len(caps):
+            end = start
+            while end < len(caps) and caps[end] == caps[start]:
+                end += 1
+            run = end - start
+            cap = caps[start]
+            # Multisets of size `run` from {0..cap}: C(cap + run, run).
+            total *= math.comb(cap + run, run)
+            start = end
+    return total

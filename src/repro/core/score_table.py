@@ -1,0 +1,251 @@
+"""The Profile-PageRank score table (paper Section V.B, last paragraph).
+
+Algorithm 2 does not run PageRank online: it looks placements up in a
+precomputed table mapping every profile of the graph to its final
+(BPRU-discounted) score.  The table is stable for a given (PM shape,
+VM type set) pair — the paper notes it only needs rebuilding when the
+provider introduces many new VM types — so it supports JSON persistence.
+
+Profiles that fall outside the graph (possible after migrations remove a
+VM from a packing the successor strategy would not have produced) are
+scored by *snapping* to the nearest known profile in L1 distance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.graph import SuccessorStrategy, build_profile_graph
+from repro.core.pagerank import expected_final_utilization, profile_pagerank
+from repro.core.profile import MachineShape, Profile, ResourceGroup, Usage, VMType
+from repro.util.validation import ValidationError, require
+
+__all__ = ["ScoreTable", "build_score_table"]
+
+
+class ScoreTable:
+    """Mapping from canonical PM usage profiles to PageRank scores.
+
+    Args:
+        shape: the PM shape the scores belong to.
+        scores: canonical usage -> final score.
+        damping: damping factor used to build the table (metadata).
+        strategy: successor strategy used to build the table (metadata).
+    """
+
+    def __init__(
+        self,
+        shape: MachineShape,
+        scores: Dict[Usage, float],
+        damping: float = 0.85,
+        strategy: SuccessorStrategy = SuccessorStrategy.ALL_PLACEMENTS,
+        vote_direction: str = "forward",
+    ):
+        require(len(scores) > 0, "a score table needs at least one profile")
+        self.shape = shape
+        self.damping = damping
+        self.strategy = strategy
+        self.vote_direction = vote_direction
+        self._scores = dict(scores)
+        self._flat_matrix: Optional[np.ndarray] = None
+        self._flat_usages: Optional[List[Usage]] = None
+        self._snap_cache: Dict[Usage, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, usage: Usage) -> bool:
+        return usage in self._scores
+
+    def score(self, usage: Union[Usage, Profile]) -> Optional[float]:
+        """Exact score of a canonical usage, or None when unknown."""
+        if isinstance(usage, Profile):
+            usage = usage.usage
+        return self._scores.get(usage)
+
+    def score_or_snap(self, usage: Union[Usage, Profile]) -> float:
+        """Score of a canonical usage, snapping to the L1-nearest profile.
+
+        Ties in distance are broken toward the *lower*-scored neighbour so
+        snapping never optimistically inflates an off-graph profile.
+        """
+        if isinstance(usage, Profile):
+            usage = usage.usage
+        exact = self._scores.get(usage)
+        if exact is not None:
+            return exact
+        cached = self._snap_cache.get(usage)
+        if cached is not None:
+            return cached
+        matrix, usages = self._snap_structures()
+        flat = np.asarray([u for group in usage for u in group], dtype=float)
+        distances = np.abs(matrix - flat).sum(axis=1)
+        nearest = float(np.min(distances))
+        candidates = np.nonzero(distances == nearest)[0]
+        score = min(self._scores[usages[i]] for i in candidates)
+        self._snap_cache[usage] = score
+        return score
+
+    def _snap_structures(self) -> Tuple[np.ndarray, List[Usage]]:
+        if self._flat_matrix is None:
+            self._flat_usages = list(self._scores)
+            self._flat_matrix = np.asarray(
+                [[u for group in usage for u in group] for usage in self._flat_usages],
+                dtype=float,
+            )
+        return self._flat_matrix, self._flat_usages
+
+    def best_profile(self) -> Usage:
+        """The usage with the highest score in the table."""
+        return max(self._scores, key=self._scores.get)
+
+    def top(self, count: int) -> List[Tuple[Usage, float]]:
+        """The ``count`` best (usage, score) pairs, best first."""
+        ranked = sorted(self._scores.items(), key=lambda kv: -kv[1])
+        return ranked[:count]
+
+    def items(self) -> Iterable[Tuple[Usage, float]]:
+        """Iterate (canonical usage, score) pairs."""
+        return self._scores.items()
+
+    def __repr__(self) -> str:
+        return (
+            f"ScoreTable(profiles={len(self._scores)}, "
+            f"damping={self.damping}, strategy={self.strategy.value!r}, "
+            f"vote_direction={self.vote_direction!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the table to a JSON file."""
+        payload = {
+            "format": "repro.score_table.v1",
+            "damping": self.damping,
+            "strategy": self.strategy.value,
+            "vote_direction": self.vote_direction,
+            "shape": [
+                {
+                    "name": g.name,
+                    "capacities": list(g.capacities),
+                    "anti_collocation": g.anti_collocation,
+                }
+                for g in self.shape.groups
+            ],
+            "scores": [
+                {"usage": [list(g) for g in usage], "score": score}
+                for usage, score in self._scores.items()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "ScoreTable":
+        """Read a table previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != "repro.score_table.v1":
+            raise ValidationError(
+                f"unrecognized score table format in {path!s}: "
+                f"{payload.get('format')!r}"
+            )
+        shape = MachineShape(
+            groups=tuple(
+                ResourceGroup(
+                    name=g["name"],
+                    capacities=tuple(g["capacities"]),
+                    anti_collocation=g["anti_collocation"],
+                )
+                for g in payload["shape"]
+            )
+        )
+        scores = {
+            tuple(tuple(g) for g in entry["usage"]): float(entry["score"])
+            for entry in payload["scores"]
+        }
+        return ScoreTable(
+            shape=shape,
+            scores=scores,
+            damping=float(payload["damping"]),
+            strategy=SuccessorStrategy(payload["strategy"]),
+            vote_direction=payload.get("vote_direction", "forward"),
+        )
+
+
+def build_score_table(
+    shape: MachineShape,
+    vm_types: Sequence[VMType],
+    strategy: SuccessorStrategy = SuccessorStrategy.ALL_PLACEMENTS,
+    mode: str = "reachable",
+    damping: float = 0.85,
+    epsilon: float = 1e-10,
+    max_iterations: int = 10_000,
+    node_limit: int = 1_000_000,
+    vote_direction: str = "forward",
+    scoring: str = "pagerank",
+    graph=None,
+) -> ScoreTable:
+    """Build the graph, run the chosen scoring and return the score table.
+
+    This is the one-stop constructor most callers want; see
+    :func:`repro.core.graph.build_profile_graph` and
+    :func:`repro.core.pagerank.profile_pagerank` for the pieces.
+
+    Args:
+        scoring: ``"pagerank"`` (Algorithm 1: PageRank x BPRU, the
+            default), ``"pagerank-efu"`` (PageRank with the expected
+            final utilization as a *soft* BPRU), or
+            ``"expected-utilization"`` (the exact expected-terminal-
+            utilization DP on its own — the paper's stated semantic,
+            kept for ablations).  All other args are Algorithm 1 knobs.
+        graph: optionally a prebuilt :class:`ProfileGraph` for ``shape``
+            and ``vm_types``; sweeps over damping/scoring reuse one
+            graph this way instead of rebuilding it per variant.
+
+    Raises:
+        ValidationError: for an unknown ``scoring`` or a graph built for
+            a different shape.
+    """
+    if scoring not in ("pagerank", "pagerank-efu", "expected-utilization"):
+        raise ValidationError(
+            f"unknown scoring {scoring!r}; use 'pagerank', 'pagerank-efu' "
+            "or 'expected-utilization'"
+        )
+    if graph is None:
+        graph = build_profile_graph(
+            shape, vm_types, strategy=strategy, mode=mode, node_limit=node_limit
+        )
+    else:
+        require(
+            graph.shape == shape,
+            "the supplied graph was built for a different shape",
+        )
+        strategy = graph.strategy
+    if scoring == "expected-utilization":
+        values = expected_final_utilization(graph)
+    else:
+        result = profile_pagerank(
+            graph,
+            damping=damping,
+            epsilon=epsilon,
+            max_iterations=max_iterations,
+            vote_direction=vote_direction,
+        )
+        if scoring == "pagerank-efu":
+            values = result.raw * expected_final_utilization(graph)
+        else:
+            values = result.scores
+    scores = {
+        graph.profiles[i]: float(values[i]) for i in range(graph.n_nodes)
+    }
+    return ScoreTable(
+        shape=shape,
+        scores=scores,
+        damping=damping,
+        strategy=strategy,
+        vote_direction=vote_direction,
+    )

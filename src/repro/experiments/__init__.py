@@ -1,0 +1,71 @@
+"""Experiment harness: the paper's evaluation, reproducible end to end.
+
+* :mod:`repro.experiments.config` — experiment descriptions (workload
+  mix, datacenter composition, repetitions, simulator knobs).
+* :mod:`repro.experiments.workload` — VM request sampling and trace
+  pools.
+* :mod:`repro.experiments.tables` — score-table construction with
+  in-memory and on-disk caching (tables are shared across repetitions).
+* :mod:`repro.experiments.runner` — runs (policy x repetition) grids and
+  aggregates the paper's percentile statistics.
+* :mod:`repro.experiments.report` — renders figure-shaped text tables.
+* :mod:`repro.experiments.figures` — one entry point per paper figure.
+"""
+
+from repro.experiments.config import (
+    CPU_HEAVY_VM_MIX,
+    DEFAULT_DATACENTER,
+    DEFAULT_POLICIES,
+    DEFAULT_VM_MIX,
+    UNIFORM_VM_MIX,
+    ExperimentConfig,
+    WorkloadSpec,
+)
+from repro.experiments.workload import build_vms, make_trace_pool, sample_vm_types
+from repro.experiments.tables import score_tables_for
+from repro.experiments.runner import (
+    ExperimentResults,
+    make_policy_and_selector,
+    run_experiment,
+    run_single,
+)
+from repro.experiments.report import format_series
+from repro.experiments.figures import (
+    FigureResult,
+    simulation_suite,
+    figure3_pms_used,
+    figure5_energy,
+    figure6_migrations,
+    figure7_slo,
+    testbed_suite,
+    figure4_testbed,
+    figure8_testbed_slo,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "ExperimentConfig",
+    "DEFAULT_VM_MIX",
+    "UNIFORM_VM_MIX",
+    "CPU_HEAVY_VM_MIX",
+    "DEFAULT_DATACENTER",
+    "DEFAULT_POLICIES",
+    "sample_vm_types",
+    "make_trace_pool",
+    "build_vms",
+    "score_tables_for",
+    "make_policy_and_selector",
+    "run_single",
+    "run_experiment",
+    "ExperimentResults",
+    "format_series",
+    "FigureResult",
+    "simulation_suite",
+    "figure3_pms_used",
+    "figure5_energy",
+    "figure6_migrations",
+    "figure7_slo",
+    "testbed_suite",
+    "figure4_testbed",
+    "figure8_testbed_slo",
+]

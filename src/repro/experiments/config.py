@@ -1,0 +1,130 @@
+"""Experiment descriptions.
+
+The paper varies the number of VMs (1000-3000), the trace (PlanetLab /
+Google) and the algorithm; everything else — datacenter composition, VM
+mix, simulator knobs — is fixed per experiment.  An
+:class:`ExperimentConfig` captures one cell of that grid so a result is
+reproducible from the config plus a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+from repro.cluster.ec2 import EC2_PM_SPECS, EC2_VM_SPECS
+from repro.cluster.simulation import SimulationConfig
+from repro.util.validation import require
+
+__all__ = [
+    "WorkloadSpec",
+    "ExperimentConfig",
+    "DEFAULT_VM_MIX",
+    "UNIFORM_VM_MIX",
+    "CPU_HEAVY_VM_MIX",
+    "DEFAULT_DATACENTER",
+    "DEFAULT_POLICIES",
+]
+
+#: Uniform draw over the six Table I types (the paper "randomly chose").
+UNIFORM_VM_MIX: Tuple[Tuple[str, float], ...] = tuple(
+    (name, 1.0) for name in EC2_VM_SPECS
+)
+
+#: Ablation mix weighted toward the CPU-intensive types, which makes the
+#: CPU dimension (the one with anti-collocation structure) bind alongside
+#: memory and stresses per-core packing harder than the uniform draw.
+CPU_HEAVY_VM_MIX: Tuple[Tuple[str, float], ...] = (
+    ("m3.medium", 0.20),
+    ("m3.large", 0.05),
+    ("m3.xlarge", 0.05),
+    ("m3.2xlarge", 0.05),
+    ("c3.large", 0.35),
+    ("c3.xlarge", 0.30),
+)
+
+#: The paper's workload: VM types chosen uniformly at random.
+DEFAULT_VM_MIX: Tuple[Tuple[str, float], ...] = UNIFORM_VM_MIX
+
+#: Default datacenter: mostly M3 with a C3 minority, enough for 3000 VMs.
+DEFAULT_DATACENTER: Tuple[Tuple[str, int], ...] = (("M3", 800), ("C3", 200))
+
+#: The paper's four algorithms, in its reporting order.
+DEFAULT_POLICIES: Tuple[str, ...] = ("PageRankVM", "CompVM", "FFDSum", "FF")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the VMs look like: type mix and utilization trace family.
+
+    Attributes:
+        vm_mix: (Table I type name, weight) pairs; weights need not sum
+            to one.
+        trace: ``"planetlab"`` or ``"google"`` for the synthesizers, or
+            ``"constant"`` (always-full, worst case — used in tests).
+        trace_population: distinct synthetic traces VMs sample from.
+    """
+
+    vm_mix: Tuple[Tuple[str, float], ...] = DEFAULT_VM_MIX
+    trace: str = "planetlab"
+    trace_population: int = 1000
+
+    def __post_init__(self) -> None:
+        require(len(self.vm_mix) > 0, "vm_mix must not be empty")
+        for name, weight in self.vm_mix:
+            require(name in EC2_VM_SPECS, f"unknown VM type {name!r} in mix")
+            require(weight >= 0, f"negative weight for {name!r}")
+        require(
+            any(w > 0 for _, w in self.vm_mix),
+            "vm_mix needs at least one positive weight",
+        )
+        require(
+            self.trace in ("planetlab", "google", "constant"),
+            f"unknown trace family {self.trace!r}",
+        )
+        require(self.trace_population > 0, "trace_population must be positive")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One cell of the evaluation grid.
+
+    Attributes:
+        n_vms: how many VM requests to place.
+        datacenter: (PM type name, count) pairs.
+        workload: VM mix + trace family.
+        policies: algorithm names to compare (see
+            :func:`repro.experiments.runner.make_policy_and_selector`).
+        repetitions: independent repetitions (paper: 100).
+        seed: master seed; repetition ``r`` derives stream ``(seed, r)``.
+        sim: simulator knobs.
+        vote_direction: PageRank vote direction (see
+            :mod:`repro.core.pagerank`).
+        damping: PageRank damping factor.
+        scoring: score-table construction ("pagerank", "pagerank-efu" or
+            "expected-utilization").
+    """
+
+    n_vms: int = 1000
+    datacenter: Tuple[Tuple[str, int], ...] = DEFAULT_DATACENTER
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    policies: Tuple[str, ...] = DEFAULT_POLICIES
+    repetitions: int = 5
+    seed: int = 2018
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+    vote_direction: str = "forward"
+    damping: float = 0.85
+    scoring: str = "pagerank"
+
+    def __post_init__(self) -> None:
+        require(self.n_vms > 0, "n_vms must be positive")
+        require(len(self.datacenter) > 0, "datacenter must not be empty")
+        for name, count in self.datacenter:
+            require(name in EC2_PM_SPECS, f"unknown PM type {name!r}")
+            require(count >= 0, f"negative PM count for {name!r}")
+        require(self.repetitions > 0, "repetitions must be positive")
+        require(len(self.policies) > 0, "policies must not be empty")
+
+    def total_pms(self) -> int:
+        """Total PM count across types."""
+        return sum(count for _, count in self.datacenter)

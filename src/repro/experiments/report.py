@@ -1,0 +1,93 @@
+"""Text rendering of figure-shaped results.
+
+The paper's figures plot a metric against the number of VMs, one series
+per algorithm, with median and 1st/99th-percentile error bars.  These
+helpers print the same data as aligned text tables so a bench run reads
+like the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.util.stats import Percentiles
+
+__all__ = ["format_series", "format_catalog_table", "format_bars"]
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[Percentiles]],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render one figure as a text table.
+
+    Args:
+        title: figure caption.
+        x_label: x-axis label (e.g. "#VMs").
+        xs: x values, one per column.
+        series: policy name -> one :class:`Percentiles` per x value.
+        value_format: format applied to medians and percentiles.
+    """
+    def cell(stats: Percentiles) -> str:
+        med = value_format.format(stats.median)
+        lo = value_format.format(stats.p01)
+        hi = value_format.format(stats.p99)
+        return f"{med} [{lo},{hi}]"
+
+    header = [x_label] + [str(x) for x in xs]
+    rows: List[List[str]] = [header]
+    for name, stats_list in series.items():
+        rows.append([name] + [cell(s) for s in stats_list])
+
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [title]
+    for idx, row in enumerate(rows):
+        lines.append(
+            "  ".join(value.ljust(widths[i]) for i, value in enumerate(row))
+        )
+        if idx == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def format_bars(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 40,
+    value_format: str = "{:.1f}",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart.
+
+    Bars are scaled to the maximum value; a terminal-friendly way to eye
+    the figure orderings without a plotting stack.
+    """
+    if not values:
+        return title
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = [title]
+    for label, value in values.items():
+        length = int(round(width * (value / peak))) if peak > 0 else 0
+        bar = "#" * max(length, 0)
+        lines.append(
+            f"{label.ljust(label_width)}  {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def format_catalog_table(
+    title: str, header: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Render a static catalog table (Tables I-III)."""
+    str_rows = [[str(v) for v in row] for row in rows]
+    all_rows = [list(header)] + str_rows
+    widths = [max(len(r[i]) for r in all_rows) for i in range(len(header))]
+    lines = [title]
+    for idx, row in enumerate(all_rows):
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+        if idx == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Runs (policy x repetition) grids and aggregates percentile statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines import (
+    BestFitPolicy,
+    CompVMPolicy,
+    FFDSumPolicy,
+    FirstFitPolicy,
+    MinimumMigrationTimeSelector,
+)
+from repro.cluster.ec2 import EC2_VM_TYPES, build_ec2_datacenter, ec2_pm_shape
+from repro.cluster.simulation import CloudSimulation, SimulationResult
+from repro.core.graph import SuccessorStrategy
+from repro.core.migration import PageRankMigrationSelector
+from repro.core.placement import PageRankVMPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import score_tables_for
+from repro.experiments.workload import build_vms
+from repro.util.rng import RngFactory
+from repro.util.stats import Percentiles, summarize
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "POLICY_NAMES",
+    "make_policy_and_selector",
+    "run_single",
+    "run_experiment",
+    "ExperimentResults",
+]
+
+#: Metric name -> SimulationResult attribute.
+METRICS: Dict[str, str] = {
+    "pms_used": "pms_used_peak",
+    "pms_used_initial": "pms_used_initial",
+    "energy_kwh": "energy_kwh",
+    "migrations": "migrations",
+    "slo_violations": "slo_violation_rate",
+}
+
+POLICY_NAMES: Tuple[str, ...] = (
+    "PageRankVM",
+    "PageRankVM-2choice",
+    "CompVM",
+    "FFDSum",
+    "FF",
+    "BestFit",
+)
+
+
+def make_policy_and_selector(
+    name: str,
+    config: ExperimentConfig,
+    repetition: int = 0,
+):
+    """Instantiate a placement policy and its eviction selector.
+
+    PageRankVM variants share cached score tables and pair with the
+    PageRank eviction selector; baselines pair with CloudSim's default
+    minimum-migration-time selector, exactly as in the paper.
+
+    Raises:
+        ValidationError: for unknown policy names.
+    """
+    rng = RngFactory(config.seed).generator("policy", name, repetition)
+    if name in ("PageRankVM", "PageRankVM-2choice"):
+        shapes = [ec2_pm_shape(pm_name) for pm_name, _ in config.datacenter]
+        tables = score_tables_for(
+            shapes,
+            EC2_VM_TYPES,
+            strategy=SuccessorStrategy.BALANCED,
+            damping=config.damping,
+            vote_direction=config.vote_direction,
+            scoring=config.scoring,
+        )
+        pool = 2 if name.endswith("2choice") else None
+        policy = PageRankVMPolicy(tables, pool_size=pool, rng=rng)
+        return policy, PageRankMigrationSelector(tables)
+    if name == "CompVM":
+        return CompVMPolicy(), MinimumMigrationTimeSelector()
+    if name == "BestFit":
+        return BestFitPolicy(), MinimumMigrationTimeSelector()
+    if name == "FFDSum":
+        return FFDSumPolicy(), MinimumMigrationTimeSelector()
+    if name == "FF":
+        return FirstFitPolicy(), MinimumMigrationTimeSelector()
+    raise ValidationError(
+        f"unknown policy {name!r}; known: {sorted(POLICY_NAMES)}"
+    )
+
+
+def run_single(
+    config: ExperimentConfig, policy_name: str, repetition: int
+) -> SimulationResult:
+    """One (policy, repetition) simulation run."""
+    datacenter = build_ec2_datacenter(dict(config.datacenter))
+    policy, selector = make_policy_and_selector(policy_name, config, repetition)
+    vms = build_vms(config, repetition)
+    simulation = CloudSimulation(datacenter, policy, selector, config.sim)
+    return simulation.run(vms)
+
+
+@dataclass
+class ExperimentResults:
+    """All runs of one experiment, with percentile aggregation."""
+
+    config: ExperimentConfig
+    runs: Dict[str, List[SimulationResult]] = field(default_factory=dict)
+
+    def metric_values(self, policy: str, metric: str) -> List[float]:
+        """Raw per-repetition values of a metric for a policy."""
+        attribute = METRICS.get(metric, metric)
+        return [getattr(r, attribute) for r in self.runs[policy]]
+
+    def summarize(self, metric: str) -> Dict[str, Percentiles]:
+        """Median and 1st/99th percentiles per policy (paper's stats)."""
+        return {
+            policy: summarize(self.metric_values(policy, metric))
+            for policy in self.runs
+        }
+
+    def ordering(self, metric: str) -> List[str]:
+        """Policies sorted by median metric, best (lowest) first."""
+        medians = {
+            policy: stats.median for policy, stats in self.summarize(metric).items()
+        }
+        return sorted(medians, key=medians.get)
+
+    def compare(self, metric: str, policy_a: str, policy_b: str):
+        """Paired significance test between two policies on a metric.
+
+        Valid because every repetition's workload is identical across
+        policies (see :func:`repro.experiments.workload.build_vms`).
+        """
+        from repro.util.stats import paired_comparison
+
+        return paired_comparison(
+            self.metric_values(policy_a, metric),
+            self.metric_values(policy_b, metric),
+        )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResults:
+    """Run every configured policy over every repetition."""
+    results = ExperimentResults(config=config)
+    for policy_name in config.policies:
+        results.runs[policy_name] = [
+            run_single(config, policy_name, rep)
+            for rep in range(config.repetitions)
+        ]
+    return results

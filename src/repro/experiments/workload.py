@@ -1,0 +1,131 @@
+"""Workload construction: VM requests plus their utilization traces.
+
+Two workload shapes:
+
+* :func:`build_vms` — the paper's setting: one batch of requests placed
+  at time zero.
+* :func:`build_dynamic_workload` — the general cloud setting: Poisson
+  arrivals with exponential lifetimes, consumed by
+  :class:`repro.cluster.simulation.DynamicSimulation`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.cluster.ec2 import ec2_vm_type
+from repro.cluster.simulation import WorkloadEvent
+from repro.cluster.vm import VirtualMachine
+from repro.core.profile import VMType
+from repro.experiments.config import ExperimentConfig, WorkloadSpec
+from repro.traces import (
+    ConstantTrace,
+    GoogleClusterSynthesizer,
+    PlanetLabSynthesizer,
+    TracePool,
+)
+from repro.util.rng import RngFactory
+from repro.util.validation import require
+
+__all__ = [
+    "sample_vm_types",
+    "make_trace_pool",
+    "build_vms",
+    "build_dynamic_workload",
+]
+
+
+def sample_vm_types(
+    rng: np.random.Generator, count: int, spec: WorkloadSpec
+) -> List[VMType]:
+    """Draw ``count`` VM types from the spec's weighted mix."""
+    names = [name for name, _ in spec.vm_mix]
+    weights = np.asarray([w for _, w in spec.vm_mix], dtype=float)
+    weights = weights / weights.sum()
+    picks = rng.choice(len(names), size=count, p=weights)
+    return [ec2_vm_type(names[i]) for i in picks]
+
+
+class _ConstantSource:
+    """Index-addressed source of always-full traces (worst case)."""
+
+    def trace(self, index: int) -> ConstantTrace:
+        return ConstantTrace(1.0)
+
+
+def make_trace_pool(spec: WorkloadSpec, rngs: RngFactory) -> TracePool:
+    """A trace pool for the spec's trace family, seeded from ``rngs``."""
+    assignment_rng = rngs.generator("trace-assignment")
+    if spec.trace == "planetlab":
+        source = PlanetLabSynthesizer(rngs.spawn("planetlab"))
+    elif spec.trace == "google":
+        source = GoogleClusterSynthesizer(rngs.spawn("google"))
+    else:
+        source = _ConstantSource()
+    return TracePool(source, assignment_rng, population=spec.trace_population)
+
+
+def build_vms(config: ExperimentConfig, repetition: int) -> List[VirtualMachine]:
+    """The VM request batch for one repetition of an experiment.
+
+    Types and traces are sampled from streams derived from
+    ``(config.seed, repetition)``, so every policy in a repetition sees
+    the *same* workload (paired comparison) while repetitions differ.
+    """
+    rngs = RngFactory(config.seed).spawn("rep", repetition)
+    types = sample_vm_types(rngs.generator("vm-types"), config.n_vms, config.workload)
+    pool = make_trace_pool(config.workload, rngs)
+    return [
+        VirtualMachine(vm_id=i, vm_type=vm_type, trace=pool.sample())
+        for i, vm_type in enumerate(types)
+    ]
+
+
+def build_dynamic_workload(
+    config: ExperimentConfig,
+    repetition: int,
+    horizon_s: float = 86_400.0,
+    mean_interarrival_s: float = 120.0,
+    mean_lifetime_s: float = 4 * 3600.0,
+) -> List[WorkloadEvent]:
+    """A Poisson-arrival, exponential-lifetime stream of ``n_vms`` events.
+
+    Types and traces are drawn exactly as in :func:`build_vms` (so the
+    static and dynamic settings are comparable); arrival times beyond
+    ``horizon_s`` are clipped to it by construction of the process.
+
+    Args:
+        config: the experiment cell (``n_vms`` caps the event count).
+        repetition: repetition index (seeds the streams).
+        horizon_s: the simulation horizon arrivals must fall within.
+        mean_interarrival_s: mean gap between consecutive arrivals.
+        mean_lifetime_s: mean VM lifetime.
+    """
+    require(horizon_s > 0, "horizon_s must be positive")
+    require(mean_interarrival_s > 0, "mean_interarrival_s must be positive")
+    require(mean_lifetime_s > 0, "mean_lifetime_s must be positive")
+
+    rngs = RngFactory(config.seed).spawn("dyn", repetition)
+    types = sample_vm_types(rngs.generator("vm-types"), config.n_vms, config.workload)
+    pool = make_trace_pool(config.workload, rngs)
+    arrival_rng = rngs.generator("arrivals")
+    lifetime_rng = rngs.generator("lifetimes")
+
+    events: List[WorkloadEvent] = []
+    clock = 0.0
+    for i, vm_type in enumerate(types):
+        clock += float(arrival_rng.exponential(mean_interarrival_s))
+        if clock > horizon_s:
+            break
+        lifetime = float(lifetime_rng.exponential(mean_lifetime_s))
+        departure = clock + lifetime
+        events.append(
+            WorkloadEvent(
+                arrival_s=clock,
+                vm=VirtualMachine(vm_id=i, vm_type=vm_type, trace=pool.sample()),
+                departure_s=departure if departure <= horizon_s else None,
+            )
+        )
+    return events

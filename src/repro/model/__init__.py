@@ -1,0 +1,26 @@
+"""The paper's analytic model (Section IV) and an exact solver.
+
+* :mod:`repro.model.analytic` — the MIP formulation: instances,
+  solutions, and a checker for constraints (1)-(10) plus the objective
+  (11).
+* :mod:`repro.model.branch_bound` — a branch-and-bound solver that finds
+  the minimum-cost assignment on small instances, used to measure the
+  optimality gap of the heuristics.
+"""
+
+from repro.model.analytic import (
+    PlacementInstance,
+    PlacementSolution,
+    solution_from_policy,
+    verify_constraints,
+)
+from repro.model.branch_bound import BranchAndBound, SolverResult
+
+__all__ = [
+    "PlacementInstance",
+    "PlacementSolution",
+    "verify_constraints",
+    "solution_from_policy",
+    "BranchAndBound",
+    "SolverResult",
+]

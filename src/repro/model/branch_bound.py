@@ -1,0 +1,224 @@
+"""Branch-and-bound exact solver for small placement instances.
+
+The paper notes that the exact MIP is solvable only for small instances;
+this solver makes that concrete.  It performs depth-first search over
+per-VM decisions (which PM, which canonically-distinct accommodation),
+with three standard prunings:
+
+* **cost bound** — a node is cut when its open-PM cost plus an
+  admissible lower bound on the cost of PMs still to open cannot beat
+  the incumbent;
+* **machine symmetry** — among *empty* PMs of identical shape and cost,
+  only the lowest-index one is branched on;
+* **VM ordering** — VMs are processed largest-demand-first, which
+  tightens the bound early.
+
+A node budget bounds the search; the result records whether the proof of
+optimality completed (``optimal``) or the best incumbent is returned
+(``optimal=False``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import permutations
+from repro.core.profile import MachineShape, Usage, VMType
+from repro.model.analytic import PlacementInstance, PlacementSolution
+from repro.util.validation import require
+
+__all__ = ["SolverResult", "BranchAndBound"]
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a branch-and-bound run."""
+
+    solution: Optional[PlacementSolution]
+    cost: float
+    optimal: bool
+    nodes_explored: int
+
+    @property
+    def feasible(self) -> bool:
+        """True when any assignment was found."""
+        return self.solution is not None
+
+
+class BranchAndBound:
+    """Exact minimum-cost placement for small instances.
+
+    Args:
+        node_budget: maximum search nodes before giving up on the proof
+            of optimality (the incumbent found so far is still returned).
+    """
+
+    def __init__(self, node_budget: int = 200_000):
+        require(node_budget > 0, "node_budget must be positive")
+        self._budget = node_budget
+
+    def solve(self, instance: PlacementInstance) -> SolverResult:
+        """Find the cheapest feasible assignment of the instance."""
+        n_vms = len(instance.vms)
+        # Largest-demand-first tightens bounds early.
+        order = sorted(
+            range(n_vms), key=lambda i: -instance.vms[i].total_units()
+        )
+        pm_shapes = list(instance.pms)
+        usages: List[Usage] = [shape.empty_usage() for shape in pm_shapes]
+        used = [False] * len(pm_shapes)
+
+        # Admissible bound ingredient: the largest per-dimension-group
+        # capacity any single PM offers, per group name.
+        best_group_capacity: Dict[str, int] = {}
+        for shape in pm_shapes:
+            for group in shape.groups:
+                cap = group.total_capacity
+                if cap > best_group_capacity.get(group.name, 0):
+                    best_group_capacity[group.name] = cap
+        min_cost = min(instance.cost_of(j) for j in range(len(pm_shapes)))
+
+        # Suffix demand totals per group name for the VM order.
+        suffix: List[Dict[str, int]] = [dict() for _ in range(n_vms + 1)]
+        for pos in range(n_vms - 1, -1, -1):
+            vm = instance.vms[order[pos]]
+            totals = dict(suffix[pos + 1])
+            for gi, chunk_set in enumerate(vm.demands):
+                # Group names align across shapes in well-formed instances;
+                # fall back to positional names otherwise.
+                name = self._group_name(pm_shapes[0], gi)
+                totals[name] = totals.get(name, 0) + sum(chunk_set)
+            suffix[pos] = totals
+
+        state = _SearchState(
+            instance=instance,
+            order=order,
+            usages=usages,
+            used=used,
+            suffix=suffix,
+            best_group_capacity=best_group_capacity,
+            min_cost=min_cost,
+            budget=self._budget,
+        )
+        state.search(0, 0.0, [None] * n_vms)
+        solution = None
+        if state.best_assignment is not None:
+            solution = PlacementSolution(
+                assignments=tuple(state.best_assignment)
+            )
+        return SolverResult(
+            solution=solution,
+            cost=state.best_cost if solution is not None else math.inf,
+            optimal=not state.budget_exhausted,
+            nodes_explored=state.nodes,
+        )
+
+    @staticmethod
+    def _group_name(shape: MachineShape, index: int) -> str:
+        if index < shape.n_groups:
+            return shape.groups[index].name
+        return f"group{index}"
+
+
+class _SearchState:
+    """Mutable DFS state (kept off the public API)."""
+
+    def __init__(
+        self,
+        instance: PlacementInstance,
+        order: List[int],
+        usages: List[Usage],
+        used: List[bool],
+        suffix: List[Dict[str, int]],
+        best_group_capacity: Dict[str, int],
+        min_cost: float,
+        budget: int,
+    ):
+        self.instance = instance
+        self.order = order
+        self.usages = usages
+        self.used = used
+        self.suffix = suffix
+        self.best_group_capacity = best_group_capacity
+        self.min_cost = min_cost
+        self.budget = budget
+        self.nodes = 0
+        self.budget_exhausted = False
+        self.best_cost = math.inf
+        self.best_assignment: Optional[List] = None
+
+    # ------------------------------------------------------------------
+    def lower_bound(self, position: int, open_cost: float) -> float:
+        """Admissible bound: cost so far + PMs the remaining demand forces.
+
+        For each resource group, the remaining total demand beyond the
+        free capacity of currently-open PMs must be absorbed by new PMs,
+        each offering at most the best single-PM group capacity, and each
+        costing at least the cheapest PM.
+        """
+        extra_pms = 0
+        for name, remaining in self.suffix[position].items():
+            if remaining == 0:
+                continue
+            free = 0
+            for j, shape in enumerate(self.instance.pms):
+                if not self.used[j]:
+                    continue
+                for gi, group in enumerate(shape.groups):
+                    if group.name == name:
+                        free += group.total_capacity - sum(self.usages[j][gi])
+            deficit = remaining - free
+            if deficit > 0:
+                per_pm = self.best_group_capacity.get(name, 0)
+                if per_pm <= 0:
+                    return math.inf
+                extra_pms = max(extra_pms, math.ceil(deficit / per_pm))
+        return open_cost + extra_pms * self.min_cost
+
+    def search(self, position: int, open_cost: float, assignment: List) -> None:
+        if self.nodes >= self.budget:
+            self.budget_exhausted = True
+            return
+        self.nodes += 1
+        if open_cost >= self.best_cost:
+            return
+        if position == len(self.order):
+            self.best_cost = open_cost
+            self.best_assignment = list(assignment)
+            return
+        if self.lower_bound(position, open_cost) >= self.best_cost:
+            return
+
+        vm_index = self.order[position]
+        vm = self.instance.vms[vm_index]
+
+        seen_empty_signatures = set()
+        for j, shape in enumerate(self.instance.pms):
+            if not self.used[j]:
+                signature = (shape, self.instance.cost_of(j))
+                if signature in seen_empty_signatures:
+                    continue  # machine symmetry pruning
+                seen_empty_signatures.add(signature)
+            added_cost = 0.0 if self.used[j] else self.instance.cost_of(j)
+            if open_cost + added_cost >= self.best_cost:
+                continue
+            for placement in permutations.enumerate_placements(
+                shape, self.usages[j], vm
+            ):
+                old_usage = self.usages[j]
+                old_used = self.used[j]
+                # Track REAL unit usage: Placement.new_usage is canonical
+                # and would scramble unit identity across placements.
+                self.usages[j] = permutations.apply_assignments(
+                    old_usage, placement.assignments
+                )
+                self.used[j] = True
+                assignment[vm_index] = (j, placement)
+                self.search(position + 1, open_cost + added_cost, assignment)
+                assignment[vm_index] = None
+                self.usages[j] = old_usage
+                self.used[j] = old_used
+                if self.budget_exhausted:
+                    return

@@ -1,0 +1,31 @@
+"""Network substrate — the paper's stated future work, implemented.
+
+Section VII: "In the future, we will explore incorporating network
+infrastructure in designing PageRankVM in order to achieve bandwidth
+efficiency for the VM placement problem."  This package provides that
+exploration:
+
+* :mod:`repro.network.topology` — a classic three-tier tree datacenter
+  network (PMs under top-of-rack switches, racks under aggregation pods,
+  pods under a core), with hop distances and per-tier link accounting;
+* :mod:`repro.network.traffic` — pairwise VM-to-VM traffic matrices and
+  a tenant-structured generator (VMs of one tenant talk to each other);
+* :mod:`repro.network.cost` — bandwidth-efficiency metrics of a
+  placement: hop-weighted traffic volume and per-tier link loads;
+* :mod:`repro.network.aware` — ``NetworkAwarePageRankVM``: Algorithm 2
+  with the Profile-PageRank score blended with a traffic-locality term.
+"""
+
+from repro.network.topology import TreeTopology
+from repro.network.traffic import TrafficMatrix, tenant_traffic
+from repro.network.cost import PlacementNetworkCost, evaluate_network_cost
+from repro.network.aware import NetworkAwarePageRankVM
+
+__all__ = [
+    "TreeTopology",
+    "TrafficMatrix",
+    "tenant_traffic",
+    "PlacementNetworkCost",
+    "evaluate_network_cost",
+    "NetworkAwarePageRankVM",
+]

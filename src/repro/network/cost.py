@@ -1,0 +1,72 @@
+"""Bandwidth-efficiency metrics of a placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.network.topology import TreeTopology
+from repro.network.traffic import TrafficMatrix
+
+__all__ = ["PlacementNetworkCost", "evaluate_network_cost"]
+
+
+@dataclass(frozen=True)
+class PlacementNetworkCost:
+    """How much network a placement consumes.
+
+    Attributes:
+        hop_weighted_traffic: sum over VM pairs of rate x hop count — the
+            primary bandwidth-efficiency objective (lower is better).
+        tier_loads: traffic volume crossing each tree tier.
+        localized_fraction: share of total traffic that never leaves a
+            rack (collocated or ToR-local).
+        unplaced_pairs: VM pairs with traffic where at least one VM is
+            unplaced (excluded from the cost).
+    """
+
+    hop_weighted_traffic: float
+    tier_loads: Dict[str, float]
+    localized_fraction: float
+    unplaced_pairs: int
+
+    def __str__(self) -> str:
+        return (
+            f"NetworkCost(hop-traffic={self.hop_weighted_traffic:.0f}, "
+            f"local={100 * self.localized_fraction:.0f}%, "
+            f"core={self.tier_loads.get('core', 0.0):.0f})"
+        )
+
+
+def evaluate_network_cost(
+    topology: TreeTopology,
+    traffic: TrafficMatrix,
+    locations: Mapping[int, Optional[int]],
+) -> PlacementNetworkCost:
+    """Evaluate a placement's bandwidth efficiency.
+
+    Args:
+        topology: the datacenter tree.
+        traffic: pairwise VM traffic.
+        locations: VM id -> PM id (None / missing = unplaced).
+    """
+    flows = []
+    hop_weighted = 0.0
+    unplaced = 0
+    for vm_a, vm_b, rate in traffic.pairs():
+        pm_a = locations.get(vm_a)
+        pm_b = locations.get(vm_b)
+        if pm_a is None or pm_b is None:
+            unplaced += 1
+            continue
+        flows.append((pm_a, pm_b, rate))
+        hop_weighted += rate * topology.hops(pm_a, pm_b)
+    tier_loads = topology.link_loads(flows)
+    total = sum(tier_loads.values())
+    local = tier_loads["pm"] + tier_loads["rack"]
+    return PlacementNetworkCost(
+        hop_weighted_traffic=hop_weighted,
+        tier_loads=tier_loads,
+        localized_fraction=(local / total) if total > 0 else 1.0,
+        unplaced_pairs=unplaced,
+    )

@@ -1,0 +1,115 @@
+"""A three-tier tree datacenter network.
+
+PMs sit under top-of-rack (ToR) switches, racks group into pods under
+aggregation switches, and pods meet at a core switch — the classic
+topology network-aware placement papers (and the paper's related work
+[7]) assume.  Traffic between two VMs traverses:
+
+* 0 hops when collocated on one PM;
+* 2 hops (up to the ToR and back) within a rack;
+* 4 hops (via aggregation) within a pod;
+* 6 hops (via the core) across pods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.validation import require
+
+__all__ = ["TreeTopology"]
+
+#: Hop counts per locality tier (same PM, rack, pod, core).
+_HOPS = {"pm": 0, "rack": 2, "pod": 4, "core": 6}
+
+
+@dataclass(frozen=True)
+class TreeTopology:
+    """Maps PM ids onto a rack/pod tree by arithmetic on their index.
+
+    Args:
+        n_pms: number of PMs (ids ``0..n_pms-1``).
+        pms_per_rack: PMs under one ToR switch.
+        racks_per_pod: racks under one aggregation switch.
+    """
+
+    n_pms: int
+    pms_per_rack: int = 8
+    racks_per_pod: int = 4
+
+    def __post_init__(self) -> None:
+        require(self.n_pms > 0, "n_pms must be positive")
+        require(self.pms_per_rack > 0, "pms_per_rack must be positive")
+        require(self.racks_per_pod > 0, "racks_per_pod must be positive")
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def rack_of(self, pm_id: int) -> int:
+        """Rack index of a PM.
+
+        Raises:
+            ValueError: for ids outside the fleet.
+        """
+        self._check(pm_id)
+        return pm_id // self.pms_per_rack
+
+    def pod_of(self, pm_id: int) -> int:
+        """Pod index of a PM."""
+        return self.rack_of(pm_id) // self.racks_per_pod
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks in the fleet."""
+        return (self.n_pms + self.pms_per_rack - 1) // self.pms_per_rack
+
+    @property
+    def n_pods(self) -> int:
+        """Number of pods in the fleet."""
+        return (self.n_racks + self.racks_per_pod - 1) // self.racks_per_pod
+
+    def _check(self, pm_id: int) -> None:
+        if not 0 <= pm_id < self.n_pms:
+            raise ValueError(f"PM id {pm_id} outside fleet of {self.n_pms}")
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def tier(self, pm_a: int, pm_b: int) -> str:
+        """The locality tier two PMs share ("pm"/"rack"/"pod"/"core")."""
+        self._check(pm_a)
+        self._check(pm_b)
+        if pm_a == pm_b:
+            return "pm"
+        if self.rack_of(pm_a) == self.rack_of(pm_b):
+            return "rack"
+        if self.pod_of(pm_a) == self.pod_of(pm_b):
+            return "pod"
+        return "core"
+
+    def hops(self, pm_a: int, pm_b: int) -> int:
+        """Switch hops traffic between two PMs traverses."""
+        return _HOPS[self.tier(pm_a, pm_b)]
+
+    # ------------------------------------------------------------------
+    # Link accounting
+    # ------------------------------------------------------------------
+    def link_loads(
+        self, flows: List[Tuple[int, int, float]]
+    ) -> Dict[str, float]:
+        """Aggregate traffic volume crossing each tier of the tree.
+
+        Args:
+            flows: (pm_a, pm_b, rate) triples.
+
+        Returns:
+            Volume crossing ToR uplinks ("rack"), aggregation uplinks
+            ("pod") and the core ("core"); collocated traffic appears
+            under "pm" for completeness.
+        """
+        loads = {"pm": 0.0, "rack": 0.0, "pod": 0.0, "core": 0.0}
+        for pm_a, pm_b, rate in flows:
+            require(rate >= 0, f"negative flow rate {rate}")
+            loads[self.tier(pm_a, pm_b)] += rate
+        return loads

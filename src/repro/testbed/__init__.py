@@ -1,0 +1,33 @@
+"""GENI testbed emulation (paper Section VI.A, testbed setup).
+
+The paper could not virtualize GENI machines, so it *emulated* VM
+placement by running jobs on VM instances: instances play PMs, jobs play
+VMs, and a centralized controller assigns jobs and kills/restarts them
+on other instances when one overloads.  This package emulates that
+emulation with identical control flow: 10 four-core instances (each core
+hosting 4 vCPU slots), a controller polling utilization every 10 s over
+a 4-hour run, Google-trace-driven job load, and kill+restart "migration"
+with a service-interruption cost.
+"""
+
+from repro.testbed.instance import geni_instance_shape, make_instances
+from repro.testbed.job import JOB_2VCPU, JOB_4VCPU, JOB_TYPES, make_jobs
+from repro.testbed.controller import CentralizedController
+from repro.testbed.experiment import (
+    TestbedConfig,
+    TestbedExperiment,
+    TestbedResult,
+)
+
+__all__ = [
+    "geni_instance_shape",
+    "make_instances",
+    "JOB_2VCPU",
+    "JOB_4VCPU",
+    "JOB_TYPES",
+    "make_jobs",
+    "CentralizedController",
+    "TestbedConfig",
+    "TestbedExperiment",
+    "TestbedResult",
+]

@@ -1,0 +1,129 @@
+"""The centralized controller that assigns jobs and handles overloads.
+
+Mirrors the paper's GENI controller: it polls the utilization of every
+instance on a fixed heartbeat; when an instance exceeds the overload
+threshold it selects a job (via the configured eviction selector), kills
+it, and restarts it on the instance chosen by the placement policy.
+Unlike live migration, kill+restart interrupts service — the controller
+tracks the accumulated interruption time as an extra testbed metric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.monitor import UtilizationMonitor
+from repro.cluster.slo import SLOTracker
+from repro.cluster.vm import VirtualMachine
+from repro.core.policy import PlacementPolicy
+from repro.util.validation import require
+
+__all__ = ["CentralizedController"]
+
+
+class CentralizedController:
+    """Assigns jobs to instances and relieves overloaded instances.
+
+    Args:
+        datacenter: the instance fleet (as a :class:`Datacenter`).
+        policy: placement policy deciding destinations.
+        victim_selector: which job to kill on an overloaded instance.
+        overload_threshold: utilization above which an instance sheds
+            jobs (paper: 0.9).
+        restart_latency_s: service interruption per kill+restart.
+        slo_threshold: utilization counting as an SLO violation.
+        burst_factor: how far a vCPU slot bursts beyond its reservation
+            (4.0 = a quarter-core slot can use the whole core).
+    """
+
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        policy: PlacementPolicy,
+        victim_selector,
+        overload_threshold: float = 0.9,
+        restart_latency_s: float = 10.0,
+        slo_threshold: float = 1.0,
+        burst_factor: float = 4.0,
+    ):
+        require(restart_latency_s >= 0, "restart_latency_s must be non-negative")
+        self._dc = datacenter
+        self._policy = policy
+        self._selector = victim_selector
+        self._burst = burst_factor
+        self._monitor = UtilizationMonitor(overload_threshold, burst_model=burst_factor)
+        self._slo = SLOTracker(slo_threshold)
+        self._restart_latency = restart_latency_s
+        self.migrations = 0
+        self.failed_migrations = 0
+        self.overload_events = 0
+        self.interruption_seconds = 0.0
+        self.unassigned_jobs = 0
+
+    @property
+    def datacenter(self) -> Datacenter:
+        """The controlled instance fleet."""
+        return self._dc
+
+    @property
+    def slo(self) -> SLOTracker:
+        """SLO accounting across the fleet."""
+        return self._slo
+
+    # ------------------------------------------------------------------
+    # Job assignment
+    # ------------------------------------------------------------------
+    def assign_all(self, jobs: Sequence[VirtualMachine]) -> int:
+        """Assign a batch of jobs; returns how many were placed."""
+        placed = 0
+        for job in self._policy.order_vms(list(jobs)):
+            decision = self._policy.select(job.vm_type, self._dc.machines)
+            if decision is None:
+                self.unassigned_jobs += 1
+                continue
+            self._dc.apply(job, decision, time_s=0.0)
+            placed += 1
+        return placed
+
+    # ------------------------------------------------------------------
+    # Heartbeat
+    # ------------------------------------------------------------------
+    def poll(self, time_s: float, dt_s: float) -> None:
+        """One heartbeat: record SLO, detect and relieve overloads."""
+        snapshots = self._monitor.snapshot(self._dc.machines, time_s)
+        for snap in snapshots:
+            self._slo.record(snap.cpu_utilization, dt_s, active=snap.active)
+        for snap in self._monitor.overloaded(snapshots):
+            self.overload_events += 1
+            self._relieve(snap.machine, time_s)
+
+    def _relieve(self, instance: PhysicalMachine, time_s: float) -> None:
+        threshold = self._monitor.overload_threshold
+        while (
+            instance.is_used
+            and instance.actual_cpu_utilization(time_s, self._burst) > threshold
+        ):
+            victim = self._selector.select_victim(
+                instance.shape, instance.usage, instance.allocations
+            )
+            if victim is None:
+                break
+            candidates = self._candidates(instance, time_s)
+            decision = self._policy.select(victim.vm_type, candidates)
+            if decision is None:
+                self.failed_migrations += 1
+                break
+            # Kill on the source, restart on the destination.
+            self._dc.migrate(victim.vm_id, decision, time_s)
+            self.migrations += 1
+            self.interruption_seconds += self._restart_latency
+
+    def _candidates(
+        self, source: PhysicalMachine, time_s: float
+    ) -> List[PhysicalMachine]:
+        # As in the simulation, destinations are chosen purely by the
+        # placement policy — no global hot-PM filter (see the paper's
+        # migration description in Section VI.A).
+        return [m for m in self._dc.machines if m.pm_id != source.pm_id]

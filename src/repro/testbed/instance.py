@@ -1,0 +1,42 @@
+"""GENI instances: the machines that play PMs in the testbed.
+
+Per the paper: 4 CPU cores per instance, each core hosting up to 4 vCPU
+slots; CPU is the only resource considered, and the 4 cores form a
+4-dimensional anti-collocation vector.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.machine import PhysicalMachine
+from repro.core.profile import MachineShape, ResourceGroup
+from repro.util.validation import require
+
+__all__ = ["geni_instance_shape", "make_instances"]
+
+
+def geni_instance_shape(n_cores: int = 4, slots_per_core: int = 4) -> MachineShape:
+    """The CPU-only instance shape (units are vCPU slots)."""
+    require(n_cores > 0, "n_cores must be positive")
+    require(slots_per_core > 0, "slots_per_core must be positive")
+    return MachineShape(
+        groups=(
+            ResourceGroup(
+                name="cpu",
+                capacities=tuple(slots_per_core for _ in range(n_cores)),
+            ),
+        )
+    )
+
+
+def make_instances(
+    count: int = 10, n_cores: int = 4, slots_per_core: int = 4
+) -> List[PhysicalMachine]:
+    """The testbed fleet: ``count`` identical instances."""
+    require(count > 0, "count must be positive")
+    shape = geni_instance_shape(n_cores, slots_per_core)
+    return [
+        PhysicalMachine(pm_id=i, shape=shape, type_name="GENI")
+        for i in range(count)
+    ]

@@ -1,0 +1,56 @@
+"""Jobs: the processes that play VMs in the testbed.
+
+The paper uses two VM (job) types, [1,1] and [1,1,1,1]: 2 vCPUs on two
+distinct cores, or 4 vCPUs on four distinct cores.  Job CPU load is
+driven by Google-cluster traces (the only trace the GENI experiment
+uses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.cluster.vm import VirtualMachine
+from repro.core.profile import VMType
+from repro.traces.sampler import TracePool
+from repro.util.validation import require
+
+__all__ = ["JOB_2VCPU", "JOB_4VCPU", "JOB_TYPES", "make_jobs"]
+
+#: The paper's [1,1] job: two vCPU slots on two distinct cores.
+JOB_2VCPU = VMType(name="job.2vcpu", demands=((1, 1),))
+
+#: The paper's [1,1,1,1] job: four vCPU slots on four distinct cores.
+JOB_4VCPU = VMType(name="job.4vcpu", demands=((1, 1, 1, 1),))
+
+#: Both testbed job types, in the paper's order.
+JOB_TYPES: Dict[str, VMType] = {t.name: t for t in (JOB_2VCPU, JOB_4VCPU)}
+
+
+def make_jobs(
+    count: int,
+    rng: np.random.Generator,
+    trace_pool: TracePool,
+    mix: Sequence[float] = (0.5, 0.5),
+) -> List[VirtualMachine]:
+    """``count`` jobs with random types and traces.
+
+    Args:
+        count: number of jobs.
+        rng: randomness for type assignment.
+        trace_pool: source of per-job utilization traces.
+        mix: probabilities of (2-vCPU, 4-vCPU) job types.
+    """
+    require(count > 0, "count must be positive")
+    require(len(mix) == 2, "mix must have two weights")
+    weights = np.asarray(mix, dtype=float)
+    require(float(weights.sum()) > 0, "mix weights must not all be zero")
+    weights = weights / weights.sum()
+    types = (JOB_2VCPU, JOB_4VCPU)
+    picks = rng.choice(2, size=count, p=weights)
+    return [
+        VirtualMachine(vm_id=i, vm_type=types[p], trace=trace_pool.sample())
+        for i, p in enumerate(picks)
+    ]

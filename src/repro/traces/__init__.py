@@ -1,0 +1,39 @@
+"""Workload traces driving VM resource utilization (paper Section VI.A).
+
+The paper drives VM CPU utilization with two real traces: the PlanetLab
+trace bundled with CloudSim (5-minute samples over 24 h) and the Google
+cluster usage trace (29 days, ~11 k machines).  Neither artifact ships
+with this repository, so each has a *synthesizer* calibrated to the
+trace's published statistics plus a *loader* for the real file format —
+drop the real files in and the loaders replace the synthesizers without
+any other code change (see DESIGN.md, substitution table).
+"""
+
+from repro.traces.base import ArrayTrace, ConstantTrace, UtilizationTrace
+from repro.traces.synthetic import (
+    diurnal_trace,
+    ou_trace,
+    periodic_spike_trace,
+)
+from repro.traces.planetlab import (
+    PlanetLabSynthesizer,
+    load_planetlab_directory,
+    load_planetlab_file,
+)
+from repro.traces.google import GoogleClusterSynthesizer, load_google_task_usage
+from repro.traces.sampler import TracePool
+
+__all__ = [
+    "UtilizationTrace",
+    "ArrayTrace",
+    "ConstantTrace",
+    "diurnal_trace",
+    "ou_trace",
+    "periodic_spike_trace",
+    "PlanetLabSynthesizer",
+    "load_planetlab_file",
+    "load_planetlab_directory",
+    "GoogleClusterSynthesizer",
+    "load_google_task_usage",
+    "TracePool",
+]

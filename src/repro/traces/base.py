@@ -1,0 +1,114 @@
+"""Trace primitives: a VM's CPU utilization as a function of time.
+
+A trace maps simulation time to the fraction (in [0, 1]) of the VM's
+*requested* CPU the VM actually consumes at that moment.  CloudSim's
+PlanetLab mode holds each 5-minute sample constant until the next one;
+:class:`ArrayTrace` reproduces that step-function semantics and cycles
+when the simulation outlives the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.util.validation import ValidationError, require
+
+__all__ = ["UtilizationTrace", "ArrayTrace", "ConstantTrace"]
+
+
+@runtime_checkable
+class UtilizationTrace(Protocol):
+    """Anything that yields a utilization fraction over time."""
+
+    def utilization_at(self, time_s: float) -> float:
+        """Utilization fraction in [0, 1] at simulation time ``time_s``."""
+
+
+class ArrayTrace:
+    """A step-function trace over evenly spaced samples.
+
+    Args:
+        samples: utilization fractions, each in [0, 1].
+        sample_interval_s: seconds each sample holds for (the PlanetLab
+            trace uses 300 s).
+        cycle: when True (default) the trace repeats after its last
+            sample; when False the last sample holds forever.
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[float],
+        sample_interval_s: float = 300.0,
+        cycle: bool = True,
+    ):
+        values = np.asarray(list(samples), dtype=float)
+        require(values.size > 0, "a trace needs at least one sample")
+        require(sample_interval_s > 0, "sample_interval_s must be positive")
+        if float(values.min()) < 0.0 or float(values.max()) > 1.0:
+            raise ValidationError(
+                f"trace samples must lie in [0, 1], got range "
+                f"[{values.min():.4f}, {values.max():.4f}]"
+            )
+        self._samples = values
+        self._interval = float(sample_interval_s)
+        self._cycle = cycle
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The underlying sample array (do not mutate)."""
+        return self._samples
+
+    @property
+    def sample_interval_s(self) -> float:
+        """Seconds between consecutive samples."""
+        return self._interval
+
+    @property
+    def duration_s(self) -> float:
+        """Total covered duration before cycling/holding."""
+        return self._samples.size * self._interval
+
+    def utilization_at(self, time_s: float) -> float:
+        """Step-function lookup; cycles or holds past the end."""
+        if time_s < 0:
+            raise ValidationError(f"time must be non-negative, got {time_s}")
+        index = int(time_s // self._interval)
+        if self._cycle:
+            index %= self._samples.size
+        else:
+            index = min(index, self._samples.size - 1)
+        return float(self._samples[index])
+
+    def mean(self) -> float:
+        """Mean utilization across the trace."""
+        return float(self._samples.mean())
+
+    def __len__(self) -> int:
+        return int(self._samples.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayTrace(n={self._samples.size}, "
+            f"interval={self._interval}s, mean={self.mean():.3f})"
+        )
+
+
+class ConstantTrace:
+    """A trace pinned at a fixed utilization (tests and worst cases)."""
+
+    def __init__(self, value: float):
+        require(0.0 <= value <= 1.0, f"value must be in [0,1], got {value}")
+        self._value = float(value)
+
+    def utilization_at(self, time_s: float) -> float:
+        """The constant value, for any time."""
+        return self._value
+
+    def mean(self) -> float:
+        """The constant value."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"ConstantTrace({self._value})"

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG helpers, summary statistics, validation."""
+
+from repro.util.rng import RngFactory, derive_seed
+from repro.util.stats import Percentiles, summarize
+from repro.util.validation import (
+    ValidationError,
+    require,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = [
+    "RngFactory",
+    "derive_seed",
+    "Percentiles",
+    "summarize",
+    "ValidationError",
+    "require",
+    "require_non_negative",
+    "require_positive",
+]

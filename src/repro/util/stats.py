@@ -1,0 +1,162 @@
+"""Summary statistics used by the experiment harness.
+
+The paper reports the median and the 1st/99th percentiles of each metric
+over 100 repetitions; :func:`summarize` produces exactly that triple.
+:func:`paired_comparison` adds the statistical test the error bars imply:
+every policy sees the identical workload per repetition, so differences
+are paired and a sign test / Wilcoxon signed-rank test applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Percentiles",
+    "summarize",
+    "mean_confidence_interval",
+    "PairedComparison",
+    "paired_comparison",
+]
+
+
+@dataclass(frozen=True)
+class Percentiles:
+    """Median and 1st/99th percentile of a sample, as in the paper's figures."""
+
+    median: float
+    p01: float
+    p99: float
+    n: int
+
+    def as_row(self) -> tuple:
+        """Return ``(median, p01, p99)`` for tabular output."""
+        return (self.median, self.p01, self.p99)
+
+    def __str__(self) -> str:
+        return f"{self.median:.2f} [{self.p01:.2f}, {self.p99:.2f}] (n={self.n})"
+
+
+def summarize(samples: Iterable[float]) -> Percentiles:
+    """Compute the paper's error-bar statistics for a metric sample.
+
+    Args:
+        samples: one metric value per experiment repetition.
+
+    Raises:
+        ValueError: if ``samples`` is empty.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Percentiles(
+        median=float(np.median(values)),
+        p01=float(np.percentile(values, 1)),
+        p99=float(np.percentile(values, 99)),
+        n=int(values.size),
+    )
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], z: float = 1.96
+) -> tuple:
+    """Return ``(mean, half_width)`` of a normal-approximation CI.
+
+    Used by ablation benches where a mean +/- CI is more informative than
+    extreme percentiles.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, 0.0
+    sem = float(values.std(ddof=1)) / float(np.sqrt(values.size))
+    return mean, z * sem
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired comparison between two policies.
+
+    Attributes:
+        mean_difference: mean of (a - b); negative means a is lower.
+        wins / losses / ties: repetition counts where a < b, a > b, a == b.
+        sign_test_p: two-sided exact sign-test p-value (ties dropped).
+        wilcoxon_p: two-sided Wilcoxon signed-rank p-value, or None when
+            scipy is unavailable or every pair ties.
+        n: number of paired repetitions.
+    """
+
+    mean_difference: float
+    wins: int
+    losses: int
+    ties: int
+    sign_test_p: float
+    wilcoxon_p: float
+    n: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the sign test rejects equality at level ``alpha``."""
+        return self.sign_test_p < alpha
+
+
+def _sign_test_p(wins: int, losses: int) -> float:
+    """Two-sided exact binomial sign test (ties already removed)."""
+    import math
+
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = min(wins, losses)
+    tail = sum(math.comb(n, i) for i in range(k + 1)) / 2.0**n
+    return min(1.0, 2.0 * tail)
+
+
+def paired_comparison(
+    a: Sequence[float], b: Sequence[float]
+) -> PairedComparison:
+    """Compare two policies' per-repetition metrics (lower is better).
+
+    Args:
+        a, b: metric values, index-aligned by repetition (the runner
+            guarantees every policy sees the identical workload per
+            repetition).
+
+    Raises:
+        ValueError: on empty or mismatched samples.
+    """
+    xs = np.asarray(list(a), dtype=float)
+    ys = np.asarray(list(b), dtype=float)
+    if xs.size == 0 or xs.size != ys.size:
+        raise ValueError(
+            f"paired samples must be equal-length and non-empty "
+            f"(got {xs.size} and {ys.size})"
+        )
+    diffs = xs - ys
+    wins = int(np.sum(diffs < 0))
+    losses = int(np.sum(diffs > 0))
+    ties = int(np.sum(diffs == 0))
+
+    wilcoxon_p = None
+    nonzero = diffs[diffs != 0]
+    if nonzero.size > 0:
+        try:
+            from scipy import stats as scipy_stats
+
+            wilcoxon_p = float(scipy_stats.wilcoxon(nonzero).pvalue)
+        except Exception:
+            wilcoxon_p = None
+
+    return PairedComparison(
+        mean_difference=float(diffs.mean()),
+        wins=wins,
+        losses=losses,
+        ties=ties,
+        sign_test_p=_sign_test_p(wins, losses),
+        wilcoxon_p=wilcoxon_p,
+        n=int(xs.size),
+    )

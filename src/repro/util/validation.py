@@ -1,0 +1,37 @@
+"""Lightweight argument validation helpers.
+
+Public constructors across the library validate their inputs eagerly and
+raise :class:`ValidationError` with an actionable message; internal hot
+paths skip validation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ValidationError",
+    "require",
+    "require_positive",
+    "require_non_negative",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a public API receives an invalid argument."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")

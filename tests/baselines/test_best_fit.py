@@ -1,0 +1,28 @@
+"""Tests for the Best Fit baseline."""
+
+import pytest
+
+from repro.baselines import BestFitPolicy
+
+
+class TestBestFit:
+    def test_picks_fullest_feasible_pm(self, toy_shape, vm2, fake_machine):
+        machines = [
+            fake_machine(0, toy_shape, ((1, 0, 0, 0),)),
+            fake_machine(1, toy_shape, ((2, 2, 2, 2),)),
+            fake_machine(2, toy_shape, ((1, 1, 0, 0),)),
+        ]
+        decision = BestFitPolicy().select(vm2, machines)
+        assert decision.pm_id == 1
+
+    def test_score_is_resulting_utilization(self, toy_shape, vm2, fake_machine):
+        machine = fake_machine(0, toy_shape, ((2, 2, 2, 2),))
+        decision = BestFitPolicy().select(vm2, [machine])
+        assert decision.score == pytest.approx(10 / 16)
+
+    def test_balanced_candidate_mode(self, toy_shape):
+        assert BestFitPolicy().candidate_mode(toy_shape) == "balanced"
+
+    def test_none_when_nothing_fits(self, toy_shape, vm4, fake_machine):
+        machines = [fake_machine(0, toy_shape, ((4, 4, 4, 1),))]
+        assert BestFitPolicy().select(vm4, machines) is None

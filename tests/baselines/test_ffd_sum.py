@@ -1,0 +1,49 @@
+"""Tests for the First Fit Decreasing Sum baseline."""
+
+from repro.baselines import FFDSumPolicy
+from repro.cluster.vm import VirtualMachine
+from repro.core.profile import MachineShape, ResourceGroup
+
+
+class TestOrdering:
+    def test_sorts_vm_types_by_decreasing_demand(self, vm1, vm2, vm4):
+        ordered = FFDSumPolicy().order_vms([vm1, vm4, vm2])
+        assert [v.name for v in ordered] == ["vm4", "vm2", "vm1"]
+
+    def test_sorts_virtual_machines_too(self, vm2, vm4):
+        vms = [VirtualMachine(0, vm2), VirtualMachine(1, vm4)]
+        ordered = FFDSumPolicy().order_vms(vms)
+        assert [v.vm_id for v in ordered] == [1, 0]
+
+
+class TestSelection:
+    def test_prefers_larger_pm(self, vm2, fake_machine):
+        small = MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(4, 4)),)
+        )
+        big = MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),)
+        )
+        machines = [
+            fake_machine(0, small, ((1, 0),)),
+            fake_machine(1, big, ((1, 0, 0, 0),)),
+        ]
+        decision = FFDSumPolicy().select(vm2, machines)
+        assert decision.pm_id == 1
+
+    def test_prefers_larger_unused_pm(self, vm2, fake_machine):
+        small = MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(4, 4)),)
+        )
+        big = MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),)
+        )
+        machines = [fake_machine(0, small), fake_machine(1, big)]
+        assert FFDSumPolicy().select(vm2, machines).pm_id == 1
+
+    def test_none_when_nothing_fits(self, toy_shape, vm4, fake_machine):
+        machines = [fake_machine(0, toy_shape, ((4, 4, 4, 1),))]
+        assert FFDSumPolicy().select(vm4, machines) is None
+
+    def test_name(self):
+        assert FFDSumPolicy().name == "FFDSum"

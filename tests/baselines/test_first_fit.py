@@ -1,0 +1,43 @@
+"""Tests for the First Fit baseline."""
+
+from repro.baselines import FirstFitPolicy
+
+
+class TestFirstFit:
+    def test_picks_first_used_that_fits(self, toy_shape, vm2, fake_machine):
+        machines = [
+            fake_machine(0, toy_shape, ((4, 4, 4, 4),)),
+            fake_machine(1, toy_shape, ((1, 0, 0, 0),)),
+            fake_machine(2, toy_shape, ((1, 1, 0, 0),)),
+        ]
+        decision = FirstFitPolicy().select(vm2, machines)
+        assert decision.pm_id == 1
+
+    def test_ignores_better_later_options(self, toy_shape, vm2, fake_machine):
+        # FF is oblivious to quality: the first fitting PM wins even when
+        # a later PM would produce a better profile.
+        machines = [
+            fake_machine(0, toy_shape, ((2, 0, 0, 0),)),
+            fake_machine(1, toy_shape, ((2, 2, 2, 2),)),
+        ]
+        assert FirstFitPolicy().select(vm2, machines).pm_id == 0
+
+    def test_opens_unused_when_no_used_fits(self, toy_shape, vm4, fake_machine):
+        machines = [
+            fake_machine(0, toy_shape, ((4, 4, 4, 0),)),
+            fake_machine(1, toy_shape),
+        ]
+        assert FirstFitPolicy().select(vm4, machines).pm_id == 1
+
+    def test_none_when_nothing_fits(self, toy_shape, vm4, fake_machine):
+        machines = [fake_machine(0, toy_shape, ((4, 4, 4, 1),))]
+        assert FirstFitPolicy().select(vm4, machines) is None
+
+    def test_uses_naive_intra_pm_assignment(self, toy_shape, vm2, fake_machine):
+        machine = fake_machine(0, toy_shape, ((1, 0, 0, 0),))
+        decision = FirstFitPolicy().select(vm2, [machine])
+        # Naive first-fit lands on the lowest-index units with room.
+        assert {idx for idx, _ in decision.placement.assignments[0]} == {0, 1}
+
+    def test_name(self):
+        assert FirstFitPolicy().name == "FF"

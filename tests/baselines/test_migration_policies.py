@@ -1,0 +1,94 @@
+"""Tests for the baseline eviction selectors."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines import MinimumMigrationTimeSelector, RandomVictimSelector
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+
+
+@dataclass(frozen=True)
+class StubAllocation:
+    vm_type: VMType
+    assignments: Tuple = ((),)
+
+
+def mem_shape():
+    return MachineShape(
+        groups=(
+            ResourceGroup(name="cpu", capacities=(4, 4)),
+            ResourceGroup(name="mem", capacities=(16,), anti_collocation=False),
+        )
+    )
+
+
+class TestMinimumMigrationTime:
+    def test_picks_smallest_memory(self):
+        shape = mem_shape()
+        small = StubAllocation(VMType(name="s", demands=((1,), (2,))))
+        big = StubAllocation(VMType(name="b", demands=((1,), (8,))))
+        selector = MinimumMigrationTimeSelector()
+        victim = selector.select_victim(shape, shape.empty_usage(), [big, small])
+        assert victim is small
+
+    def test_falls_back_to_total_demand_without_mem_group(self, toy_shape):
+        small = StubAllocation(VMType(name="s", demands=((1, 1),)))
+        big = StubAllocation(VMType(name="b", demands=((1, 1, 1, 1),)))
+        selector = MinimumMigrationTimeSelector()
+        victim = selector.select_victim(
+            toy_shape, toy_shape.empty_usage(), [big, small]
+        )
+        assert victim is small
+
+    def test_empty_returns_none(self, toy_shape):
+        selector = MinimumMigrationTimeSelector()
+        assert selector.select_victim(toy_shape, toy_shape.empty_usage(), []) is None
+
+
+class TestRandomVictim:
+    def test_empty_returns_none(self, toy_shape):
+        selector = RandomVictimSelector()
+        assert selector.select_victim(toy_shape, toy_shape.empty_usage(), []) is None
+
+    def test_returns_member(self, toy_shape):
+        allocations = [
+            StubAllocation(VMType(name=f"v{i}", demands=((1,),)))
+            for i in range(5)
+        ]
+        selector = RandomVictimSelector(np.random.default_rng(0))
+        victim = selector.select_victim(
+            toy_shape, toy_shape.empty_usage(), allocations
+        )
+        assert victim in allocations
+
+    def test_deterministic_with_seeded_rng(self, toy_shape):
+        allocations = [
+            StubAllocation(VMType(name=f"v{i}", demands=((1,),)))
+            for i in range(5)
+        ]
+
+        def pick(seed):
+            selector = RandomVictimSelector(np.random.default_rng(seed))
+            return selector.select_victim(
+                toy_shape, toy_shape.empty_usage(), allocations
+            )
+
+        assert pick(3) is pick(3)
+
+    def test_covers_all_members_eventually(self, toy_shape):
+        allocations = [
+            StubAllocation(VMType(name=f"v{i}", demands=((1,),)))
+            for i in range(3)
+        ]
+        selector = RandomVictimSelector(np.random.default_rng(0))
+        seen = {
+            id(
+                selector.select_victim(
+                    toy_shape, toy_shape.empty_usage(), allocations
+                )
+            )
+            for _ in range(100)
+        }
+        assert len(seen) == 3

@@ -1,0 +1,105 @@
+"""Tests for the Table I / Table II EC2 catalogs."""
+
+import pytest
+
+from repro.cluster.ec2 import (
+    EC2_PM_SPECS,
+    EC2_PM_TYPES,
+    EC2_VM_SPECS,
+    EC2_VM_TYPES,
+    build_ec2_datacenter,
+    ec2_pm_shape,
+    ec2_vm_type,
+)
+from repro.util.validation import ValidationError
+
+
+class TestTableOne:
+    def test_all_six_types_present(self):
+        assert len(EC2_VM_TYPES) == 6
+        names = {vm.name for vm in EC2_VM_TYPES}
+        assert names == set(EC2_VM_SPECS)
+
+    def test_m3_medium_units(self):
+        vm = ec2_vm_type("m3.medium")
+        assert vm.demands == ((6,), (15,), (4,))  # 0.6 GHz, 3.75 GiB, 4 GB
+
+    def test_m3_2xlarge_units(self):
+        vm = ec2_vm_type("m3.2xlarge")
+        assert vm.demands[0] == (6,) * 8
+        assert vm.demands[1] == (120,)
+        assert vm.demands[2] == (80, 80)
+
+    def test_c3_xlarge_units(self):
+        vm = ec2_vm_type("c3.xlarge")
+        assert vm.demands[0] == (7,) * 4
+        assert vm.demands[1] == (30,)
+        assert vm.demands[2] == (40, 40)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError, match="m3.medium"):
+            ec2_vm_type("t2.nano")
+
+    def test_vcpu_speeds_are_quarter_cores(self):
+        # The structural fact behind the "core" burst model: every
+        # Table I vCPU speed is at most a quarter of its family's
+        # Table II core speed.
+        m3_core = EC2_PM_SPECS["M3"][1]
+        c3_core = EC2_PM_SPECS["C3"][1]
+        assert EC2_VM_SPECS["m3.medium"][1] * 4 <= m3_core + 1e-9
+        assert EC2_VM_SPECS["c3.large"][1] * 4 <= c3_core + 1e-9
+
+
+class TestTableTwo:
+    def test_both_types_present(self):
+        assert set(EC2_PM_TYPES) == {"M3", "C3"}
+
+    def test_m3_shape(self):
+        shape = ec2_pm_shape("M3")
+        assert shape.group_named("cpu").capacities == (26,) * 8
+        assert shape.group_named("mem").capacities == (256,)
+        assert shape.group_named("disk").capacities == (250,) * 4
+
+    def test_c3_shape(self):
+        shape = ec2_pm_shape("C3")
+        assert shape.group_named("cpu").capacities == (28,) * 8
+        assert shape.group_named("mem").capacities == (30,)
+
+    def test_memory_is_scalar_group(self):
+        assert not ec2_pm_shape("M3").group_named("mem").anti_collocation
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            ec2_pm_shape("Z1")
+
+    def test_every_vm_compatible_with_m3(self):
+        shape = ec2_pm_shape("M3")
+        for vm in EC2_VM_TYPES:
+            assert vm.compatible_with(shape), vm.name
+
+    def test_c3_pm_cannot_host_big_memory_vms(self):
+        # The paper's C3 has only 7.5 GiB of memory.
+        shape = ec2_pm_shape("C3")
+        assert not ec2_vm_type("m3.xlarge").compatible_with(shape)
+        assert ec2_vm_type("c3.large").compatible_with(shape)
+
+
+class TestBuildDatacenter:
+    def test_counts_and_types(self):
+        datacenter = build_ec2_datacenter({"M3": 3, "C3": 2})
+        assert datacenter.n_machines == 5
+        types = [m.type_name for m in datacenter.machines]
+        assert types == ["M3"] * 3 + ["C3"] * 2
+
+    def test_unique_ids(self):
+        datacenter = build_ec2_datacenter({"M3": 4})
+        ids = [m.pm_id for m in datacenter.machines]
+        assert ids == [0, 1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            build_ec2_datacenter({})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            build_ec2_datacenter({"M3": -1})

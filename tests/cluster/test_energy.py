@@ -1,0 +1,94 @@
+"""Tests for the Table III energy model."""
+
+import pytest
+
+from repro.cluster.energy import (
+    E5_2670,
+    E5_2680,
+    EnergyMeter,
+    PowerModel,
+    power_model_for,
+)
+from repro.util.validation import ValidationError
+
+
+class TestTableThree:
+    @pytest.mark.parametrize(
+        "util, watts",
+        [(0.0, 337.3), (0.2, 349.2), (0.4, 363.6), (0.6, 378.0),
+         (0.8, 396.0), (1.0, 417.6)],
+    )
+    def test_e5_2670_anchor_points(self, util, watts):
+        assert E5_2670.power(util) == pytest.approx(watts)
+
+    @pytest.mark.parametrize(
+        "util, watts",
+        [(0.0, 394.4), (0.2, 408.3), (0.4, 425.2), (0.6, 442.0),
+         (0.8, 463.1), (1.0, 488.3)],
+    )
+    def test_e5_2680_anchor_points(self, util, watts):
+        assert E5_2680.power(util) == pytest.approx(watts)
+
+    def test_interpolation_between_points(self):
+        # Midway between 0% (337.3) and 20% (349.2).
+        assert E5_2670.power(0.1) == pytest.approx((337.3 + 349.2) / 2)
+
+    def test_clamps_out_of_range(self):
+        assert E5_2670.power(-0.5) == pytest.approx(337.3)
+        assert E5_2670.power(1.5) == pytest.approx(417.6)
+
+    def test_idle_and_max(self):
+        assert E5_2670.idle_watts == pytest.approx(337.3)
+        assert E5_2670.max_watts == pytest.approx(417.6)
+
+    def test_monotone_in_utilization(self):
+        values = [E5_2680.power(u / 100) for u in range(101)]
+        assert values == sorted(values)
+
+
+class TestPowerModelValidation:
+    def test_points_must_span_unit_interval(self):
+        with pytest.raises(ValidationError):
+            PowerModel("x", (0.0, 0.5), (1.0, 2.0))
+        with pytest.raises(ValidationError):
+            PowerModel("x", (0.1, 1.0), (1.0, 2.0))
+
+    def test_points_must_increase(self):
+        with pytest.raises(ValidationError):
+            PowerModel("x", (0.0, 0.5, 0.5, 1.0), (1, 2, 3, 4))
+
+    def test_lengths_must_match(self):
+        with pytest.raises(ValidationError):
+            PowerModel("x", (0.0, 1.0), (1.0, 2.0, 3.0))
+
+
+class TestPowerModelLookup:
+    def test_known_pm_types(self):
+        assert power_model_for("M3") is E5_2670
+        assert power_model_for("C3") is E5_2680
+
+    def test_unknown_type_raises_with_hint(self):
+        with pytest.raises(KeyError, match="C3"):
+            power_model_for("Z9")
+
+
+class TestEnergyMeter:
+    def test_integrates_power_over_time(self):
+        meter = EnergyMeter()
+        meter.accumulate(E5_2670, 0.0, 3600.0)  # 1 hour idle
+        assert meter.total_joules == pytest.approx(337.3 * 3600)
+        assert meter.total_kwh == pytest.approx(0.3373)
+
+    def test_accumulates_across_calls(self):
+        meter = EnergyMeter()
+        meter.accumulate(E5_2670, 1.0, 1800.0)
+        meter.accumulate(E5_2680, 1.0, 1800.0)
+        expected = (417.6 + 488.3) * 1800
+        assert meter.total_joules == pytest.approx(expected)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValidationError):
+            EnergyMeter().accumulate(E5_2670, 0.5, -1.0)
+
+    def test_starts_at_zero(self):
+        assert EnergyMeter().total_kwh == 0.0

@@ -1,0 +1,125 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.cluster.events import EventLoop
+from repro.util.validation import ValidationError
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(5.0, lambda: fired.append("b"))
+        loop.schedule_at(1.0, lambda: fired.append("a"))
+        loop.schedule_at(9.0, lambda: fired.append("c"))
+        loop.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("first", "second", "third"):
+            loop.schedule_at(1.0, lambda t=tag: fired.append(t))
+        loop.run_until(1.0)
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_deadline(self):
+        loop = EventLoop()
+        loop.run_until(42.0)
+        assert loop.now == 42.0
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(ValidationError):
+            loop.schedule_at(5.0, lambda: None)
+
+    def test_schedule_after(self):
+        loop = EventLoop(start_time=10.0)
+        times = []
+        loop.schedule_after(5.0, lambda: times.append(loop.now))
+        loop.run_until(20.0)
+        assert times == [15.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            EventLoop().schedule_after(-1.0, lambda: None)
+
+    def test_events_beyond_deadline_stay_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(5.0, lambda: fired.append(5))
+        loop.schedule_at(15.0, lambda: fired.append(15))
+        loop.run_until(10.0)
+        assert fired == [5]
+        assert len(loop) == 1
+        loop.run_until(20.0)
+        assert fired == [5, 15]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        loop.run_until(2.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        loop = EventLoop()
+        handle = loop.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+
+class TestPeriodic:
+    def test_fires_every_interval(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_every(10.0, lambda: times.append(loop.now))
+        loop.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_custom_first_firing(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_every(10.0, lambda: times.append(loop.now), first_at=5.0)
+        loop.run_until(30.0)
+        assert times == [5.0, 15.0, 25.0]
+
+    def test_series_cancellation_stops_future_firings(self):
+        loop = EventLoop()
+        times = []
+        series = loop.schedule_every(10.0, lambda: times.append(loop.now))
+        loop.run_until(25.0)
+        series.cancel()
+        loop.run_until(100.0)
+        assert times == [10.0, 20.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            EventLoop().schedule_every(0.0, lambda: None)
+
+    def test_event_can_schedule_more_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append(loop.now)
+            if loop.now < 3:
+                loop.schedule_after(1.0, chain)
+
+        loop.schedule_at(1.0, chain)
+        loop.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_all_drains_queue(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(100.0, lambda: fired.append(1))
+        count = loop.run_all()
+        assert count == 1
+        assert fired == [1]

@@ -1,0 +1,139 @@
+"""Tests for PhysicalMachine accounting."""
+
+import pytest
+
+from repro.cluster.machine import PhysicalMachine, cpu_group_index
+from repro.cluster.vm import VirtualMachine
+from repro.core.permutations import balanced_placement
+from repro.traces.base import ConstantTrace
+from repro.util.validation import ValidationError
+
+
+def place(machine, vm, time_s=0.0):
+    placement = balanced_placement(machine.shape, machine.usage, vm.vm_type)
+    assert placement is not None
+    return machine.place(vm, placement, time_s)
+
+
+class TestPlacement:
+    def test_place_updates_usage(self, toy_shape, vm2):
+        machine = PhysicalMachine(0, toy_shape)
+        place(machine, VirtualMachine(1, vm2))
+        assert sum(machine.usage[0]) == 2
+        assert machine.is_used
+        assert machine.n_vms == 1
+
+    def test_remove_restores_usage(self, toy_shape, vm2):
+        machine = PhysicalMachine(0, toy_shape)
+        place(machine, VirtualMachine(1, vm2))
+        machine.remove(1)
+        assert machine.usage == toy_shape.empty_usage()
+        assert not machine.is_used
+
+    def test_double_place_rejected(self, toy_shape, vm2):
+        machine = PhysicalMachine(0, toy_shape)
+        vm = VirtualMachine(1, vm2)
+        placement = balanced_placement(machine.shape, machine.usage, vm2)
+        machine.place(vm, placement)
+        with pytest.raises(ValidationError):
+            machine.place(vm, placement)
+
+    def test_remove_unknown_vm_rejected(self, toy_shape):
+        with pytest.raises(KeyError):
+            PhysicalMachine(0, toy_shape).remove(99)
+
+    def test_capacity_violation_rejected_atomically(self, toy_shape, vm2):
+        machine = PhysicalMachine(0, toy_shape)
+        stale = balanced_placement(toy_shape, ((0, 0, 0, 0),), vm2)
+        # Fill the machine so the stale placement no longer fits there.
+        for i in range(8):
+            place(machine, VirtualMachine(i, vm2))
+        before = machine.usage
+        with pytest.raises(ValidationError):
+            machine.place(VirtualMachine(99, vm2), stale)
+        assert machine.usage == before
+
+    def test_anti_collocation_violation_rejected(self, toy_shape, vm2):
+        from repro.core.permutations import Placement
+
+        machine = PhysicalMachine(0, toy_shape)
+        bogus = Placement(
+            new_usage=((0, 0, 0, 2),),
+            assignments=(((0, 1), (0, 1)),),  # both chunks on unit 0
+        )
+        with pytest.raises(ValidationError):
+            machine.place(VirtualMachine(1, vm2), bogus)
+
+    def test_can_host(self, toy_shape, vm4):
+        machine = PhysicalMachine(0, toy_shape)
+        assert machine.can_host(vm4)
+        place(machine, VirtualMachine(1, vm4))
+        for i in range(2, 5):
+            place(machine, VirtualMachine(i, vm4))
+        assert not machine.can_host(vm4)
+
+    def test_allocation_of(self, toy_shape, vm2):
+        machine = PhysicalMachine(0, toy_shape)
+        allocation = place(machine, VirtualMachine(1, vm2))
+        assert machine.allocation_of(1) is allocation
+        assert machine.hosts(1)
+        with pytest.raises(KeyError):
+            machine.allocation_of(2)
+
+
+class TestUtilization:
+    def test_committed_utilization(self, toy_shape, vm4):
+        machine = PhysicalMachine(0, toy_shape)
+        place(machine, VirtualMachine(1, vm4))
+        assert machine.committed_utilization() == pytest.approx(4 / 16)
+        assert machine.committed_cpu_utilization() == pytest.approx(4 / 16)
+
+    def test_actual_utilization_request_model(self, toy_shape, vm4):
+        machine = PhysicalMachine(0, toy_shape)
+        place(machine, VirtualMachine(1, vm4, trace=ConstantTrace(0.5)))
+        assert machine.actual_cpu_utilization(0.0, "request") == pytest.approx(
+            0.5 * 4 / 16
+        )
+
+    def test_actual_utilization_core_model_bursts(self, toy_shape, vm4):
+        machine = PhysicalMachine(0, toy_shape)
+        place(machine, VirtualMachine(1, vm4, trace=ConstantTrace(1.0)))
+        # Each of the 4 unit chunks bursts to its full core (capacity 4).
+        assert machine.actual_cpu_utilization(0.0, "core") == pytest.approx(1.0)
+
+    def test_actual_utilization_numeric_factor(self, toy_shape, vm4):
+        machine = PhysicalMachine(0, toy_shape)
+        place(machine, VirtualMachine(1, vm4, trace=ConstantTrace(1.0)))
+        assert machine.actual_cpu_utilization(0.0, 2.0) == pytest.approx(0.5)
+
+    def test_numeric_factor_capped_at_core(self, toy_shape, vm4):
+        machine = PhysicalMachine(0, toy_shape)
+        place(machine, VirtualMachine(1, vm4, trace=ConstantTrace(1.0)))
+        assert machine.actual_cpu_utilization(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_unknown_burst_model_rejected(self, toy_shape):
+        machine = PhysicalMachine(0, toy_shape)
+        with pytest.raises(ValidationError):
+            machine.actual_cpu_utilization(0.0, "bogus")
+        with pytest.raises(ValidationError):
+            machine.actual_cpu_utilization(0.0, -1.0)
+
+    def test_can_exceed_one_with_bursting(self, toy_shape, vm2):
+        machine = PhysicalMachine(0, toy_shape)
+        for i in range(8):
+            place(machine, VirtualMachine(i, vm2, trace=ConstantTrace(1.0)))
+        # 16 unit chunks each bursting to 4 -> demand 64 on capacity 16.
+        assert machine.actual_cpu_utilization(0.0, "core") == pytest.approx(4.0)
+
+
+class TestCpuGroupIndex:
+    def test_named_group_found(self, mixed_shape):
+        assert cpu_group_index(mixed_shape) == 0
+
+    def test_fallback_to_first_group(self):
+        from repro.core.profile import MachineShape, ResourceGroup
+
+        shape = MachineShape(
+            groups=(ResourceGroup(name="slots", capacities=(4, 4)),)
+        )
+        assert cpu_group_index(shape) == 0

@@ -1,0 +1,78 @@
+"""Tests for utilization monitoring and overload detection."""
+
+import pytest
+
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.monitor import UtilizationMonitor
+from repro.cluster.vm import VirtualMachine
+from repro.core.permutations import balanced_placement
+from repro.traces.base import ArrayTrace, ConstantTrace
+from repro.util.validation import ValidationError
+
+
+def machine_with(toy_shape, vm_type, trace, vm_id=1):
+    machine = PhysicalMachine(0, toy_shape)
+    placement = balanced_placement(toy_shape, machine.usage, vm_type)
+    machine.place(VirtualMachine(vm_id, vm_type, trace=trace), placement)
+    return machine
+
+
+class TestSnapshots:
+    def test_snapshot_reports_utilization(self, toy_shape, vm4):
+        machine = machine_with(toy_shape, vm4, ConstantTrace(0.5))
+        monitor = UtilizationMonitor()
+        snap = monitor.snapshot([machine], 0.0)[0]
+        assert snap.active
+        assert snap.cpu_utilization == pytest.approx(0.5)
+
+    def test_empty_machine_inactive(self, toy_shape):
+        monitor = UtilizationMonitor()
+        snap = monitor.snapshot([PhysicalMachine(0, toy_shape)], 0.0)[0]
+        assert not snap.active
+        assert snap.cpu_utilization == 0.0
+
+    def test_snapshot_at_later_time_follows_trace(self, toy_shape, vm4):
+        trace = ArrayTrace([0.1, 0.9], sample_interval_s=300.0)
+        machine = machine_with(toy_shape, vm4, trace)
+        monitor = UtilizationMonitor()
+        early = monitor.snapshot([machine], 0.0)[0]
+        late = monitor.snapshot([machine], 300.0)[0]
+        assert late.cpu_utilization > early.cpu_utilization
+
+
+class TestOverloadDetection:
+    def test_overload_above_threshold(self, toy_shape, vm4):
+        machine = machine_with(toy_shape, vm4, ConstantTrace(0.95))
+        monitor = UtilizationMonitor(overload_threshold=0.9)
+        snaps = monitor.snapshot([machine], 0.0)
+        assert monitor.overloaded(snaps) == snaps
+
+    def test_not_overloaded_at_threshold(self, toy_shape, vm4):
+        machine = machine_with(toy_shape, vm4, ConstantTrace(0.9))
+        monitor = UtilizationMonitor(overload_threshold=0.9)
+        snaps = monitor.snapshot([machine], 0.0)
+        assert monitor.overloaded(snaps) == []
+
+    def test_inactive_never_overloaded(self, toy_shape):
+        monitor = UtilizationMonitor(overload_threshold=0.9)
+        snaps = monitor.snapshot([PhysicalMachine(0, toy_shape)], 0.0)
+        assert monitor.overloaded(snaps) == []
+
+    def test_request_burst_model_caps_demand(self, toy_shape, vm4):
+        machine = machine_with(toy_shape, vm4, ConstantTrace(1.0))
+        core = UtilizationMonitor(burst_model="core")
+        request = UtilizationMonitor(burst_model="request")
+        assert core.snapshot([machine], 0.0)[0].cpu_utilization == pytest.approx(1.0)
+        assert request.snapshot([machine], 0.0)[0].cpu_utilization == pytest.approx(
+            4 / 16
+        )
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            UtilizationMonitor(overload_threshold=0.0)
+
+    def test_invalid_burst_model_rejected(self):
+        with pytest.raises(ValidationError):
+            UtilizationMonitor(burst_model="bogus")
+        with pytest.raises(ValidationError):
+            UtilizationMonitor(burst_model=-2.0)

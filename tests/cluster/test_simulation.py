@@ -1,0 +1,113 @@
+"""Tests for the CloudSim-equivalent simulation driver."""
+
+import pytest
+
+from repro.baselines import FirstFitPolicy, MinimumMigrationTimeSelector
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.simulation import CloudSimulation, SimulationConfig
+from repro.cluster.vm import VirtualMachine
+from repro.traces.base import ArrayTrace, ConstantTrace
+from repro.util.validation import ValidationError
+
+
+def toy_datacenter(toy_shape, count=4):
+    machines = [
+        PhysicalMachine(i, toy_shape, type_name="M3") for i in range(count)
+    ]
+    return Datacenter(machines)
+
+
+def simulation(toy_shape, config=None, count=4):
+    return CloudSimulation(
+        toy_datacenter(toy_shape, count),
+        FirstFitPolicy(),
+        MinimumMigrationTimeSelector(),
+        config or SimulationConfig(duration_s=3600.0, monitor_interval_s=300.0),
+    )
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = SimulationConfig()
+        assert config.duration_s == 86_400.0
+        assert config.monitor_interval_s == 300.0
+        assert config.overload_threshold == 0.9
+
+    def test_invalid_durations_rejected(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(duration_s=0)
+        with pytest.raises(ValidationError):
+            SimulationConfig(duration_s=100.0, monitor_interval_s=200.0)
+
+
+class TestInitialAllocation:
+    def test_places_all_when_capacity_allows(self, toy_shape, vm2):
+        sim = simulation(toy_shape)
+        vms = [VirtualMachine(i, vm2, ConstantTrace(0.1)) for i in range(8)]
+        assert sim.allocate_initial(vms) == 8
+
+    def test_counts_unplaced(self, toy_shape, vm4):
+        # One PM holds four vm4; 4 PMs hold 16; the 17th has nowhere.
+        sim = simulation(toy_shape)
+        vms = [VirtualMachine(i, vm4, ConstantTrace(0.1)) for i in range(17)]
+        result = sim.run(vms)
+        assert result.unplaced_vms == 1
+        assert result.n_vms == 17
+
+
+class TestRun:
+    def test_quiet_traces_cause_no_migrations(self, toy_shape, vm2):
+        sim = simulation(toy_shape)
+        vms = [VirtualMachine(i, vm2, ConstantTrace(0.05)) for i in range(6)]
+        result = sim.run(vms)
+        assert result.migrations == 0
+        assert result.overload_events == 0
+        assert result.slo_violation_rate == 0.0
+
+    def test_hot_traces_trigger_overload_and_migration(self, toy_shape, vm2):
+        # Two hot VMs on PM 0 burst to 2*2*4/16 = 100% > 90%; a spare PM
+        # exists, so a migration must occur.
+        sim = simulation(toy_shape, count=3)
+        vms = [VirtualMachine(i, vm2, ConstantTrace(1.0)) for i in range(2)]
+        result = sim.run(vms)
+        assert result.overload_events > 0
+        assert result.migrations >= 1
+
+    def test_slo_violation_accounting(self, toy_shape, vm2):
+        # A single PM fully hot with no escape: every active tick is a
+        # violation for that host.
+        sim = simulation(toy_shape, count=1)
+        vms = [VirtualMachine(i, vm2, ConstantTrace(1.0)) for i in range(2)]
+        result = sim.run(vms)
+        assert result.slo_violation_rate == pytest.approx(1.0)
+        assert result.failed_migrations > 0
+
+    def test_energy_accumulates_only_for_active_pms(self, toy_shape, vm2):
+        config = SimulationConfig(duration_s=3600.0, monitor_interval_s=300.0)
+        sim = simulation(toy_shape, config)
+        vms = [VirtualMachine(0, vm2, ConstantTrace(0.0))]
+        result = sim.run(vms)
+        # One idle-but-active M3 PM for 1 hour at 337.3 W.
+        assert result.energy_kwh == pytest.approx(0.3373, rel=1e-6)
+
+    def test_peak_tracks_growth(self, toy_shape, vm2):
+        # Hot VMs force spreading over time; the peak must be >= initial.
+        sim = simulation(toy_shape, count=4)
+        trace = ArrayTrace([0.1, 1.0, 1.0, 1.0], sample_interval_s=300.0)
+        vms = [VirtualMachine(i, vm2, trace) for i in range(4)]
+        result = sim.run(vms)
+        assert result.pms_used_peak >= result.pms_used_initial
+
+    def test_result_string(self, toy_shape, vm2):
+        sim = simulation(toy_shape)
+        result = sim.run([VirtualMachine(0, vm2, ConstantTrace(0.1))])
+        assert "FF" in str(result)
+
+    def test_duration_respected(self, toy_shape, vm2):
+        config = SimulationConfig(duration_s=1800.0, monitor_interval_s=300.0)
+        sim = simulation(toy_shape, config)
+        result = sim.run([VirtualMachine(0, vm2, ConstantTrace(0.5))])
+        assert result.duration_s == 1800.0
+        # 6 ticks of 300 s for one active PM.
+        assert result.energy_kwh > 0

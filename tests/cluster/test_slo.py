@@ -1,0 +1,53 @@
+"""Tests for SLATAH-style SLO accounting."""
+
+import pytest
+
+from repro.cluster.slo import SLOTracker
+from repro.util.validation import ValidationError
+
+
+class TestSLOTracker:
+    def test_no_activity_means_no_violation(self):
+        assert SLOTracker().violation_rate == 0.0
+
+    def test_violation_fraction(self):
+        tracker = SLOTracker()
+        tracker.record(1.0, 300.0)   # at capacity
+        tracker.record(0.5, 300.0)
+        tracker.record(0.2, 300.0)
+        tracker.record(1.2, 300.0)   # beyond capacity still violates
+        assert tracker.violation_rate == pytest.approx(0.5)
+
+    def test_inactive_hosts_excluded(self):
+        tracker = SLOTracker()
+        tracker.record(1.0, 300.0, active=False)
+        assert tracker.active_seconds == 0.0
+        assert tracker.violation_rate == 0.0
+
+    def test_threshold_inclusive(self):
+        tracker = SLOTracker(violation_threshold=0.9)
+        tracker.record(0.9, 100.0)
+        assert tracker.violation_seconds == pytest.approx(100.0)
+
+    def test_below_threshold_not_counted(self):
+        tracker = SLOTracker(violation_threshold=0.9)
+        tracker.record(0.899, 100.0)
+        assert tracker.violation_seconds == 0.0
+
+    def test_multiple_hosts_pool_their_time(self):
+        tracker = SLOTracker()
+        for _ in range(3):      # three hosts at one tick
+            tracker.record(0.5, 300.0)
+        tracker.record(1.0, 300.0)
+        assert tracker.active_seconds == pytest.approx(1200.0)
+        assert tracker.violation_rate == pytest.approx(0.25)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            SLOTracker(violation_threshold=0.0)
+        with pytest.raises(ValidationError):
+            SLOTracker(violation_threshold=1.5)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValidationError):
+            SLOTracker().record(0.5, -1.0)

@@ -1,0 +1,45 @@
+"""Tests for VirtualMachine and Allocation records."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.vm import VirtualMachine
+from repro.traces.base import ArrayTrace, ConstantTrace
+
+
+class TestVirtualMachine:
+    def test_defaults_to_worst_case_trace(self, vm2):
+        vm = VirtualMachine(1, vm2)
+        assert vm.cpu_utilization_at(0.0) == 1.0
+        assert vm.cpu_utilization_at(1e6) == 1.0
+
+    def test_trace_driven(self, vm2):
+        vm = VirtualMachine(1, vm2, trace=ArrayTrace([0.2, 0.8], 300.0))
+        assert vm.cpu_utilization_at(0.0) == pytest.approx(0.2)
+        assert vm.cpu_utilization_at(300.0) == pytest.approx(0.8)
+
+    def test_str(self, vm2):
+        assert "vm2" in str(VirtualMachine(7, vm2))
+
+
+class TestAllocation:
+    def test_properties(self, vm2):
+        vm = VirtualMachine(3, vm2, trace=ConstantTrace(0.5))
+        allocation = Allocation(
+            vm=vm, pm_id=1, assignments=(((0, 1), (1, 1)),), placed_at=10.0
+        )
+        assert allocation.vm_id == 3
+        assert allocation.vm_type is vm2
+        assert allocation.pm_id == 1
+        assert allocation.placed_at == 10.0
+        assert "PM#1" in str(allocation)
+
+    def test_satisfies_selector_protocols(self, vm2):
+        from repro.baselines.migration_policies import MigratableAllocation
+        from repro.core.migration import AllocationView
+
+        allocation = Allocation(
+            vm=VirtualMachine(1, vm2), pm_id=0, assignments=(((0, 1),),)
+        )
+        assert isinstance(allocation, AllocationView)
+        assert isinstance(allocation, MigratableAllocation)

@@ -1,0 +1,207 @@
+"""Tests for anti-collocation placement enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.core.permutations import (
+    apply_assignments,
+    balanced_placement,
+    can_place,
+    can_place_group,
+    enumerate_group_placements,
+    enumerate_placements,
+    first_fit_placement,
+)
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+
+
+def usages_of(placements):
+    return {p.new_usage for p in placements}
+
+
+class TestCanPlaceGroup:
+    def setup_method(self):
+        self.group = ResourceGroup(name="cpu", capacities=(4, 4, 4, 4))
+
+    def test_fits_on_distinct_units(self):
+        assert can_place_group(self.group, (3, 3, 0, 0), (1, 1))
+
+    def test_anti_collocation_requires_distinct_units(self):
+        # Five chunks cannot land on four units.
+        assert not can_place_group(self.group, (0, 0, 0, 0), (1, 1, 1, 1, 1))
+
+    def test_hall_condition(self):
+        # Two chunks of 2 need two units with free >= 2; only one exists.
+        assert not can_place_group(self.group, (3, 3, 3, 0), (2, 2))
+        assert can_place_group(self.group, (3, 3, 2, 0), (2, 2))
+
+    def test_zero_chunks_always_fit(self):
+        assert can_place_group(self.group, (4, 4, 4, 4), ())
+        assert can_place_group(self.group, (4, 4, 4, 4), (0, 0))
+
+    def test_scalar_group(self):
+        mem = ResourceGroup(name="mem", capacities=(8,), anti_collocation=False)
+        assert can_place_group(mem, (5,), (3,))
+        assert not can_place_group(mem, (5,), (4,))
+
+
+class TestEnumerateGroupPlacements:
+    def setup_method(self):
+        self.group = ResourceGroup(name="cpu", capacities=(4, 4, 4, 4))
+
+    def test_uniform_chunks_collapse_symmetry(self):
+        # [1,1] on an empty group: all C(4,2) choices collapse to one
+        # canonical outcome.
+        options = list(enumerate_group_placements(self.group, (0, 0, 0, 0), (1, 1)))
+        assert usages_of(options) == {(0, 0, 1, 1)}
+
+    def test_distinct_usage_levels_multiply_options(self):
+        options = list(enumerate_group_placements(self.group, (0, 1, 2, 3), (1, 1)))
+        # Choosing 2 of 4 distinct levels: C(4,2) = 6 distinct outcomes.
+        assert len(options) == 6
+
+    def test_capacity_prunes_options(self):
+        options = list(enumerate_group_placements(self.group, (4, 4, 3, 0), (2, 2)))
+        assert usages_of(options) == set()
+
+    def test_heterogeneous_chunks(self):
+        options = list(enumerate_group_placements(self.group, (0, 0, 2, 2), (1, 2)))
+        # Chunk values 1 and 2 over levels {0 (x2), 2 (x2)}:
+        # (1->0, 2->0), (1->0, 2->2), (1->2, 2->0), (1->2, 2->2).
+        assert len(options) == 4
+
+    def test_assignment_realizes_new_usage(self):
+        group = self.group
+        for placement in enumerate_group_placements(group, (0, 1, 2, 3), (1, 1)):
+            realized = list((0, 1, 2, 3))
+            for idx, chunk in placement.assignment:
+                realized[idx] += chunk
+            assert tuple(sorted(realized)) == placement.new_usage
+
+    def test_exhaustive_against_bruteforce(self):
+        # Compare class-based enumeration against naive permutations.
+        group = ResourceGroup(name="cpu", capacities=(3, 3, 3))
+        usage = (0, 1, 2)
+        chunks = (1, 2)
+        expected = set()
+        for perm in itertools.permutations(range(3), len(chunks)):
+            new = list(usage)
+            ok = True
+            for idx, chunk in zip(perm, chunks):
+                new[idx] += chunk
+                if new[idx] > 3:
+                    ok = False
+            if ok:
+                expected.add(tuple(sorted(new)))
+        got = usages_of(enumerate_group_placements(group, usage, chunks))
+        assert got == expected
+
+
+class TestEnumeratePlacements:
+    def test_cross_group_product(self, mixed_shape, mixed_vm):
+        options = list(
+            enumerate_placements(mixed_shape, mixed_shape.empty_usage(), mixed_vm)
+        )
+        # Empty machine: cpu placement unique, mem unique, disk unique.
+        assert len(options) == 1
+
+    def test_dedupes_on_full_usage(self, toy_shape, vm2):
+        options = list(
+            enumerate_placements(toy_shape, ((0, 0, 0, 0),), vm2)
+        )
+        assert usages_of(options) == {((0, 0, 1, 1),)}
+
+    def test_infeasible_yields_nothing(self, toy_shape, vm4):
+        assert list(enumerate_placements(toy_shape, ((4, 4, 4, 3),), vm4)) == []
+
+    def test_group_count_mismatch_yields_nothing(self, toy_shape, mixed_vm):
+        assert list(
+            enumerate_placements(toy_shape, toy_shape.empty_usage(), mixed_vm)
+        ) == []
+
+
+class TestBalancedPlacement:
+    def test_prefers_least_loaded_units(self, toy_shape, vm2):
+        placed = balanced_placement(toy_shape, ((3, 1, 0, 2),), vm2)
+        indices = {idx for idx, _ in placed.assignments[0]}
+        assert indices == {1, 2}  # usages 1 and 0
+
+    def test_matches_some_enumerated_option(self, toy_shape, vm2):
+        usage = ((0, 1, 2, 3),)
+        placed = balanced_placement(toy_shape, usage, vm2)
+        enumerated = usages_of(enumerate_placements(toy_shape, usage, vm2))
+        assert placed.new_usage in enumerated
+
+    def test_succeeds_whenever_feasible(self, toy_shape, toy_vm_types):
+        # Hall-style guarantee: wherever enumeration finds an option,
+        # balanced placement must not fail.
+        from repro.core.profile import iter_all_profiles
+
+        for profile in iter_all_profiles(toy_shape):
+            for vm in toy_vm_types:
+                enumerated = list(
+                    enumerate_placements(toy_shape, profile.usage, vm)
+                )
+                placed = balanced_placement(toy_shape, profile.usage, vm)
+                assert (placed is not None) == bool(enumerated)
+
+    def test_infeasible_returns_none(self, toy_shape, vm4):
+        assert balanced_placement(toy_shape, ((4, 4, 4, 4),), vm4) is None
+
+    def test_scalar_group(self, mixed_shape, mixed_vm):
+        placed = balanced_placement(mixed_shape, mixed_shape.empty_usage(), mixed_vm)
+        assert placed.new_usage[1] == (2,)
+
+
+class TestFirstFitPlacement:
+    def test_concentrates_on_low_indices(self, toy_shape, vm2):
+        placed = first_fit_placement(toy_shape, ((0, 0, 0, 0),), vm2)
+        assert {idx for idx, _ in placed.assignments[0]} == {0, 1}
+
+    def test_can_fail_where_balanced_succeeds(self):
+        # First-fit assigns chunk 3 to unit 0 (free 3), leaving chunk 2
+        # only units with free < 2 -> fails; balanced succeeds.
+        shape = MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(4, 4)),)
+        )
+        vm = VMType(name="v", demands=((3, 2),))
+        usage = ((1, 2),)
+        # Demands are stored sorted ascending: (2, 3). First-fit places 2
+        # on unit 0 (1+2=3 ok), then 3 on unit 1 (2+3=5 > 4) -> fail.
+        assert first_fit_placement(shape, usage, vm) is None
+        assert balanced_placement(shape, usage, vm) is not None
+
+    def test_infeasible_returns_none(self, toy_shape, vm4):
+        assert first_fit_placement(toy_shape, ((4, 4, 4, 4),), vm4) is None
+
+
+class TestApplyAssignments:
+    def test_roundtrip_with_removal(self, toy_shape, vm2):
+        from repro.core.migration import usage_after_removal
+
+        usage = ((1, 2, 0, 3),)
+        placed = balanced_placement(toy_shape, usage, vm2)
+        applied = apply_assignments(usage, placed.assignments)
+        assert usage_after_removal(applied, placed.assignments) == usage
+
+    def test_preserves_real_order(self, toy_shape, vm2):
+        usage = ((3, 0, 2, 1),)
+        placed = balanced_placement(toy_shape, usage, vm2)
+        applied = apply_assignments(usage, placed.assignments)
+        # Canonical sorting must NOT have happened.
+        assert sum(applied[0]) == sum(usage[0]) + 2
+        for before, after in zip(usage[0], applied[0]):
+            assert after in (before, before + 1)
+
+
+class TestCanPlace:
+    def test_matches_enumeration(self, toy_shape, toy_vm_types):
+        from repro.core.profile import iter_all_profiles
+
+        for profile in iter_all_profiles(toy_shape):
+            for vm in toy_vm_types:
+                feasible = bool(
+                    list(enumerate_placements(toy_shape, profile.usage, vm))
+                )
+                assert can_place(toy_shape, profile.usage, vm) == feasible

@@ -1,0 +1,129 @@
+"""Tests for the PageRankVM allocation policy (Algorithm 2)."""
+
+import pytest
+
+from repro.core.placement import PageRankVMPolicy
+from repro.core.score_table import build_score_table
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def policy(toy_shape, toy_table):
+    return PageRankVMPolicy({toy_shape: toy_table})
+
+
+class TestConstruction:
+    def test_requires_tables(self):
+        with pytest.raises(ValidationError):
+            PageRankVMPolicy({})
+
+    def test_for_shapes_builds_tables(self, toy_shape, toy_vm_types):
+        policy = PageRankVMPolicy.for_shapes(
+            [toy_shape, toy_shape], toy_vm_types, mode="full"
+        )
+        assert len(policy.tables) == 1
+
+    def test_table_for_unknown_shape_raises(self, policy, mixed_shape):
+        with pytest.raises(KeyError):
+            policy.table_for(mixed_shape)
+
+    def test_name(self, policy):
+        assert policy.name == "PageRankVM"
+
+
+class TestScoring:
+    def test_profile_score_matches_table(self, policy, toy_shape, toy_table):
+        usage = ((1, 1, 2, 2),)
+        assert policy.profile_score(toy_shape, usage) == toy_table.score_or_snap(
+            usage
+        )
+
+    def test_candidate_mode_follows_table_strategy(
+        self, toy_shape, toy_vm_types
+    ):
+        from repro.core.graph import SuccessorStrategy
+
+        balanced = build_score_table(
+            toy_shape, toy_vm_types, strategy=SuccessorStrategy.BALANCED
+        )
+        policy = PageRankVMPolicy({toy_shape: balanced})
+        assert policy.candidate_mode(toy_shape) == "balanced"
+
+    def test_all_mode_by_default(self, policy, toy_shape):
+        assert policy.candidate_mode(toy_shape) == "all"
+
+
+class TestPlacementDecisions:
+    def test_picks_pm_with_best_resulting_profile(
+        self, policy, toy_shape, toy_table, vm2, fake_machine
+    ):
+        # Candidate machines at different usages; the policy must pick the
+        # machine (and accommodation) whose resulting profile scores best.
+        machines = [
+            fake_machine(0, toy_shape, ((2, 2, 0, 0),)),
+            fake_machine(1, toy_shape, ((2, 2, 2, 2),)),
+            fake_machine(2, toy_shape, ((1, 0, 0, 0),)),
+        ]
+        decision = policy.select(vm2, machines)
+        assert decision is not None
+        # Recompute the expected winner by brute force.
+        from repro.core.permutations import enumerate_placements
+
+        best = None
+        for machine in machines:
+            for placed in enumerate_placements(toy_shape, machine.usage, vm2):
+                score = toy_table.score_or_snap(placed.new_usage)
+                if best is None or score > best[0]:
+                    best = (score, machine.pm_id)
+        assert decision.pm_id == best[1]
+        assert decision.score == pytest.approx(best[0])
+
+    def test_unused_pm_opened_when_nothing_fits(
+        self, policy, toy_shape, vm4, fake_machine
+    ):
+        used = fake_machine(0, toy_shape, ((4, 4, 4, 3),))
+        fresh = fake_machine(1, toy_shape)
+        decision = policy.select(vm4, [used, fresh])
+        assert decision.pm_id == 1
+
+    def test_no_solution_returns_none(self, policy, toy_shape, vm4, fake_machine):
+        blocked = fake_machine(0, toy_shape, ((4, 4, 4, 4),))
+        assert policy.select(vm4, [blocked]) is None
+
+    def test_realized_assignment_achieves_reported_score(
+        self, policy, toy_shape, toy_table, vm2, fake_machine
+    ):
+        from repro.core.permutations import apply_assignments
+
+        machine = fake_machine(0, toy_shape, ((0, 1, 2, 3),))
+        decision = policy.select(vm2, [machine])
+        realized = toy_shape.canonicalize(
+            apply_assignments(machine.usage, decision.placement.assignments)
+        )
+        assert toy_table.score_or_snap(realized) == pytest.approx(decision.score)
+
+    def test_deterministic(self, policy, toy_shape, vm2, fake_machine):
+        machines = [
+            fake_machine(i, toy_shape, ((i % 3, 0, 0, 0),)) for i in range(6)
+        ]
+        first = policy.select(vm2, machines)
+        second = policy.select(vm2, machines)
+        assert first.pm_id == second.pm_id
+        assert first.placement.new_usage == second.placement.new_usage
+
+
+class TestPaperScenario:
+    def test_prefers_completable_over_dead_end(
+        self, toy_shape, toy_vm_types, vm2, fake_machine
+    ):
+        # Two PMs would land on [4,4,3,3] (completable; BPRU 1) versus
+        # [4,4,4,1] (whose completions strand a dimension).  The BPRU
+        # discount must steer the policy toward the completable profile.
+        table = build_score_table(toy_shape, toy_vm_types, mode="full")
+        policy = PageRankVMPolicy({toy_shape: table})
+        toward_dead_end = fake_machine(0, toy_shape, ((4, 4, 3, 1),))
+        # vm2 on it -> (4,4,4,2) at best; all options strand capacity.
+        completable = fake_machine(1, toy_shape, ((4, 4, 2, 2),))
+        # vm2 -> (4,4,3,3), BPRU 1.
+        decision = policy.select(vm2, [toward_dead_end, completable])
+        assert decision.pm_id == 1

@@ -1,0 +1,135 @@
+"""Tests for the policy skeleton (Algorithm 2 structure) and caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import PlacementPolicy, ProfileScorePolicy
+from repro.core.profile import MachineShape, ResourceGroup
+
+
+class UtilizationPolicy(ProfileScorePolicy):
+    """Concrete scored policy for testing: prefer fuller profiles."""
+
+    name = "util"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.score_calls = 0
+
+    def profile_score(self, shape, usage):
+        self.score_calls += 1
+        return shape.utilization(usage)
+
+
+class TestAlgorithmTwoStructure:
+    def test_used_pms_scanned_before_unused(self, toy_shape, vm2, fake_machine):
+        used = fake_machine(0, toy_shape, ((1, 1, 0, 0),))
+        unused = fake_machine(1, toy_shape)
+        policy = UtilizationPolicy()
+        decision = policy.select(vm2, [unused, used])
+        assert decision.pm_id == 0
+
+    def test_falls_back_to_first_unused(self, toy_shape, vm2, fake_machine):
+        full = fake_machine(0, toy_shape, ((4, 4, 4, 4),))
+        empty_a = fake_machine(1, toy_shape)
+        empty_b = fake_machine(2, toy_shape)
+        policy = UtilizationPolicy()
+        decision = policy.select(vm2, [full, empty_a, empty_b])
+        assert decision.pm_id == 1
+
+    def test_returns_none_when_nothing_fits(self, toy_shape, vm4, fake_machine):
+        nearly_full = fake_machine(0, toy_shape, ((4, 4, 4, 3),))
+        policy = UtilizationPolicy()
+        assert policy.select(vm4, [nearly_full]) is None
+
+    def test_select_excluding_skips_pm(self, toy_shape, vm2, fake_machine):
+        a = fake_machine(0, toy_shape, ((1, 1, 0, 0),))
+        b = fake_machine(1, toy_shape, ((1, 1, 0, 0),))
+        policy = UtilizationPolicy()
+        decision = policy.select_excluding(vm2, [a, b], excluded_pm=0)
+        assert decision.pm_id == 1
+
+    def test_order_vms_default_keeps_order(self, vm2, vm4):
+        class Dummy(PlacementPolicy):
+            def _select_among_used(self, vm, used):
+                return None
+
+        assert Dummy().order_vms([vm4, vm2]) == [vm4, vm2]
+
+    def test_decision_has_concrete_assignment(self, toy_shape, vm2, fake_machine):
+        machine = fake_machine(0, toy_shape, ((1, 0, 0, 0),))
+        decision = UtilizationPolicy().select(vm2, [machine])
+        chunks = sorted(c for _, c in decision.placement.assignments[0])
+        assert chunks == [1, 1]
+
+
+class TestCaching:
+    def test_equal_profiles_share_one_evaluation(self, toy_shape, vm2, fake_machine):
+        machines = [fake_machine(i, toy_shape, ((1, 1, 0, 0),)) for i in range(5)]
+        policy = UtilizationPolicy()
+        policy.select(vm2, machines)
+        first_calls = policy.score_calls
+        policy.select(vm2, machines)
+        # Second pass is fully cached.
+        assert policy.score_calls == first_calls
+
+    def test_cache_keyed_on_vm_type(self, toy_shape, vm2, vm4, fake_machine):
+        machine = fake_machine(0, toy_shape, ((1, 1, 0, 0),))
+        policy = UtilizationPolicy()
+        policy.select(vm2, [machine])
+        calls_after_vm2 = policy.score_calls
+        policy.select(vm4, [machine])
+        assert policy.score_calls > calls_after_vm2
+
+    def test_invalidate_cache(self, toy_shape, vm2, fake_machine):
+        machine = fake_machine(0, toy_shape, ((1, 1, 0, 0),))
+        policy = UtilizationPolicy()
+        policy.select(vm2, [machine])
+        calls = policy.score_calls
+        policy.invalidate_cache()
+        policy.select(vm2, [machine])
+        assert policy.score_calls > calls
+
+
+class TestPoolSampling:
+    def test_pool_size_limits_scans(self, toy_shape, vm2, fake_machine):
+        # 20 used machines with distinct usages; pool_size=2 must not
+        # evaluate all of them.
+        machines = [
+            fake_machine(i, toy_shape, ((min(i % 4, 3), 0, 0, 0),))
+            for i in range(20)
+        ]
+        policy = UtilizationPolicy(pool_size=2, rng=np.random.default_rng(0))
+        decision = policy.select(vm2, machines)
+        assert decision is not None
+        assert policy.score_calls <= 3 * 4  # 2 machines x few candidates each
+
+    def test_pool_size_validation(self):
+        with pytest.raises(Exception):
+            UtilizationPolicy(pool_size=0)
+
+    def test_pool_deterministic_given_rng(self, toy_shape, vm2, fake_machine):
+        def run(seed):
+            machines = [
+                fake_machine(i, toy_shape, ((i % 4, 0, 0, 0),)) for i in range(10)
+            ]
+            policy = UtilizationPolicy(
+                pool_size=2, rng=np.random.default_rng(seed)
+            )
+            return policy.select(vm2, machines).pm_id
+
+        assert run(7) == run(7)
+
+
+class TestCandidateModes:
+    def test_balanced_mode_single_candidate(self, toy_shape, vm2, fake_machine):
+        class BalancedUtil(UtilizationPolicy):
+            def candidate_mode(self, shape):
+                return "balanced"
+
+        machine = fake_machine(0, toy_shape, ((0, 1, 2, 3),))
+        policy = BalancedUtil()
+        decision = policy.select(vm2, [machine])
+        # Balanced mode evaluates exactly one accommodation.
+        assert policy.score_calls == 1
+        assert decision is not None

@@ -1,0 +1,230 @@
+"""Tests for profiles, shapes, VM types and quantization."""
+
+import pytest
+
+from repro.core.profile import (
+    MachineShape,
+    Profile,
+    Quantizer,
+    ResourceGroup,
+    VMType,
+    count_all_profiles,
+    iter_all_profiles,
+)
+from repro.util.validation import ValidationError
+
+
+class TestQuantizer:
+    def test_exact_roundtrip(self):
+        q = Quantizer(0.1)
+        assert q.to_units(0.6) == 6
+        assert q.to_value(6) == pytest.approx(0.6)
+
+    def test_exact_rejects_non_multiple(self):
+        with pytest.raises(ValidationError):
+            Quantizer(0.25).to_units(0.3)
+
+    def test_inexact_rounds(self):
+        assert Quantizer(0.25).to_units(0.3, exact=False) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Quantizer(1.0).to_units(-1.0)
+
+    def test_zero_quantum_rejected(self):
+        with pytest.raises(ValidationError):
+            Quantizer(0.0)
+
+    def test_large_values_stay_exact(self):
+        q = Quantizer(0.25)
+        assert q.to_units(64.0) == 256
+
+
+class TestResourceGroup:
+    def test_basic_properties(self):
+        group = ResourceGroup(name="cpu", capacities=(4, 4, 8))
+        assert group.n_units == 3
+        assert group.total_capacity == 16
+        assert not group.uniform()
+
+    def test_uniform(self):
+        assert ResourceGroup(name="cpu", capacities=(4, 4)).uniform()
+
+    def test_unsorted_capacities_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceGroup(name="cpu", capacities=(8, 4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceGroup(name="cpu", capacities=())
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceGroup(name="cpu", capacities=(0, 4))
+
+    def test_scalar_group_must_have_one_unit(self):
+        with pytest.raises(ValidationError):
+            ResourceGroup(name="mem", capacities=(4, 4), anti_collocation=False)
+
+
+class TestMachineShape:
+    def test_dimensions(self, mixed_shape):
+        assert mixed_shape.n_groups == 3
+        assert mixed_shape.n_dimensions == 5
+
+    def test_duplicate_group_names_rejected(self):
+        with pytest.raises(ValidationError):
+            MachineShape(
+                groups=(
+                    ResourceGroup(name="cpu", capacities=(4,)),
+                    ResourceGroup(name="cpu", capacities=(4,)),
+                )
+            )
+
+    def test_group_named(self, mixed_shape):
+        assert mixed_shape.group_named("mem").capacities == (8,)
+        with pytest.raises(KeyError):
+            mixed_shape.group_named("gpu")
+
+    def test_group_index(self, mixed_shape):
+        assert mixed_shape.group_index("disk") == 2
+        with pytest.raises(KeyError):
+            mixed_shape.group_index("gpu")
+
+    def test_empty_and_full_usage(self, mixed_shape):
+        assert mixed_shape.empty_usage() == ((0, 0), (0,), (0, 0))
+        assert mixed_shape.full_usage() == ((4, 4), (8,), (10, 10))
+
+    def test_canonicalize_sorts_uniform_groups(self, mixed_shape):
+        usage = ((3, 1), (5,), (7, 2))
+        assert mixed_shape.canonicalize(usage) == ((1, 3), (5,), (2, 7))
+
+    def test_canonicalize_heterogeneous_sorts_within_runs(self):
+        shape = MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(2, 4, 4)),)
+        )
+        # The capacity-2 unit keeps its slot; the two capacity-4 units sort.
+        assert shape.canonicalize(((1, 3, 0),)) == ((1, 0, 3),)
+
+    def test_validate_usage_catches_overflow(self, mixed_shape):
+        with pytest.raises(ValidationError):
+            mixed_shape.validate_usage(((5, 0), (0,), (0, 0)))
+
+    def test_validate_usage_catches_wrong_arity(self, mixed_shape):
+        with pytest.raises(ValidationError):
+            mixed_shape.validate_usage(((0, 0), (0,)))
+
+    def test_fits_usage(self, mixed_shape):
+        assert mixed_shape.fits_usage(((4, 4), (8,), (10, 10)))
+        assert not mixed_shape.fits_usage(((4, 5), (8,), (10, 10)))
+        assert not mixed_shape.fits_usage(((4, 4), (8,), (10,)))
+
+    def test_utilization_of_full_is_one(self, mixed_shape):
+        assert mixed_shape.utilization(mixed_shape.full_usage()) == pytest.approx(1.0)
+
+    def test_utilization_averages_dimensions(self):
+        shape = MachineShape(
+            groups=(
+                ResourceGroup(name="cpu", capacities=(4,)),
+                ResourceGroup(name="mem", capacities=(8,), anti_collocation=False),
+            )
+        )
+        # cpu at 100%, mem at 0% -> mean 50%.
+        assert shape.utilization(((4,), (0,))) == pytest.approx(0.5)
+
+    def test_variance_zero_when_balanced(self, toy_shape):
+        assert toy_shape.variance(((2, 2, 2, 2),)) == pytest.approx(0.0)
+
+    def test_variance_matches_paper_example(self, toy_shape):
+        # Section III.B: "[4,3,3,3] has utilization 13 and variance 0.75,
+        # and [3,3,2,2] has utilization 10 and variance 1".  The paper's
+        # numbers omit the 1/m factor of its own formula (0.75 = sum of
+        # squared deviations); ours include 1/m and normalize units by
+        # the capacity 4, scaling by 1/(4*16) = 1/64.
+        assert toy_shape.variance(((4, 3, 3, 3),)) == pytest.approx(0.75 / 64)
+        assert toy_shape.variance(((3, 3, 2, 2),)) == pytest.approx(1.0 / 64)
+        # The paper's ordering claim still holds: [4,3,3,3] has the
+        # lower variance (and higher utilization) yet is the worse host.
+        assert toy_shape.variance(((4, 3, 3, 3),)) < toy_shape.variance(
+            ((3, 3, 2, 2),)
+        )
+
+
+class TestVMType:
+    def test_demands_sorted(self):
+        vm = VMType(name="v", demands=((3, 1), (2,)))
+        assert vm.demands == ((1, 3), (2,))
+
+    def test_group_demand_drops_zeros(self):
+        vm = VMType(name="v", demands=((0, 2),))
+        assert vm.group_demand(0) == (2,)
+
+    def test_total_units(self, mixed_vm):
+        assert mixed_vm.total_units() == 2 + 2 + 2 + 5
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            VMType(name="v", demands=((-1,),))
+
+    def test_compatible_with_shape(self, mixed_shape, mixed_vm):
+        assert mixed_vm.compatible_with(mixed_shape)
+
+    def test_incompatible_too_many_chunks(self, toy_shape):
+        vm = VMType(name="v", demands=((1, 1, 1, 1, 1),))
+        assert not vm.compatible_with(toy_shape)
+
+    def test_incompatible_chunk_too_large(self, toy_shape):
+        vm = VMType(name="v", demands=((5,),))
+        assert not vm.compatible_with(toy_shape)
+
+    def test_incompatible_group_count(self, mixed_shape):
+        vm = VMType(name="v", demands=((1,),))
+        assert not vm.compatible_with(mixed_shape)
+
+    def test_scalar_group_overflow_incompatible(self, mixed_shape):
+        vm = VMType(name="v", demands=((1,), (9,), (1,)))
+        assert not vm.compatible_with(mixed_shape)
+
+
+class TestProfile:
+    def test_of_canonicalizes(self, toy_shape):
+        profile = Profile.of(toy_shape, ((4, 1, 3, 2),))
+        assert profile.usage == ((1, 2, 3, 4),)
+
+    def test_of_validates(self, toy_shape):
+        with pytest.raises(ValidationError):
+            Profile.of(toy_shape, ((5, 0, 0, 0),))
+
+    def test_empty_and_full(self, toy_shape):
+        assert Profile.empty(toy_shape).is_empty()
+        assert Profile.full(toy_shape).usage == ((4, 4, 4, 4),)
+
+    def test_flat(self, mixed_shape):
+        profile = Profile.of(mixed_shape, ((1, 2), (3,), (4, 5)))
+        assert profile.flat == (1, 2, 3, 4, 5)
+
+    def test_total_units(self, toy_shape):
+        assert Profile.of(toy_shape, ((1, 2, 0, 0),)).total_units() == 3
+
+    def test_str(self, toy_shape):
+        assert "1,2,3,4" in str(Profile.of(toy_shape, ((4, 3, 2, 1),)))
+
+
+class TestProfileEnumeration:
+    def test_toy_world_counts(self, toy_shape):
+        # Canonical profiles of [4,4,4,4]: multisets of size 4 from {0..4}
+        # = C(8,4) = 70.
+        assert count_all_profiles(toy_shape) == 70
+        assert sum(1 for _ in iter_all_profiles(toy_shape)) == 70
+
+    def test_enumeration_matches_closed_form(self, mixed_shape):
+        count = sum(1 for _ in iter_all_profiles(mixed_shape))
+        assert count == count_all_profiles(mixed_shape)
+
+    def test_all_enumerated_are_canonical(self, toy_shape):
+        for profile in iter_all_profiles(toy_shape):
+            assert profile.usage == toy_shape.canonicalize(profile.usage)
+
+    def test_enumeration_has_no_duplicates(self, mixed_shape):
+        profiles = [p.usage for p in iter_all_profiles(mixed_shape)]
+        assert len(profiles) == len(set(profiles))

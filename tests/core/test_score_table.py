@@ -1,0 +1,145 @@
+"""Tests for the Profile-PageRank score table."""
+
+import pytest
+
+from repro.core.graph import SuccessorStrategy
+from repro.core.score_table import ScoreTable, build_score_table
+from repro.util.validation import ValidationError
+
+
+class TestLookup:
+    def test_known_profile(self, toy_table, toy_shape):
+        assert toy_table.score(toy_shape.full_usage()) is not None
+
+    def test_unknown_profile_is_none(self, toy_table):
+        assert toy_table.score(((9, 9, 9, 9),)) is None
+
+    def test_profile_object_accepted(self, toy_table, toy_shape):
+        from repro.core.profile import Profile
+
+        score = toy_table.score(Profile.full(toy_shape))
+        assert score == toy_table.score(toy_shape.full_usage())
+
+    def test_contains(self, toy_table, toy_shape):
+        assert toy_shape.full_usage() in toy_table
+        assert ((9, 9, 9, 9),) not in toy_table
+
+    def test_len_matches_graph(self, toy_table, toy_graph):
+        assert len(toy_table) == toy_graph.n_nodes
+
+    def test_items_iterates_all(self, toy_table):
+        assert sum(1 for _ in toy_table.items()) == len(toy_table)
+
+
+class TestSnapping:
+    def test_exact_hit_returns_exact(self, toy_table, toy_shape):
+        usage = toy_shape.full_usage()
+        assert toy_table.score_or_snap(usage) == toy_table.score(usage)
+
+    def test_snap_returns_nearest_neighbour_score(self, toy_shape, toy_vm_types):
+        # Reachable-mode table misses odd-total profiles; snapping must
+        # return the score of an L1-nearest known profile.
+        table = build_score_table(toy_shape, toy_vm_types, mode="reachable")
+        missing = ((1, 0, 0, 0),)
+        assert table.score(missing) is None
+        snapped = table.score_or_snap(missing)
+        known_scores = {score for _, score in table.items()}
+        assert snapped in known_scores
+
+    def test_snap_ties_break_pessimistically(self, toy_shape, toy_vm_types):
+        table = build_score_table(toy_shape, toy_vm_types, mode="reachable")
+        missing = ((1, 0, 0, 0),)
+        # Both ((0,0,0,0)) and ((0,0,1,1)) are at L1 distance 1; ties
+        # must resolve to the lower score.
+        d1_scores = [
+            table.score(((0, 0, 0, 0),)),
+            table.score(((0, 0, 1, 1),)),
+        ]
+        assert table.score_or_snap(missing) == min(s for s in d1_scores if s is not None)
+
+    def test_snap_is_cached(self, toy_shape, toy_vm_types):
+        table = build_score_table(toy_shape, toy_vm_types, mode="reachable")
+        missing = ((1, 0, 0, 0),)
+        first = table.score_or_snap(missing)
+        assert table.score_or_snap(missing) == first
+
+
+class TestPersistence:
+    def test_roundtrip(self, toy_table, tmp_path):
+        path = tmp_path / "table.json"
+        toy_table.save(path)
+        loaded = ScoreTable.load(path)
+        assert len(loaded) == len(toy_table)
+        assert loaded.damping == toy_table.damping
+        assert loaded.strategy == toy_table.strategy
+        assert loaded.vote_direction == toy_table.vote_direction
+        for usage, score in toy_table.items():
+            assert loaded.score(usage) == pytest.approx(score)
+
+    def test_shape_roundtrip(self, toy_table, tmp_path):
+        path = tmp_path / "table.json"
+        toy_table.save(path)
+        loaded = ScoreTable.load(path)
+        assert loaded.shape == toy_table.shape
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValidationError):
+            ScoreTable.load(path)
+
+
+class TestBuild:
+    def test_best_profile_scores_high(self, toy_table, toy_shape):
+        # Under the forward default, the best profile is near the top of
+        # the ranking (it accumulates votes from everything below it).
+        best = toy_table.best_profile()
+        assert toy_table.score(best) >= toy_table.score(toy_shape.empty_usage())
+
+    def test_empty_scores_rejected(self, toy_shape):
+        with pytest.raises(ValidationError):
+            ScoreTable(toy_shape, {})
+
+    def test_unknown_scoring_rejected(self, toy_shape, toy_vm_types):
+        with pytest.raises(ValidationError):
+            build_score_table(toy_shape, toy_vm_types, scoring="bogus")
+
+    def test_expected_utilization_scoring(self, toy_shape, toy_vm_types):
+        table = build_score_table(
+            toy_shape, toy_vm_types, mode="full", scoring="expected-utilization"
+        )
+        # EFU of the full profile is exactly 1.0.
+        assert table.score(toy_shape.full_usage()) == pytest.approx(1.0)
+
+    def test_pagerank_efu_scoring_differs_from_default(
+        self, toy_shape, toy_vm_types, toy_table
+    ):
+        table = build_score_table(
+            toy_shape, toy_vm_types, mode="full", scoring="pagerank-efu"
+        )
+        differs = any(
+            table.score(usage) != pytest.approx(score)
+            for usage, score in toy_table.items()
+        )
+        assert differs
+
+    def test_top_sorted_best_first(self, toy_table):
+        top = toy_table.top(5)
+        assert len(top) == 5
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+        assert top[0][0] == toy_table.best_profile()
+
+    def test_top_more_than_available(self, toy_table):
+        assert len(toy_table.top(10_000)) == len(toy_table)
+
+    def test_repr_mentions_parameters(self, toy_table):
+        text = repr(toy_table)
+        assert "profiles=70" in text
+        assert "0.85" in text
+
+    def test_balanced_strategy_recorded(self, toy_shape, toy_vm_types):
+        table = build_score_table(
+            toy_shape, toy_vm_types, strategy=SuccessorStrategy.BALANCED
+        )
+        assert table.strategy is SuccessorStrategy.BALANCED

@@ -1,0 +1,66 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    CPU_HEAVY_VM_MIX,
+    DEFAULT_POLICIES,
+    DEFAULT_VM_MIX,
+    UNIFORM_VM_MIX,
+    ExperimentConfig,
+    WorkloadSpec,
+)
+from repro.util.validation import ValidationError
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.trace == "planetlab"
+        assert spec.vm_mix == DEFAULT_VM_MIX
+
+    def test_uniform_mix_covers_table_one(self):
+        assert len(UNIFORM_VM_MIX) == 6
+        assert all(w == 1.0 for _, w in UNIFORM_VM_MIX)
+
+    def test_cpu_heavy_mix_weights_sum_to_one(self):
+        assert sum(w for _, w in CPU_HEAVY_VM_MIX) == pytest.approx(1.0)
+
+    def test_unknown_vm_type_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(vm_mix=(("t2.nano", 1.0),))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(vm_mix=(("m3.medium", -1.0),))
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(vm_mix=(("m3.medium", 0.0),))
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(trace="azure")
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.policies == DEFAULT_POLICIES
+        assert config.vote_direction == "forward"
+
+    def test_total_pms(self):
+        config = ExperimentConfig(datacenter=(("M3", 10), ("C3", 5)))
+        assert config.total_pms() == 15
+
+    def test_unknown_pm_type_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentConfig(datacenter=(("Z9", 10),))
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentConfig(n_vms=0)
+        with pytest.raises(ValidationError):
+            ExperimentConfig(repetitions=0)
+        with pytest.raises(ValidationError):
+            ExperimentConfig(policies=())

@@ -1,0 +1,83 @@
+"""Tests for the dynamic workload generator."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workload import build_dynamic_workload
+from repro.util.validation import ValidationError
+
+
+def config(n_vms=100, seed=5):
+    return ExperimentConfig(n_vms=n_vms, seed=seed)
+
+
+class TestBuildDynamicWorkload:
+    def test_arrivals_sorted_and_within_horizon(self):
+        events = build_dynamic_workload(config(), 0, horizon_s=86_400.0)
+        arrivals = [e.arrival_s for e in events]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < a <= 86_400.0 for a in arrivals)
+
+    def test_departures_after_arrivals(self):
+        events = build_dynamic_workload(config(), 0)
+        for event in events:
+            if event.departure_s is not None:
+                assert event.departure_s > event.arrival_s
+                assert event.departure_s <= 86_400.0
+
+    def test_event_count_capped_by_n_vms(self):
+        events = build_dynamic_workload(
+            config(n_vms=10), 0, mean_interarrival_s=1.0
+        )
+        assert len(events) == 10
+
+    def test_horizon_truncates_stream(self):
+        events = build_dynamic_workload(
+            config(n_vms=10_000), 0, horizon_s=3600.0,
+            mean_interarrival_s=120.0,
+        )
+        # ~30 arrivals expected in one hour; certainly below 10k.
+        assert 5 < len(events) < 120
+
+    def test_deterministic_per_repetition(self):
+        a = build_dynamic_workload(config(), 3)
+        b = build_dynamic_workload(config(), 3)
+        assert [e.arrival_s for e in a] == [e.arrival_s for e in b]
+        assert [e.vm.vm_type.name for e in a] == [e.vm.vm_type.name for e in b]
+
+    def test_repetitions_differ(self):
+        a = build_dynamic_workload(config(), 0)
+        b = build_dynamic_workload(config(), 1)
+        assert [e.arrival_s for e in a] != [e.arrival_s for e in b]
+
+    def test_unique_vm_ids(self):
+        events = build_dynamic_workload(config(), 0)
+        ids = [e.vm.vm_id for e in events]
+        assert len(set(ids)) == len(ids)
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValidationError):
+            build_dynamic_workload(config(), 0, horizon_s=0)
+        with pytest.raises(ValidationError):
+            build_dynamic_workload(config(), 0, mean_interarrival_s=0)
+        with pytest.raises(ValidationError):
+            build_dynamic_workload(config(), 0, mean_lifetime_s=0)
+
+    def test_runs_through_dynamic_simulation(self, toy_shape):
+        from repro.baselines import FirstFitPolicy, MinimumMigrationTimeSelector
+        from repro.cluster.datacenter import Datacenter
+        from repro.cluster.ec2 import build_ec2_datacenter
+        from repro.cluster.simulation import DynamicSimulation, SimulationConfig
+
+        events = build_dynamic_workload(
+            config(n_vms=30), 0, mean_interarrival_s=600.0
+        )
+        simulation = DynamicSimulation(
+            build_ec2_datacenter({"M3": 20, "C3": 5}),
+            FirstFitPolicy(),
+            MinimumMigrationTimeSelector(),
+            SimulationConfig(duration_s=86_400.0),
+        )
+        result = simulation.run_events(events)
+        assert result.rejected_arrivals == 0
+        assert result.completed_vms >= 0

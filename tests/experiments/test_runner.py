@@ -1,0 +1,98 @@
+"""Tests for the experiment runner (small-scale end to end)."""
+
+import pytest
+
+from repro.cluster.simulation import SimulationConfig
+from repro.experiments.config import ExperimentConfig, WorkloadSpec
+from repro.experiments.runner import (
+    ExperimentResults,
+    make_policy_and_selector,
+    run_experiment,
+    run_single,
+)
+from repro.util.validation import ValidationError
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        n_vms=30,
+        datacenter=(("M3", 20), ("C3", 5)),
+        workload=WorkloadSpec(trace="planetlab"),
+        policies=("FF", "FFDSum"),
+        repetitions=2,
+        sim=SimulationConfig(duration_s=1800.0, monitor_interval_s=300.0),
+    )
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+class TestPolicyFactory:
+    @pytest.mark.parametrize(
+        "name", ["FF", "FFDSum", "CompVM", "BestFit"]
+    )
+    def test_baselines_pair_with_mmt(self, name):
+        policy, selector = make_policy_and_selector(name, small_config())
+        assert policy.name in (name, name.replace("-", ""))
+        assert selector.name == "mmt"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            make_policy_and_selector("Oracle", small_config())
+
+    @pytest.mark.slow
+    def test_pagerankvm_pairs_with_pagerank_selector(self):
+        policy, selector = make_policy_and_selector("PageRankVM", small_config())
+        assert policy.name == "PageRankVM"
+        assert selector.name == "pagerank"
+
+
+class TestRunSingle:
+    def test_produces_result(self):
+        result = run_single(small_config(), "FF", repetition=0)
+        assert result.policy_name == "FF"
+        assert result.n_vms == 30
+        assert result.pms_used_initial >= 1
+
+    def test_deterministic(self):
+        a = run_single(small_config(), "FF", 0)
+        b = run_single(small_config(), "FF", 0)
+        assert a.pms_used_initial == b.pms_used_initial
+        assert a.migrations == b.migrations
+        assert a.energy_kwh == pytest.approx(b.energy_kwh)
+
+    def test_repetitions_differ(self):
+        a = run_single(small_config(), "FF", 0)
+        b = run_single(small_config(), "FF", 1)
+        differs = (
+            a.pms_used_initial != b.pms_used_initial
+            or a.migrations != b.migrations
+            or a.energy_kwh != b.energy_kwh
+        )
+        assert differs
+
+
+class TestRunExperiment:
+    def test_full_grid(self):
+        results = run_experiment(small_config())
+        assert set(results.runs) == {"FF", "FFDSum"}
+        assert all(len(runs) == 2 for runs in results.runs.values())
+
+    def test_summaries(self):
+        results = run_experiment(small_config())
+        summary = results.summarize("pms_used")
+        assert set(summary) == {"FF", "FFDSum"}
+        for stats in summary.values():
+            assert stats.n == 2
+            assert stats.p01 <= stats.median <= stats.p99
+
+    def test_metric_aliases(self):
+        results = run_experiment(small_config())
+        values = results.metric_values("FF", "slo_violations")
+        assert len(values) == 2
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_ordering_sorted_by_median(self):
+        results = run_experiment(small_config())
+        ordering = results.ordering("pms_used")
+        medians = [results.summarize("pms_used")[p].median for p in ordering]
+        assert medians == sorted(medians)

@@ -1,0 +1,69 @@
+"""Tests for workload construction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig, WorkloadSpec
+from repro.experiments.workload import build_vms, make_trace_pool, sample_vm_types
+from repro.util.rng import RngFactory
+
+
+class TestSampleVMTypes:
+    def test_respects_weights(self):
+        spec = WorkloadSpec(vm_mix=(("m3.medium", 1.0), ("c3.large", 0.0)))
+        types = sample_vm_types(np.random.default_rng(0), 50, spec)
+        assert all(t.name == "m3.medium" for t in types)
+
+    def test_mix_produces_variety(self):
+        spec = WorkloadSpec()
+        types = sample_vm_types(np.random.default_rng(0), 300, spec)
+        assert len({t.name for t in types}) >= 4
+
+    def test_deterministic(self):
+        spec = WorkloadSpec()
+        a = sample_vm_types(np.random.default_rng(3), 20, spec)
+        b = sample_vm_types(np.random.default_rng(3), 20, spec)
+        assert [t.name for t in a] == [t.name for t in b]
+
+
+class TestTracePool:
+    @pytest.mark.parametrize("trace", ["planetlab", "google", "constant"])
+    def test_all_families_construct(self, trace):
+        spec = WorkloadSpec(trace=trace, trace_population=10)
+        pool = make_trace_pool(spec, RngFactory(0))
+        sample = pool.sample()
+        assert 0.0 <= sample.utilization_at(0.0) <= 1.0
+
+    def test_constant_family_is_worst_case(self):
+        spec = WorkloadSpec(trace="constant")
+        pool = make_trace_pool(spec, RngFactory(0))
+        assert pool.sample().utilization_at(123.0) == 1.0
+
+
+class TestBuildVMs:
+    def test_count_and_ids(self):
+        config = ExperimentConfig(n_vms=25, repetitions=1)
+        vms = build_vms(config, repetition=0)
+        assert len(vms) == 25
+        assert [vm.vm_id for vm in vms] == list(range(25))
+
+    def test_repetitions_differ(self):
+        config = ExperimentConfig(n_vms=50, repetitions=2)
+        a = build_vms(config, 0)
+        b = build_vms(config, 1)
+        assert [vm.vm_type.name for vm in a] != [vm.vm_type.name for vm in b]
+
+    def test_same_repetition_identical_across_calls(self):
+        # Paired comparison guarantee: every policy sees the same batch.
+        config = ExperimentConfig(n_vms=50)
+        a = build_vms(config, 0)
+        b = build_vms(config, 0)
+        assert [vm.vm_type.name for vm in a] == [vm.vm_type.name for vm in b]
+        assert [vm.trace.utilization_at(0.0) for vm in a] == [
+            vm.trace.utilization_at(0.0) for vm in b
+        ]
+
+    def test_seed_changes_workload(self):
+        a = build_vms(ExperimentConfig(n_vms=50, seed=1), 0)
+        b = build_vms(ExperimentConfig(n_vms=50, seed=2), 0)
+        assert [vm.vm_type.name for vm in a] != [vm.vm_type.name for vm in b]

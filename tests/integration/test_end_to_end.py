@@ -1,0 +1,141 @@
+"""End-to-end integration: full stack on the toy world and small EC2."""
+
+import pytest
+
+from repro.baselines import (
+    CompVMPolicy,
+    FFDSumPolicy,
+    FirstFitPolicy,
+    MinimumMigrationTimeSelector,
+)
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.simulation import CloudSimulation, SimulationConfig
+from repro.cluster.vm import VirtualMachine
+from repro.core.migration import PageRankMigrationSelector
+from repro.core.placement import PageRankVMPolicy
+from repro.traces.base import ConstantTrace
+from repro.util.rng import RngFactory
+
+
+def toy_datacenter(toy_shape, count):
+    return Datacenter(
+        [PhysicalMachine(i, toy_shape, type_name="M3") for i in range(count)]
+    )
+
+
+def toy_workload(toy_vm_types, count, seed=0, level=0.2):
+    rng = RngFactory(seed).generator("types")
+    return [
+        VirtualMachine(
+            i,
+            toy_vm_types[int(rng.integers(len(toy_vm_types)))],
+            ConstantTrace(level),
+        )
+        for i in range(count)
+    ]
+
+
+ALL_POLICIES = ["PageRankVM", "CompVM", "FFDSum", "FF"]
+
+
+def make_policy(name, toy_shape, toy_table):
+    if name == "PageRankVM":
+        return (
+            PageRankVMPolicy({toy_shape: toy_table}),
+            PageRankMigrationSelector({toy_shape: toy_table}),
+        )
+    policy = {"CompVM": CompVMPolicy, "FFDSum": FFDSumPolicy, "FF": FirstFitPolicy}[
+        name
+    ]()
+    return policy, MinimumMigrationTimeSelector()
+
+
+class TestToyWorldSimulations:
+    @pytest.mark.parametrize("name", ALL_POLICIES)
+    def test_every_policy_completes_a_day(self, name, toy_shape, toy_table,
+                                          toy_vm_types):
+        policy, selector = make_policy(name, toy_shape, toy_table)
+        simulation = CloudSimulation(
+            toy_datacenter(toy_shape, 12),
+            policy,
+            selector,
+            SimulationConfig(duration_s=7200.0, monitor_interval_s=300.0),
+        )
+        result = simulation.run(toy_workload(toy_vm_types, 24))
+        assert result.unplaced_vms == 0
+        assert result.pms_used_initial >= 24 * 2 / 16  # demand lower bound
+        assert result.energy_kwh > 0
+
+    @pytest.mark.parametrize("name", ALL_POLICIES)
+    def test_conservation_of_vms(self, name, toy_shape, toy_table, toy_vm_types):
+        # However many migrations happen, every placed VM is on exactly
+        # one PM afterwards.
+        policy, selector = make_policy(name, toy_shape, toy_table)
+        datacenter = toy_datacenter(toy_shape, 12)
+        simulation = CloudSimulation(
+            datacenter,
+            policy,
+            selector,
+            SimulationConfig(duration_s=7200.0, monitor_interval_s=300.0),
+        )
+        vms = toy_workload(toy_vm_types, 20, level=0.9)
+        result = simulation.run(vms)
+        placed = result.n_vms - result.unplaced_vms
+        assert datacenter.n_vms == placed
+        hosted = sum(m.n_vms for m in datacenter.machines)
+        assert hosted == placed
+
+    @pytest.mark.parametrize("name", ALL_POLICIES)
+    def test_capacity_never_violated(self, name, toy_shape, toy_table,
+                                     toy_vm_types):
+        policy, selector = make_policy(name, toy_shape, toy_table)
+        datacenter = toy_datacenter(toy_shape, 12)
+        simulation = CloudSimulation(
+            datacenter,
+            policy,
+            selector,
+            SimulationConfig(duration_s=7200.0, monitor_interval_s=300.0),
+        )
+        simulation.run(toy_workload(toy_vm_types, 30, level=0.8))
+        for machine in datacenter.machines:
+            assert toy_shape.fits_usage(machine.usage)
+
+    def test_pagerankvm_packs_at_least_as_well_as_ffdsum(
+        self, toy_shape, toy_table, toy_vm_types
+    ):
+        results = {}
+        for name in ("PageRankVM", "FFDSum"):
+            policy, selector = make_policy(name, toy_shape, toy_table)
+            simulation = CloudSimulation(
+                toy_datacenter(toy_shape, 12),
+                policy,
+                selector,
+                SimulationConfig(duration_s=3600.0, monitor_interval_s=300.0),
+            )
+            results[name] = simulation.run(toy_workload(toy_vm_types, 40))
+        assert (
+            results["PageRankVM"].pms_used_initial
+            <= results["FFDSum"].pms_used_initial
+        )
+
+
+@pytest.mark.slow
+class TestSmallEC2Simulation:
+    def test_all_policies_on_ec2_catalog(self):
+        from repro.experiments.config import ExperimentConfig, WorkloadSpec
+        from repro.experiments.runner import run_experiment
+
+        config = ExperimentConfig(
+            n_vms=40,
+            datacenter=(("M3", 25), ("C3", 6)),
+            workload=WorkloadSpec(trace="planetlab"),
+            policies=("PageRankVM", "CompVM", "FFDSum", "FF"),
+            repetitions=2,
+            sim=SimulationConfig(duration_s=3600.0, monitor_interval_s=300.0),
+        )
+        results = run_experiment(config)
+        for policy, runs in results.runs.items():
+            for run in runs:
+                assert run.unplaced_vms == 0, policy
+                assert run.pms_used_initial > 0

@@ -1,0 +1,152 @@
+"""Tests for the MIP formulation checker (constraints (1)-(11))."""
+
+import pytest
+
+from repro.core.permutations import Placement, balanced_placement
+from repro.core.profile import VMType
+from repro.model.analytic import (
+    PlacementInstance,
+    PlacementSolution,
+    solution_from_policy,
+    verify_constraints,
+)
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def instance(toy_shape, vm2, vm4):
+    return PlacementInstance(vms=(vm2, vm4), pms=(toy_shape, toy_shape))
+
+
+def placement_for(shape, usage, vm):
+    placed = balanced_placement(shape, usage, vm)
+    assert placed is not None
+    return placed
+
+
+class TestInstance:
+    def test_validation(self, toy_shape, vm2):
+        with pytest.raises(ValidationError):
+            PlacementInstance(vms=(), pms=(toy_shape,))
+        with pytest.raises(ValidationError):
+            PlacementInstance(vms=(vm2,), pms=())
+        with pytest.raises(ValidationError):
+            PlacementInstance(vms=(vm2,), pms=(toy_shape,), costs=(1.0, 2.0))
+
+    def test_default_unit_costs(self, instance):
+        assert instance.cost_of(0) == 1.0
+
+    def test_explicit_costs(self, toy_shape, vm2):
+        inst = PlacementInstance(vms=(vm2,), pms=(toy_shape,), costs=(3.5,))
+        assert inst.cost_of(0) == 3.5
+
+
+class TestSolutionAccounting:
+    def test_open_pms_and_cost(self, instance, toy_shape, vm2, vm4):
+        empty = toy_shape.empty_usage()
+        solution = PlacementSolution(
+            assignments=(
+                (0, placement_for(toy_shape, empty, vm2)),
+                (0, placement_for(toy_shape, ((0, 0, 1, 1),), vm4)),
+            )
+        )
+        assert solution.open_pms() == [0]
+        assert solution.total_cost(instance) == 1.0
+
+
+class TestConstraintChecker:
+    def test_feasible_solution_passes(self, instance, toy_shape, vm2, vm4):
+        empty = toy_shape.empty_usage()
+        solution = PlacementSolution(
+            assignments=(
+                (0, placement_for(toy_shape, empty, vm2)),
+                (1, placement_for(toy_shape, empty, vm4)),
+            )
+        )
+        assert verify_constraints(instance, solution) == []
+
+    def test_missing_assignment_violates_constraint_1(self, instance, toy_shape, vm2):
+        solution = PlacementSolution(
+            assignments=((0, placement_for(toy_shape, toy_shape.empty_usage(), vm2)),)
+        )
+        violations = verify_constraints(instance, solution)
+        assert any("constraint (1)" in v for v in violations)
+
+    def test_anti_collocation_violation_detected(self, instance, toy_shape, vm2):
+        bogus = Placement(
+            new_usage=((2, 0, 0, 0),),
+            assignments=(((0, 1), (0, 1)),),
+        )
+        solution = PlacementSolution(
+            assignments=(
+                (0, bogus),
+                (1, placement_for(toy_shape, toy_shape.empty_usage(), vm2)),
+            )
+        )
+        violations = verify_constraints(instance, solution)
+        assert any("anti-collocation" in v for v in violations)
+
+    def test_wrong_chunks_detected(self, instance, toy_shape, vm2, vm4):
+        # VM 1 demands [1,1,1,1] but only two chunks are placed.
+        partial = Placement(
+            new_usage=((1, 1, 0, 0),),
+            assignments=(((0, 1), (1, 1)),),
+        )
+        solution = PlacementSolution(
+            assignments=(
+                (0, placement_for(toy_shape, toy_shape.empty_usage(), vm2)),
+                (1, partial),
+            )
+        )
+        violations = verify_constraints(instance, solution)
+        assert any("placed chunks" in v for v in violations)
+
+    def test_capacity_violation_detected(self, toy_shape):
+        big = VMType(name="big", demands=((3, 3),))
+        inst = PlacementInstance(vms=(big, big), pms=(toy_shape,))
+        placement = Placement(
+            new_usage=((3, 3, 0, 0),),
+            assignments=(((0, 3), (1, 3)),),
+        )
+        solution = PlacementSolution(assignments=((0, placement), (0, placement)))
+        violations = verify_constraints(inst, solution)
+        assert any("capacity" in v for v in violations)
+
+    def test_out_of_range_pm_detected(self, instance, toy_shape, vm2, vm4):
+        empty = toy_shape.empty_usage()
+        solution = PlacementSolution(
+            assignments=(
+                (7, placement_for(toy_shape, empty, vm2)),
+                (0, placement_for(toy_shape, empty, vm4)),
+            )
+        )
+        violations = verify_constraints(instance, solution)
+        assert any("out of range" in v for v in violations)
+
+
+class TestSolutionFromPolicy:
+    def test_policy_solution_is_feasible(self, instance):
+        from repro.baselines import FirstFitPolicy
+
+        solution = solution_from_policy(instance, FirstFitPolicy())
+        assert solution is not None
+        assert verify_constraints(instance, solution) == []
+
+    def test_infeasible_instance_returns_none(self, toy_shape, vm4):
+        from repro.baselines import FirstFitPolicy
+
+        inst = PlacementInstance(
+            vms=tuple(vm4 for _ in range(5)), pms=(toy_shape,)
+        )
+        assert solution_from_policy(inst, FirstFitPolicy()) is None
+
+    def test_respects_policy_ordering(self, toy_shape, vm2, vm4):
+        from repro.baselines import FFDSumPolicy
+
+        inst = PlacementInstance(vms=(vm2, vm4), pms=(toy_shape, toy_shape))
+        solution = solution_from_policy(inst, FFDSumPolicy())
+        assert solution is not None
+        assert verify_constraints(inst, solution) == []
+        # Assignments must come back in VM order regardless of the
+        # policy's internal processing order.
+        assert len(solution.assignments) == 2

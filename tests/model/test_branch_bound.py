@@ -1,0 +1,113 @@
+"""Tests for the exact branch-and-bound solver."""
+
+import pytest
+
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.model.analytic import PlacementInstance, verify_constraints
+from repro.model.branch_bound import BranchAndBound
+
+
+class TestOptimality:
+    def test_perfect_packing_found(self, toy_shape, vm2, vm4):
+        # 2x vm4 + 4x vm2 = 16 units: fits exactly one PM.
+        inst = PlacementInstance(
+            vms=(vm4, vm2, vm2, vm4, vm2, vm2),
+            pms=(toy_shape, toy_shape, toy_shape),
+        )
+        result = BranchAndBound().solve(inst)
+        assert result.optimal
+        assert result.cost == 1.0
+        assert verify_constraints(inst, result.solution) == []
+
+    def test_two_pms_needed(self, toy_shape, vm4):
+        # 5x vm4 (20 units) cannot fit one 16-unit PM.
+        inst = PlacementInstance(
+            vms=tuple(vm4 for _ in range(5)),
+            pms=(toy_shape, toy_shape, toy_shape),
+        )
+        result = BranchAndBound().solve(inst)
+        assert result.cost == 2.0
+        assert result.optimal
+
+    def test_anti_collocation_forces_extra_pm(self):
+        # PM with 2 units of capacity 2; a VM demanding (1,1) uses both
+        # units, so two such VMs *can* share... but a (2,2) VM fills the
+        # PM entirely.  Three (2,2) VMs need three PMs despite total
+        # demand 12 = 3 PM-capacities... exactly 3.
+        shape = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(2, 2)),))
+        wide = VMType(name="wide", demands=((2, 2),))
+        inst = PlacementInstance(
+            vms=(wide, wide, wide), pms=tuple(shape for _ in range(4))
+        )
+        result = BranchAndBound().solve(inst)
+        assert result.cost == 3.0
+
+    def test_anti_collocation_blocks_collocating_split(self):
+        # Total capacity would allow both VMs on one PM if chunks could
+        # share a unit; anti-collocation forbids it.
+        shape = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(1, 3)),))
+        vm = VMType(name="v", demands=((1, 1),))
+        inst = PlacementInstance(vms=(vm, vm), pms=(shape, shape))
+        result = BranchAndBound().solve(inst)
+        assert result.cost == 2.0
+
+    def test_cost_weights_respected(self, toy_shape, vm4):
+        # Two PMs, the second far cheaper: optimum opens the cheap one.
+        inst = PlacementInstance(
+            vms=(vm4,), pms=(toy_shape, toy_shape), costs=(10.0, 1.0)
+        )
+        result = BranchAndBound().solve(inst)
+        assert result.cost == 1.0
+        assert result.solution.open_pms() == [1]
+
+    def test_infeasible_instance(self, toy_shape, vm4):
+        inst = PlacementInstance(
+            vms=tuple(vm4 for _ in range(5)), pms=(toy_shape,)
+        )
+        result = BranchAndBound().solve(inst)
+        assert not result.feasible
+        assert result.cost == float("inf")
+
+
+class TestHeuristicGap:
+    def test_heuristics_never_beat_optimal(self, toy_shape, toy_vm_types, vm2, vm4):
+        from repro.baselines import FirstFitPolicy
+        from repro.core.placement import PageRankVMPolicy
+        from repro.core.score_table import build_score_table
+        from repro.model.analytic import solution_from_policy
+
+        inst = PlacementInstance(
+            vms=(vm2, vm4, vm2, vm4, vm2, vm2, vm4, vm2),
+            pms=tuple(toy_shape for _ in range(4)),
+        )
+        optimal = BranchAndBound().solve(inst)
+        assert optimal.optimal
+        table = build_score_table(toy_shape, toy_vm_types, mode="full")
+        for policy in (FirstFitPolicy(), PageRankVMPolicy({toy_shape: table})):
+            solution = solution_from_policy(inst, policy)
+            assert solution is not None
+            assert solution.total_cost(inst) >= optimal.cost - 1e-9
+
+
+class TestBudget:
+    def test_budget_exhaustion_reported(self, toy_shape, vm2):
+        inst = PlacementInstance(
+            vms=tuple(vm2 for _ in range(10)),
+            pms=tuple(toy_shape for _ in range(6)),
+        )
+        result = BranchAndBound(node_budget=5).solve(inst)
+        assert not result.optimal
+
+    def test_node_budget_validated(self):
+        with pytest.raises(Exception):
+            BranchAndBound(node_budget=0)
+
+    def test_symmetry_pruning_keeps_node_count_small(self, toy_shape, vm4):
+        # 8 identical PMs: without symmetry pruning the tree would
+        # multiply by 8 per empty-PM choice.
+        inst = PlacementInstance(
+            vms=(vm4, vm4), pms=tuple(toy_shape for _ in range(8))
+        )
+        result = BranchAndBound().solve(inst)
+        assert result.optimal
+        assert result.nodes_explored < 200

@@ -1,0 +1,123 @@
+"""Tests for the network-aware PageRankVM extension."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.vm import VirtualMachine
+from repro.network.aware import NetworkAwarePageRankVM
+from repro.network.cost import evaluate_network_cost
+from repro.network.topology import TreeTopology
+from repro.network.traffic import TrafficMatrix, tenant_traffic
+
+
+@pytest.fixture
+def topo():
+    # 8 PMs in racks of 2, pods of 2 racks.
+    return TreeTopology(n_pms=8, pms_per_rack=2, racks_per_pod=2)
+
+
+def fleet(toy_shape, count=8):
+    return Datacenter([PhysicalMachine(i, toy_shape) for i in range(count)])
+
+
+class TestConstruction:
+    def test_weight_validated(self, toy_shape, toy_table, topo):
+        with pytest.raises(Exception):
+            NetworkAwarePageRankVM(
+                {toy_shape: toy_table}, topo, TrafficMatrix(), locality_weight=1.5
+            )
+
+    def test_zero_weight_matches_plain_pagerankvm(
+        self, toy_shape, toy_table, topo, vm2
+    ):
+        from repro.core.placement import PageRankVMPolicy
+
+        traffic = TrafficMatrix()
+        traffic.add(0, 1, 100.0)
+        plain = PageRankVMPolicy({toy_shape: toy_table})
+        aware = NetworkAwarePageRankVM(
+            {toy_shape: toy_table}, topo, traffic, locality_weight=0.0
+        )
+        dc_a, dc_b = fleet(toy_shape), fleet(toy_shape)
+        for i in range(6):
+            vm = VirtualMachine(i, vm2)
+            a = plain.select(vm.vm_type, dc_a.machines)
+            aware.current_vm_id = i
+            b = aware.select(vm.vm_type, dc_b.machines)
+            aware.current_vm_id = None
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.pm_id == b.pm_id
+                dc_a.apply(vm, a)
+                dc_b.apply(VirtualMachine(i, vm2), b)
+
+
+class TestLocalityBias:
+    def test_pulls_peer_toward_its_partner(self, toy_shape, toy_table, topo, vm2):
+        # VM 0 lands somewhere; VM 1 (heavy traffic with 0) must join it
+        # (or its rack) under a high locality weight.
+        traffic = TrafficMatrix()
+        traffic.add(0, 1, 1000.0)
+        policy = NetworkAwarePageRankVM(
+            {toy_shape: toy_table}, topo, traffic, locality_weight=0.9
+        )
+        datacenter = fleet(toy_shape)
+        first = policy.place(VirtualMachine(0, vm2), datacenter)
+        second = policy.place(VirtualMachine(1, vm2), datacenter)
+        assert topo.hops(first.pm_id, second.pm_id) <= 2
+
+    def test_place_maintains_locations(self, toy_shape, toy_table, topo, vm2):
+        policy = NetworkAwarePageRankVM(
+            {toy_shape: toy_table}, topo, TrafficMatrix()
+        )
+        datacenter = fleet(toy_shape)
+        policy.place(VirtualMachine(5, vm2), datacenter)
+        assert 5 in policy.locations
+        policy.record_location(5, None)
+        assert 5 not in policy.locations
+
+    def test_reduces_network_cost_vs_plain(self, toy_shape, toy_table, topo, vm4):
+        # Tenant-structured workload: the aware policy must end with a
+        # cheaper (or equal) hop-weighted placement than plain PageRankVM.
+        from repro.core.placement import PageRankVMPolicy
+
+        rng = np.random.default_rng(3)
+        traffic = tenant_traffic(range(12), rng, tenant_size=3)
+
+        def run(policy, aware):
+            datacenter = fleet(toy_shape)
+            locations = {}
+            for i in range(12):
+                vm = VirtualMachine(i, vm4)
+                if aware:
+                    decision = policy.place(vm, datacenter)
+                else:
+                    decision = policy.select(vm.vm_type, datacenter.machines)
+                    if decision is not None:
+                        datacenter.apply(vm, decision)
+                if decision is not None:
+                    locations[i] = decision.pm_id
+            return evaluate_network_cost(topo, traffic, locations)
+
+        plain_cost = run(PageRankVMPolicy({toy_shape: toy_table}), aware=False)
+        aware_cost = run(
+            NetworkAwarePageRankVM(
+                {toy_shape: toy_table}, topo, traffic, locality_weight=0.7
+            ),
+            aware=True,
+        )
+        assert (
+            aware_cost.hop_weighted_traffic
+            <= plain_cost.hop_weighted_traffic + 1e-9
+        )
+
+    def test_without_context_falls_back(self, toy_shape, toy_table, topo, vm2):
+        policy = NetworkAwarePageRankVM(
+            {toy_shape: toy_table}, topo, TrafficMatrix(), locality_weight=0.9
+        )
+        datacenter = fleet(toy_shape)
+        # current_vm_id unset: behaves like the base policy, still works.
+        decision = policy.select(vm2, datacenter.machines)
+        assert decision is not None

@@ -1,0 +1,52 @@
+"""Tests for placement network-cost evaluation."""
+
+import pytest
+
+from repro.network.cost import evaluate_network_cost
+from repro.network.topology import TreeTopology
+from repro.network.traffic import TrafficMatrix
+
+
+@pytest.fixture
+def topo():
+    return TreeTopology(n_pms=16, pms_per_rack=4, racks_per_pod=2)
+
+
+class TestEvaluate:
+    def test_collocated_traffic_is_free(self, topo):
+        traffic = TrafficMatrix()
+        traffic.add(0, 1, 100.0)
+        cost = evaluate_network_cost(topo, traffic, {0: 3, 1: 3})
+        assert cost.hop_weighted_traffic == 0.0
+        assert cost.localized_fraction == 1.0
+
+    def test_hop_weighting(self, topo):
+        traffic = TrafficMatrix()
+        traffic.add(0, 1, 10.0)   # same rack: 2 hops
+        traffic.add(2, 3, 10.0)   # cross pod: 6 hops
+        cost = evaluate_network_cost(
+            topo, traffic, {0: 0, 1: 1, 2: 0, 3: 8}
+        )
+        assert cost.hop_weighted_traffic == pytest.approx(10 * 2 + 10 * 6)
+        assert cost.tier_loads["rack"] == 10.0
+        assert cost.tier_loads["core"] == 10.0
+        assert cost.localized_fraction == pytest.approx(0.5)
+
+    def test_unplaced_pairs_excluded(self, topo):
+        traffic = TrafficMatrix()
+        traffic.add(0, 1, 10.0)
+        traffic.add(2, 3, 10.0)
+        cost = evaluate_network_cost(topo, traffic, {0: 0, 1: 0})
+        assert cost.unplaced_pairs == 1
+        assert cost.hop_weighted_traffic == 0.0
+
+    def test_empty_traffic(self, topo):
+        cost = evaluate_network_cost(topo, TrafficMatrix(), {})
+        assert cost.hop_weighted_traffic == 0.0
+        assert cost.localized_fraction == 1.0
+
+    def test_str(self, topo):
+        traffic = TrafficMatrix()
+        traffic.add(0, 1, 10.0)
+        cost = evaluate_network_cost(topo, traffic, {0: 0, 1: 8})
+        assert "NetworkCost" in str(cost)

@@ -1,0 +1,72 @@
+"""Tests for the tree topology."""
+
+import pytest
+
+from repro.network.topology import TreeTopology
+
+
+@pytest.fixture
+def topo():
+    # 32 PMs: racks of 4, pods of 2 racks -> 8 racks, 4 pods.
+    return TreeTopology(n_pms=32, pms_per_rack=4, racks_per_pod=2)
+
+
+class TestCoordinates:
+    def test_rack_and_pod_arithmetic(self, topo):
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(3) == 0
+        assert topo.rack_of(4) == 1
+        assert topo.pod_of(0) == 0
+        assert topo.pod_of(7) == 0
+        assert topo.pod_of(8) == 1
+
+    def test_counts(self, topo):
+        assert topo.n_racks == 8
+        assert topo.n_pods == 4
+
+    def test_partial_last_rack(self):
+        topo = TreeTopology(n_pms=10, pms_per_rack=4, racks_per_pod=2)
+        assert topo.n_racks == 3
+        assert topo.n_pods == 2
+
+    def test_out_of_range_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.rack_of(32)
+        with pytest.raises(ValueError):
+            topo.hops(0, -1)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            TreeTopology(n_pms=0)
+
+
+class TestDistances:
+    def test_hop_tiers(self, topo):
+        assert topo.hops(5, 5) == 0      # same PM
+        assert topo.hops(0, 3) == 2      # same rack
+        assert topo.hops(0, 4) == 4      # same pod, different rack
+        assert topo.hops(0, 8) == 6      # different pod
+
+    def test_symmetric(self, topo):
+        for a, b in ((0, 3), (0, 4), (0, 8), (17, 2)):
+            assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_tier_labels(self, topo):
+        assert topo.tier(1, 1) == "pm"
+        assert topo.tier(1, 2) == "rack"
+        assert topo.tier(1, 6) == "pod"
+        assert topo.tier(1, 30) == "core"
+
+
+class TestLinkLoads:
+    def test_aggregates_by_tier(self, topo):
+        flows = [(0, 0, 10.0), (0, 1, 20.0), (0, 4, 30.0), (0, 8, 40.0)]
+        loads = topo.link_loads(flows)
+        assert loads == {"pm": 10.0, "rack": 20.0, "pod": 30.0, "core": 40.0}
+
+    def test_negative_rate_rejected(self, topo):
+        with pytest.raises(Exception):
+            topo.link_loads([(0, 1, -5.0)])
+
+    def test_empty_flows(self, topo):
+        assert sum(topo.link_loads([]).values()) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for traffic matrices and the tenant generator."""
+
+import numpy as np
+import pytest
+
+from repro.network.traffic import TrafficMatrix, tenant_traffic
+
+
+class TestTrafficMatrix:
+    def test_symmetric(self):
+        matrix = TrafficMatrix()
+        matrix.add(1, 2, 50.0)
+        assert matrix.rate(1, 2) == 50.0
+        assert matrix.rate(2, 1) == 50.0
+
+    def test_accumulates(self):
+        matrix = TrafficMatrix()
+        matrix.add(1, 2, 10.0)
+        matrix.add(2, 1, 5.0)
+        assert matrix.rate(1, 2) == 15.0
+
+    def test_unrelated_vms_have_zero(self):
+        assert TrafficMatrix().rate(1, 2) == 0.0
+
+    def test_self_traffic_rejected(self):
+        with pytest.raises(Exception):
+            TrafficMatrix().add(1, 1, 10.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(Exception):
+            TrafficMatrix().add(1, 2, -1.0)
+
+    def test_zero_rate_ignored(self):
+        matrix = TrafficMatrix()
+        matrix.add(1, 2, 0.0)
+        assert len(matrix) == 0
+
+    def test_peers_of(self):
+        matrix = TrafficMatrix()
+        matrix.add(1, 2, 10.0)
+        matrix.add(1, 3, 20.0)
+        assert matrix.peers_of(1) == {2: 10.0, 3: 20.0}
+        assert matrix.peers_of(2) == {1: 10.0}
+        assert matrix.peers_of(99) == {}
+
+    def test_pairs_and_total(self):
+        matrix = TrafficMatrix()
+        matrix.add(1, 2, 10.0)
+        matrix.add(3, 4, 30.0)
+        assert matrix.total_rate() == 40.0
+        assert len(list(matrix.pairs())) == 2
+
+
+class TestTenantTraffic:
+    def test_intra_tenant_pairs_only(self):
+        rng = np.random.default_rng(0)
+        matrix = tenant_traffic(range(8), rng, tenant_size=4)
+        # Two tenants of 4 -> 2 * C(4,2) = 12 pairs.
+        assert len(matrix) == 12
+
+    def test_partial_last_tenant(self):
+        rng = np.random.default_rng(0)
+        matrix = tenant_traffic(range(5), rng, tenant_size=4)
+        # C(4,2) + C(1,2) = 6 + 0.
+        assert len(matrix) == 6
+
+    def test_deterministic_per_rng(self):
+        a = tenant_traffic(range(8), np.random.default_rng(7))
+        b = tenant_traffic(range(8), np.random.default_rng(7))
+        assert sorted(a.pairs()) == sorted(b.pairs())
+
+    def test_rates_positive(self):
+        matrix = tenant_traffic(range(12), np.random.default_rng(1))
+        assert all(rate > 0 for _, _, rate in matrix.pairs())
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            tenant_traffic(range(4), np.random.default_rng(0), tenant_size=0)

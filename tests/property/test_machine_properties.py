@@ -1,0 +1,74 @@
+"""Property-based tests: machine accounting is a reversible ledger."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.vm import VirtualMachine
+from repro.core.permutations import balanced_placement
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+
+TOY = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
+TYPES = (
+    VMType(name="vm1", demands=((1,),)),
+    VMType(name="vm2", demands=((1, 1),)),
+    VMType(name="vm4", demands=((1, 1, 1, 1),)),
+    VMType(name="big", demands=((2, 2),)),
+)
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["place", "remove"]), st.integers(0, 3)),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestLedger:
+    @given(operations)
+    @settings(max_examples=200)
+    def test_usage_always_consistent_with_allocations(self, ops):
+        machine = PhysicalMachine(0, TOY)
+        live = {}
+        next_id = 0
+        for op, arg in ops:
+            if op == "place":
+                vm_type = TYPES[arg]
+                placement = balanced_placement(TOY, machine.usage, vm_type)
+                if placement is None:
+                    continue
+                vm = VirtualMachine(next_id, vm_type)
+                machine.place(vm, placement)
+                live[next_id] = vm_type
+                next_id += 1
+            elif live:
+                victim = sorted(live)[arg % len(live)]
+                machine.remove(victim)
+                del live[victim]
+
+            # Invariant 1: total usage equals the sum of live demands.
+            expected = sum(t.total_units() for t in live.values())
+            assert sum(sum(g) for g in machine.usage) == expected
+            # Invariant 2: capacity never exceeded.
+            assert TOY.fits_usage(machine.usage)
+            # Invariant 3: allocation registry matches.
+            assert machine.n_vms == len(live)
+
+    @given(operations)
+    @settings(max_examples=100)
+    def test_drain_returns_to_empty(self, ops):
+        machine = PhysicalMachine(0, TOY)
+        placed = []
+        for op, arg in ops:
+            if op != "place":
+                continue
+            vm_type = TYPES[arg]
+            placement = balanced_placement(TOY, machine.usage, vm_type)
+            if placement is None:
+                continue
+            vm = VirtualMachine(len(placed), vm_type)
+            machine.place(vm, placement)
+            placed.append(vm.vm_id)
+        for vm_id in placed:
+            machine.remove(vm_id)
+        assert machine.usage == TOY.empty_usage()
+        assert not machine.is_used

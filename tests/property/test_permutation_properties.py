@@ -1,0 +1,109 @@
+"""Property-based tests for placement enumeration invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutations import (
+    apply_assignments,
+    balanced_placement,
+    can_place,
+    enumerate_placements,
+    first_fit_placement,
+)
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+
+
+@st.composite
+def placement_cases(draw):
+    n_units = draw(st.integers(min_value=1, max_value=5))
+    cap = draw(st.integers(min_value=1, max_value=6))
+    shape = MachineShape(
+        groups=(ResourceGroup(name="cpu", capacities=(cap,) * n_units),)
+    )
+    usage = (
+        tuple(draw(st.integers(min_value=0, max_value=cap)) for _ in range(n_units)),
+    )
+    n_chunks = draw(st.integers(min_value=1, max_value=n_units))
+    chunks = tuple(
+        draw(st.integers(min_value=1, max_value=cap)) for _ in range(n_chunks)
+    )
+    vm = VMType(name="vm", demands=(chunks,))
+    return shape, usage, vm
+
+
+class TestEnumerationInvariants:
+    @given(placement_cases())
+    @settings(max_examples=200)
+    def test_results_distinct_and_canonical(self, case):
+        shape, usage, vm = case
+        seen = set()
+        for placement in enumerate_placements(shape, usage, vm):
+            assert placement.new_usage not in seen
+            seen.add(placement.new_usage)
+            assert placement.new_usage == shape.canonicalize(placement.new_usage)
+
+    @given(placement_cases())
+    @settings(max_examples=200)
+    def test_assignments_realize_canonical_usage(self, case):
+        shape, usage, vm = case
+        for placement in enumerate_placements(shape, usage, vm):
+            realized = apply_assignments(usage, placement.assignments)
+            assert shape.canonicalize(realized) == placement.new_usage
+
+    @given(placement_cases())
+    @settings(max_examples=200)
+    def test_anti_collocation_respected(self, case):
+        shape, usage, vm = case
+        for placement in enumerate_placements(shape, usage, vm):
+            units = [idx for idx, _ in placement.assignments[0]]
+            assert len(set(units)) == len(units)
+
+    @given(placement_cases())
+    @settings(max_examples=200)
+    def test_capacity_respected(self, case):
+        shape, usage, vm = case
+        for placement in enumerate_placements(shape, usage, vm):
+            assert shape.fits_usage(
+                apply_assignments(usage, placement.assignments)
+            )
+
+    @given(placement_cases())
+    @settings(max_examples=200)
+    def test_can_place_iff_enumeration_nonempty(self, case):
+        shape, usage, vm = case
+        enumerated = list(enumerate_placements(shape, usage, vm))
+        assert can_place(shape, usage, vm) == bool(enumerated)
+
+
+class TestStrategyConsistency:
+    @given(placement_cases())
+    @settings(max_examples=200)
+    def test_balanced_result_among_enumerated(self, case):
+        shape, usage, vm = case
+        placed = balanced_placement(shape, usage, vm)
+        enumerated = {p.new_usage for p in enumerate_placements(shape, usage, vm)}
+        if placed is None:
+            assert not enumerated
+        else:
+            assert placed.new_usage in enumerated
+
+    @given(placement_cases())
+    @settings(max_examples=200)
+    def test_first_fit_result_among_enumerated_when_it_succeeds(self, case):
+        shape, usage, vm = case
+        placed = first_fit_placement(shape, usage, vm)
+        if placed is not None:
+            enumerated = {
+                p.new_usage for p in enumerate_placements(shape, usage, vm)
+            }
+            assert placed.new_usage in enumerated
+
+    @given(placement_cases())
+    @settings(max_examples=200)
+    def test_total_units_conserved(self, case):
+        shape, usage, vm = case
+        before = sum(sum(g) for g in usage)
+        demanded = vm.total_units()
+        for placement in enumerate_placements(shape, usage, vm):
+            after = sum(sum(g) for g in placement.new_usage)
+            assert after == before + demanded

@@ -1,0 +1,84 @@
+"""Property-based tests for profiles and canonicalization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import MachineShape, Profile, ResourceGroup
+
+shapes = st.builds(
+    lambda caps_groups: MachineShape(
+        groups=tuple(
+            ResourceGroup(name=f"g{i}", capacities=tuple(sorted(caps)))
+            for i, caps in enumerate(caps_groups)
+        )
+    ),
+    st.lists(
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4),
+        min_size=1,
+        max_size=3,
+    ),
+)
+
+
+@st.composite
+def shape_and_usage(draw):
+    shape = draw(shapes)
+    usage = tuple(
+        tuple(draw(st.integers(min_value=0, max_value=cap)) for cap in g.capacities)
+        for g in shape.groups
+    )
+    return shape, usage
+
+
+class TestCanonicalization:
+    @given(shape_and_usage())
+    def test_idempotent(self, data):
+        shape, usage = data
+        once = shape.canonicalize(usage)
+        assert shape.canonicalize(once) == once
+
+    @given(shape_and_usage())
+    def test_preserves_multiset_per_group(self, data):
+        shape, usage = data
+        canonical = shape.canonicalize(usage)
+        for before, after in zip(usage, canonical):
+            assert sorted(before) == sorted(after)
+
+    @given(shape_and_usage())
+    def test_canonical_usage_still_fits(self, data):
+        shape, usage = data
+        assert shape.fits_usage(shape.canonicalize(usage))
+
+    @given(shape_and_usage())
+    def test_utilization_invariant_under_canonicalization(self, data):
+        # Holds because canonicalization only permutes equal-capacity units.
+        shape, usage = data
+        import math
+
+        assert math.isclose(
+            shape.utilization(usage),
+            shape.utilization(shape.canonicalize(usage)),
+        )
+
+    @given(shape_and_usage())
+    def test_profile_of_accepts_any_valid_usage(self, data):
+        shape, usage = data
+        profile = Profile.of(shape, usage)
+        assert shape.fits_usage(profile.usage)
+
+
+class TestUtilizationBounds:
+    @given(shape_and_usage())
+    def test_in_unit_interval(self, data):
+        shape, usage = data
+        assert 0.0 <= shape.utilization(usage) <= 1.0
+
+    @given(shape_and_usage())
+    def test_variance_non_negative_and_bounded(self, data):
+        shape, usage = data
+        assert 0.0 <= shape.variance(usage) <= 0.25 + 1e-12
+
+    @given(shapes)
+    def test_empty_is_zero_full_is_one(self, shape):
+        assert shape.utilization(shape.empty_usage()) == 0.0
+        assert shape.utilization(shape.full_usage()) == 1.0

@@ -1,0 +1,132 @@
+"""Property-based tests: the simulation preserves system invariants.
+
+Whatever sequence of arrivals, departures, overloads and consolidations
+a run produces, the datacenter ledger must stay consistent: every
+placed VM on exactly one PM, no capacity or anti-collocation violation,
+and monotone non-negative counters.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FirstFitPolicy, MinimumMigrationTimeSelector
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.simulation import (
+    DynamicSimulation,
+    SimulationConfig,
+    WorkloadEvent,
+)
+from repro.cluster.vm import VirtualMachine
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.traces.base import ArrayTrace
+
+TOY = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
+TYPES = (
+    VMType(name="vm1", demands=((1,),)),
+    VMType(name="vm2", demands=((1, 1),)),
+    VMType(name="vm4", demands=((1, 1, 1, 1),)),
+)
+
+HORIZON = 3600.0
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=15))
+    events = []
+    for i in range(n):
+        arrival = draw(st.floats(min_value=0.0, max_value=HORIZON - 1))
+        lifetime = draw(st.floats(min_value=1.0, max_value=2 * HORIZON))
+        departure = arrival + lifetime
+        samples = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=2,
+                max_size=6,
+            )
+        )
+        events.append(
+            WorkloadEvent(
+                arrival_s=arrival,
+                vm=VirtualMachine(
+                    i,
+                    TYPES[draw(st.integers(0, len(TYPES) - 1))],
+                    ArrayTrace(samples, sample_interval_s=300.0),
+                ),
+                departure_s=departure if departure <= HORIZON else None,
+            )
+        )
+    underload = draw(st.sampled_from([None, 0.3, 0.5]))
+    return events, underload
+
+
+class TestSimulationInvariants:
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_ledger_consistent_after_any_run(self, case):
+        events, underload = case
+        datacenter = Datacenter(
+            [PhysicalMachine(i, TOY, type_name="M3") for i in range(4)]
+        )
+        simulation = DynamicSimulation(
+            datacenter,
+            FirstFitPolicy(),
+            MinimumMigrationTimeSelector(),
+            SimulationConfig(
+                duration_s=HORIZON,
+                monitor_interval_s=300.0,
+                underload_threshold=underload,
+            ),
+        )
+        result = simulation.run_events(events)
+
+        # Counters are sane.
+        assert result.migrations >= 0
+        assert result.rejected_arrivals + result.completed_vms <= len(events)
+        assert 0.0 <= result.slo_violation_rate <= 1.0
+        assert result.energy_kwh >= 0.0
+        assert result.pms_used_peak <= datacenter.n_machines
+
+        # Ledger: each surviving VM on exactly one PM; capacity holds.
+        hosted = sum(m.n_vms for m in datacenter.machines)
+        assert hosted == datacenter.n_vms
+        for machine in datacenter.machines:
+            assert TOY.fits_usage(machine.usage)
+            for allocation in machine.allocations:
+                assert datacenter.locate(allocation.vm_id) == machine.pm_id
+
+        # Accounting identity: placed = arrived - rejected; survivors =
+        # placed - departed.
+        arrived = sum(1 for e in events if e.arrival_s <= HORIZON)
+        placed = arrived - result.rejected_arrivals
+        assert datacenter.n_vms == placed - result.completed_vms
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_runs_are_deterministic(self, case):
+        events, underload = case
+
+        def run():
+            datacenter = Datacenter(
+                [PhysicalMachine(i, TOY, type_name="M3") for i in range(4)]
+            )
+            simulation = DynamicSimulation(
+                datacenter,
+                FirstFitPolicy(),
+                MinimumMigrationTimeSelector(),
+                SimulationConfig(
+                    duration_s=HORIZON,
+                    monitor_interval_s=300.0,
+                    underload_threshold=underload,
+                ),
+            )
+            result = simulation.run_events(events)
+            return (
+                result.migrations,
+                result.energy_kwh,
+                result.slo_violation_rate,
+                result.pms_used_peak,
+            )
+
+        assert run() == run()

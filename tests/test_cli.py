@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rank_defaults(self):
+        args = build_parser().parse_args(["rank"])
+        assert args.capacity == 4
+        assert args.direction == "forward"
+
+    def test_figures_choices(self):
+        args = build_parser().parse_args(["figures", "fig3"])
+        assert args.figure == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig99"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize"])
+
+
+class TestRankCommand:
+    def test_prints_ranking(self, capsys):
+        assert main(["rank", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "profiles: 70" in out
+        assert "BPRU" in out
+
+    def test_direction_changes_output(self, capsys):
+        main(["rank", "--top", "3", "--direction", "forward"])
+        forward = capsys.readouterr().out
+        main(["rank", "--top", "3", "--direction", "reverse"])
+        reverse = capsys.readouterr().out
+        assert forward != reverse
+
+
+class TestExactCommand:
+    def test_reports_optimum(self, capsys):
+        assert main(["exact", "--vms", "6", "--pms", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum:" in out
+        assert "FF heuristic:" in out
+
+    def test_infeasible_returns_nonzero(self, capsys):
+        assert main(["exact", "--vms", "30", "--pms", "1"]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_small_simulation(self, capsys):
+        code = main(
+            ["simulate", "--vms", "20", "--policies", "FF",
+             "--repetitions", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FF" in out
+        assert "PMs" in out
+
+
+class TestTestbedCommand:
+    def test_small_testbed(self, capsys):
+        code = main(
+            ["testbed", "--jobs", "30", "--policies", "FF",
+             "--hours", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instances" in out
+
+
+class TestFiguresCommand:
+    def test_fig8_small(self, capsys):
+        code = main(
+            ["figures", "fig8", "--scale", "20", "40",
+             "--repetitions", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 8" in out

@@ -1,0 +1,77 @@
+"""Tests for the centralized testbed controller."""
+
+import pytest
+
+from repro.baselines import FirstFitPolicy, MinimumMigrationTimeSelector
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.vm import VirtualMachine
+from repro.testbed.controller import CentralizedController
+from repro.testbed.instance import make_instances
+from repro.testbed.job import JOB_2VCPU, JOB_4VCPU
+from repro.traces.base import ConstantTrace
+
+
+def controller_with(n_instances=3, **kwargs):
+    datacenter = Datacenter(make_instances(n_instances))
+    return CentralizedController(
+        datacenter,
+        FirstFitPolicy(),
+        MinimumMigrationTimeSelector(),
+        **kwargs,
+    )
+
+
+class TestAssignment:
+    def test_assigns_all_when_capacity_allows(self):
+        controller = controller_with()
+        jobs = [VirtualMachine(i, JOB_2VCPU, ConstantTrace(0.1)) for i in range(8)]
+        assert controller.assign_all(jobs) == 8
+        assert controller.unassigned_jobs == 0
+
+    def test_counts_unassigned(self):
+        controller = controller_with(n_instances=1)
+        # One instance holds 4 JOB_4VCPU (16 slots); the 5th fails.
+        jobs = [VirtualMachine(i, JOB_4VCPU, ConstantTrace(0.1)) for i in range(5)]
+        assert controller.assign_all(jobs) == 4
+        assert controller.unassigned_jobs == 1
+
+
+class TestOverloadHandling:
+    def test_quiet_jobs_never_migrate(self):
+        controller = controller_with()
+        jobs = [VirtualMachine(i, JOB_2VCPU, ConstantTrace(0.1)) for i in range(4)]
+        controller.assign_all(jobs)
+        controller.poll(10.0, 10.0)
+        assert controller.migrations == 0
+        assert controller.overload_events == 0
+
+    def test_hot_instance_sheds_jobs(self):
+        controller = controller_with(n_instances=2)
+        # FF stacks both jobs on instance 0; at full burst the instance
+        # hits 2*2*4/16 = 100% > 90% and must shed one.
+        jobs = [VirtualMachine(i, JOB_2VCPU, ConstantTrace(1.0)) for i in range(2)]
+        controller.assign_all(jobs)
+        controller.poll(10.0, 10.0)
+        assert controller.overload_events >= 1
+        assert controller.migrations >= 1
+        assert controller.interruption_seconds >= controller.migrations * 10.0
+
+    def test_failed_migration_counted_when_no_destination(self):
+        controller = controller_with(n_instances=1)
+        jobs = [VirtualMachine(i, JOB_2VCPU, ConstantTrace(1.0)) for i in range(2)]
+        controller.assign_all(jobs)
+        controller.poll(10.0, 10.0)
+        assert controller.migrations == 0
+        assert controller.failed_migrations >= 1
+
+    def test_slo_recorded_per_poll(self):
+        controller = controller_with(n_instances=1)
+        jobs = [VirtualMachine(0, JOB_4VCPU, ConstantTrace(1.0))]
+        controller.assign_all(jobs)
+        controller.poll(10.0, 10.0)
+        assert controller.slo.active_seconds == pytest.approx(10.0)
+        assert controller.slo.violation_rate == pytest.approx(1.0)
+
+    def test_restart_latency_validated(self):
+        with pytest.raises(Exception):
+            controller_with(restart_latency_s=-1.0)

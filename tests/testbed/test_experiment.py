@@ -1,0 +1,83 @@
+"""Tests for the 4-hour testbed experiment harness."""
+
+import pytest
+
+from repro.baselines import FirstFitPolicy, MinimumMigrationTimeSelector
+from repro.testbed.experiment import TestbedConfig, TestbedExperiment
+from repro.util.validation import ValidationError
+
+
+def run(n_jobs, seed=1, **config_kwargs):
+    config_kwargs.setdefault("duration_s", 600.0)
+    config = TestbedConfig(seed=seed, **config_kwargs)
+    experiment = TestbedExperiment(
+        FirstFitPolicy(), MinimumMigrationTimeSelector(), config
+    )
+    return experiment.run(n_jobs)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = TestbedConfig()
+        assert config.n_instances == 10
+        assert config.n_cores == 4
+        assert config.duration_s == 4 * 3600.0
+        assert config.poll_interval_s == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TestbedConfig(n_instances=0)
+        with pytest.raises(ValidationError):
+            TestbedConfig(duration_s=0)
+
+
+class TestRun:
+    def test_result_fields(self):
+        result = run(n_jobs=30)
+        assert result.policy_name == "FF"
+        assert result.n_jobs == 30
+        assert 1 <= result.instances_used <= 10
+        assert result.instances_used_peak >= result.instances_used
+        assert result.migrations >= 0
+        assert 0.0 <= result.slo_violation_rate <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = run(n_jobs=40, seed=9)
+        b = run(n_jobs=40, seed=9)
+        assert (a.instances_used, a.migrations, a.slo_violation_rate) == (
+            b.instances_used,
+            b.migrations,
+            b.slo_violation_rate,
+        )
+
+    def test_seeds_differ(self):
+        # A low overload threshold makes migration activity frequent so
+        # seed-level workload differences show in the counters.
+        a = run(n_jobs=120, seed=1, overload_threshold=0.3)
+        b = run(n_jobs=120, seed=2, overload_threshold=0.3)
+        assert (a.migrations, a.slo_violation_rate) != (
+            b.migrations,
+            b.slo_violation_rate,
+        )
+
+    def test_more_jobs_use_more_instances(self):
+        few = run(n_jobs=20)
+        many = run(n_jobs=200)
+        assert many.instances_used >= few.instances_used
+
+    def test_repetitions_vary_workload(self):
+        config = TestbedConfig(seed=3, duration_s=600.0, overload_threshold=0.3)
+        experiment = TestbedExperiment(
+            FirstFitPolicy(), MinimumMigrationTimeSelector(), config
+        )
+        a = experiment.run(120, repetition=0)
+        b = experiment.run(120, repetition=1)
+        assert a.n_jobs == b.n_jobs == 120
+        # Different repetition -> different trace assignment.
+        assert (a.migrations, a.slo_violation_rate) != (
+            b.migrations,
+            b.slo_violation_rate,
+        ) or a.instances_used != b.instances_used
+
+    def test_str(self):
+        assert "FF" in str(run(n_jobs=10))

@@ -1,0 +1,41 @@
+"""Tests for GENI instance construction."""
+
+import pytest
+
+from repro.testbed.instance import geni_instance_shape, make_instances
+from repro.util.validation import ValidationError
+
+
+class TestInstanceShape:
+    def test_paper_defaults(self):
+        shape = geni_instance_shape()
+        assert shape.n_groups == 1
+        assert shape.groups[0].name == "cpu"
+        assert shape.groups[0].capacities == (4, 4, 4, 4)
+        assert shape.groups[0].anti_collocation
+
+    def test_custom_dimensions(self):
+        shape = geni_instance_shape(n_cores=2, slots_per_core=8)
+        assert shape.groups[0].capacities == (8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            geni_instance_shape(n_cores=0)
+        with pytest.raises(ValidationError):
+            geni_instance_shape(slots_per_core=0)
+
+
+class TestMakeInstances:
+    def test_fleet_of_ten(self):
+        instances = make_instances()
+        assert len(instances) == 10
+        assert all(m.type_name == "GENI" for m in instances)
+        assert [m.pm_id for m in instances] == list(range(10))
+
+    def test_shared_shape(self):
+        instances = make_instances(3)
+        assert len({id(m.shape) for m in instances}) == 1
+
+    def test_count_validated(self):
+        with pytest.raises(ValidationError):
+            make_instances(0)

@@ -1,0 +1,49 @@
+"""Tests for testbed job construction."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.instance import geni_instance_shape
+from repro.testbed.job import JOB_2VCPU, JOB_4VCPU, make_jobs
+from repro.traces.base import ConstantTrace
+from repro.traces.sampler import TracePool
+from repro.util.validation import ValidationError
+
+
+def pool():
+    return TracePool([ConstantTrace(0.5)], np.random.default_rng(0))
+
+
+class TestJobTypes:
+    def test_match_paper(self):
+        assert JOB_2VCPU.demands == ((1, 1),)
+        assert JOB_4VCPU.demands == ((1, 1, 1, 1),)
+
+    def test_compatible_with_instances(self):
+        shape = geni_instance_shape()
+        assert JOB_2VCPU.compatible_with(shape)
+        assert JOB_4VCPU.compatible_with(shape)
+
+
+class TestMakeJobs:
+    def test_count_and_ids(self):
+        jobs = make_jobs(10, np.random.default_rng(0), pool())
+        assert len(jobs) == 10
+        assert [j.vm_id for j in jobs] == list(range(10))
+
+    def test_mix_respected(self):
+        jobs = make_jobs(200, np.random.default_rng(0), pool(), mix=(1.0, 0.0))
+        assert all(j.vm_type is JOB_2VCPU for j in jobs)
+
+    def test_default_mix_produces_both(self):
+        jobs = make_jobs(100, np.random.default_rng(0), pool())
+        names = {j.vm_type.name for j in jobs}
+        assert names == {"job.2vcpu", "job.4vcpu"}
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_jobs(0, np.random.default_rng(0), pool())
+        with pytest.raises(ValidationError):
+            make_jobs(1, np.random.default_rng(0), pool(), mix=(1.0,))
+        with pytest.raises(ValidationError):
+            make_jobs(1, np.random.default_rng(0), pool(), mix=(0.0, 0.0))

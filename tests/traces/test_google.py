@@ -1,0 +1,85 @@
+"""Tests for the Google cluster synthesizer and loader."""
+
+import numpy as np
+import pytest
+
+from repro.traces.google import GoogleClusterSynthesizer, load_google_task_usage
+from repro.util.rng import RngFactory
+from repro.util.validation import ValidationError
+
+
+class TestSynthesizer:
+    def test_trace_shape(self):
+        trace = GoogleClusterSynthesizer(RngFactory(0)).trace(0)
+        assert len(trace) == 288
+
+    def test_deterministic_per_index(self):
+        a = GoogleClusterSynthesizer(RngFactory(4)).trace(7)
+        b = GoogleClusterSynthesizer(RngFactory(4)).trace(7)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_heavy_tail_population(self):
+        # Google tasks: low levels overall with a right-skewed spread —
+        # the Beta(2,5) level prior keeps the median well below the band
+        # midpoint and the 95th percentile well above the median.
+        synth = GoogleClusterSynthesizer(RngFactory(1))
+        means = np.asarray([t.mean() for t in synth.traces(300)])
+        band_mid = (0.02 + 0.6) / 2
+        assert float(np.median(means)) < band_mid
+        assert float(np.percentile(means, 95)) > 1.5 * float(np.median(means))
+
+    def test_bounds(self):
+        synth = GoogleClusterSynthesizer(RngFactory(2))
+        for trace in synth.traces(20):
+            assert float(trace.samples.min()) >= 0.0
+            assert float(trace.samples.max()) <= 1.0
+
+    def test_invalid_bands(self):
+        with pytest.raises(ValidationError):
+            GoogleClusterSynthesizer(RngFactory(0), floor=0.5, ceiling=0.2)
+        with pytest.raises(ValidationError):
+            GoogleClusterSynthesizer(RngFactory(0), n_samples=0)
+
+
+class TestLoader:
+    def test_groups_by_task(self, tmp_path):
+        path = tmp_path / "usage.csv"
+        path.write_text(
+            "task_id,cpu_rate\n"
+            "a,0.1\na,0.2\n"
+            "b,0.5\nb,0.6\nb,0.7\n"
+        )
+        traces = load_google_task_usage(path)
+        assert len(traces) == 2
+        assert len(traces[0]) == 2
+        assert len(traces[1]) == 3
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "usage.csv"
+        path.write_text("task_id,other\na,0.1\n")
+        with pytest.raises(ValidationError):
+            load_google_task_usage(path)
+
+    def test_missing_task_column_rejected(self, tmp_path):
+        path = tmp_path / "usage.csv"
+        path.write_text("cpu_rate\n0.1\n")
+        with pytest.raises(ValidationError):
+            load_google_task_usage(path)
+
+    def test_out_of_range_rejected(self, tmp_path):
+        path = tmp_path / "usage.csv"
+        path.write_text("task_id,cpu_rate\na,1.5\n")
+        with pytest.raises(ValidationError):
+            load_google_task_usage(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "usage.csv"
+        path.write_text("task_id,cpu_rate\na,abc\n")
+        with pytest.raises(ValidationError):
+            load_google_task_usage(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "usage.csv"
+        path.write_text("task_id,cpu_rate\n")
+        with pytest.raises(ValidationError):
+            load_google_task_usage(path)

@@ -1,0 +1,89 @@
+"""Tests for the PlanetLab synthesizer and loader."""
+
+import numpy as np
+import pytest
+
+from repro.traces.planetlab import (
+    PLANETLAB_INTERVAL_S,
+    PLANETLAB_SAMPLES,
+    PlanetLabSynthesizer,
+    load_planetlab_directory,
+    load_planetlab_file,
+)
+from repro.util.rng import RngFactory
+from repro.util.validation import ValidationError
+
+
+class TestSynthesizer:
+    def test_trace_shape(self):
+        synth = PlanetLabSynthesizer(RngFactory(0))
+        trace = synth.trace(0)
+        assert len(trace) == PLANETLAB_SAMPLES
+        assert trace.sample_interval_s == PLANETLAB_INTERVAL_S
+
+    def test_deterministic_per_index(self):
+        a = PlanetLabSynthesizer(RngFactory(5)).trace(3)
+        b = PlanetLabSynthesizer(RngFactory(5)).trace(3)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_indices_independent(self):
+        synth = PlanetLabSynthesizer(RngFactory(5))
+        assert not np.array_equal(synth.trace(0).samples, synth.trace(1).samples)
+
+    def test_population_statistics(self):
+        # Mean utilization across many nodes sits in the published
+        # PlanetLab band (roughly 10-25 %).
+        synth = PlanetLabSynthesizer(RngFactory(1))
+        means = [t.mean() for t in synth.traces(200)]
+        assert 0.08 <= float(np.mean(means)) <= 0.3
+
+    def test_population_is_heterogeneous(self):
+        synth = PlanetLabSynthesizer(RngFactory(1))
+        means = [t.mean() for t in synth.traces(100)]
+        assert float(np.std(means)) > 0.03
+
+    def test_invalid_mean_band(self):
+        with pytest.raises(ValidationError):
+            PlanetLabSynthesizer(RngFactory(0), mean_low=0.5, mean_high=0.2)
+
+
+class TestLoader:
+    def test_reads_cloudsim_format(self, tmp_path):
+        path = tmp_path / "node1"
+        path.write_text("\n".join(str(v % 101) for v in range(288)))
+        trace = load_planetlab_file(path)
+        assert len(trace) == 288
+        assert trace.utilization_at(0.0) == 0.0
+        assert trace.utilization_at(300.0) == pytest.approx(0.01)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_planetlab_file(path)
+
+    def test_rejects_out_of_range(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("50\n150\n")
+        with pytest.raises(ValidationError):
+            load_planetlab_file(path)
+
+    def test_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("50\nfoo\n")
+        with pytest.raises(ValidationError):
+            load_planetlab_file(path)
+
+    def test_directory_loader(self, tmp_path):
+        for name in ("b", "a"):
+            (tmp_path / name).write_text("10\n20\n")
+        traces = load_planetlab_directory(tmp_path)
+        assert len(traces) == 2
+
+    def test_directory_must_exist(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_planetlab_directory(tmp_path / "missing")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_planetlab_directory(tmp_path)

@@ -1,0 +1,72 @@
+"""Tests for synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import diurnal_trace, ou_trace, periodic_spike_trace
+from repro.util.validation import ValidationError
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestDiurnal:
+    def test_shape_and_bounds(self):
+        trace = diurnal_trace(rng(), n_samples=288)
+        assert len(trace) == 288
+        assert float(trace.samples.min()) >= 0.0
+        assert float(trace.samples.max()) <= 1.0
+
+    def test_mean_tracks_base(self):
+        trace = diurnal_trace(rng(), n_samples=2880, base=0.3, amplitude=0.05,
+                              noise=0.02, burst_probability=0.0)
+        assert trace.mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_deterministic_per_rng(self):
+        a = diurnal_trace(rng(7)).samples
+        b = diurnal_trace(rng(7)).samples
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = diurnal_trace(rng(1)).samples
+        b = diurnal_trace(rng(2)).samples
+        assert not np.array_equal(a, b)
+
+    def test_invalid_n_samples(self):
+        with pytest.raises(ValidationError):
+            diurnal_trace(rng(), n_samples=0)
+
+
+class TestOU:
+    def test_mean_reversion(self):
+        trace = ou_trace(rng(), n_samples=5000, mean=0.4, volatility=0.05)
+        assert trace.mean() == pytest.approx(0.4, abs=0.08)
+
+    def test_start_override(self):
+        trace = ou_trace(rng(), mean=0.2, start=0.9, volatility=0.0, reversion=0.5)
+        # With zero volatility the path decays deterministically toward mean.
+        assert trace.samples[0] < 0.9
+        assert abs(trace.samples[-1] - 0.2) < 0.01
+
+    def test_bounds(self):
+        trace = ou_trace(rng(), volatility=0.5)
+        assert float(trace.samples.min()) >= 0.0
+        assert float(trace.samples.max()) <= 1.0
+
+    def test_reversion_validated(self):
+        with pytest.raises(ValidationError):
+            ou_trace(rng(), reversion=0.0)
+
+
+class TestPeriodicSpike:
+    def test_duty_cycle(self):
+        trace = periodic_spike_trace(
+            rng(), n_samples=240, idle=0.05, spike=0.9, period=24, duty=3
+        )
+        high = (trace.samples > 0.5).sum()
+        assert high == pytest.approx(240 * 3 / 24, abs=6)
+
+    def test_invalid_duty(self):
+        with pytest.raises(ValidationError):
+            periodic_spike_trace(rng(), period=10, duty=11)

@@ -1,0 +1,76 @@
+"""Tests for paired policy comparisons."""
+
+import pytest
+
+from repro.util.stats import PairedComparison, paired_comparison
+
+
+class TestPairedComparison:
+    def test_counts_wins_losses_ties(self):
+        result = paired_comparison([1, 2, 3, 4], [2, 2, 2, 2])
+        assert result.wins == 1      # 1 < 2
+        assert result.losses == 2    # 3, 4 > 2
+        assert result.ties == 1
+        assert result.n == 4
+
+    def test_mean_difference_sign(self):
+        result = paired_comparison([1, 1, 1], [2, 2, 2])
+        assert result.mean_difference == pytest.approx(-1.0)
+
+    def test_all_ties_not_significant(self):
+        result = paired_comparison([5, 5], [5, 5])
+        assert result.sign_test_p == 1.0
+        assert not result.significant()
+
+    def test_consistent_dominance_significant(self):
+        a = list(range(10))
+        b = [x + 1 for x in a]
+        result = paired_comparison(a, b)
+        assert result.wins == 10
+        assert result.sign_test_p == pytest.approx(2 / 1024)
+        assert result.significant()
+
+    def test_wilcoxon_agrees_on_dominance(self):
+        a = list(range(10))
+        b = [x + 1 for x in a]
+        result = paired_comparison(a, b)
+        assert result.wilcoxon_p is not None
+        assert result.wilcoxon_p < 0.05
+
+    def test_balanced_differences_not_significant(self):
+        result = paired_comparison([1, 3, 1, 3], [2, 2, 2, 2])
+        assert result.sign_test_p == 1.0
+
+    def test_sign_test_exactness_small_n(self):
+        # One win, zero losses: p = 2 * (1/2) = 1.0.
+        result = paired_comparison([1], [2])
+        assert result.sign_test_p == 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([], [])
+
+
+class TestRunnerIntegration:
+    def test_compare_runs_end_to_end(self):
+        from repro.cluster.simulation import SimulationConfig
+        from repro.experiments.config import ExperimentConfig, WorkloadSpec
+        from repro.experiments.runner import run_experiment
+
+        config = ExperimentConfig(
+            n_vms=20,
+            datacenter=(("M3", 15),),
+            workload=WorkloadSpec(trace="planetlab"),
+            policies=("FF", "FFDSum"),
+            repetitions=3,
+            sim=SimulationConfig(duration_s=900.0, monitor_interval_s=300.0),
+        )
+        results = run_experiment(config)
+        comparison = results.compare("pms_used", "FF", "FFDSum")
+        assert isinstance(comparison, PairedComparison)
+        assert comparison.n == 3
+        assert 0.0 <= comparison.sign_test_p <= 1.0

@@ -1,0 +1,59 @@
+"""Tests for seeded RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngFactory, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_non_negative_63_bit(self):
+        for seed in (0, 7, 123456):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 2**63
+
+    def test_label_path_not_concatenation_ambiguous(self):
+        # ("ab",) and ("a", "b") must differ (separator in the hash).
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+
+class TestRngFactory:
+    def test_same_path_same_stream(self):
+        a = RngFactory(7).generator("trace", 3)
+        b = RngFactory(7).generator("trace", 3)
+        assert a.random() == b.random()
+
+    def test_different_paths_diverge(self):
+        a = RngFactory(7).generator("trace", 3)
+        b = RngFactory(7).generator("trace", 4)
+        draws_a = a.random(16)
+        draws_b = b.random(16)
+        assert not np.allclose(draws_a, draws_b)
+
+    def test_spawn_is_equivalent_to_prefix(self):
+        direct = RngFactory(7).generator("rep", 2, "traces")
+        spawned = RngFactory(7).spawn("rep", 2).generator("traces")
+        assert direct.random() == spawned.random()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(-1)
+
+    def test_child_seed_matches_generator_seed_space(self):
+        factory = RngFactory(0)
+        assert factory.child_seed("x") == RngFactory(0).child_seed("x")
+
+    def test_seed_property(self):
+        assert RngFactory(99).seed == 99

@@ -1,0 +1,59 @@
+"""Tests for percentile summaries."""
+
+import pytest
+
+from repro.util.stats import Percentiles, mean_confidence_interval, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.median == 5.0
+        assert stats.p01 == 5.0
+        assert stats.p99 == 5.0
+        assert stats.n == 1
+
+    def test_median_of_odd_sample(self):
+        assert summarize([3, 1, 2]).median == 2
+
+    def test_percentiles_bracket_median(self):
+        stats = summarize(range(101))
+        assert stats.p01 <= stats.median <= stats.p99
+
+    def test_extremes_close_to_min_max(self):
+        stats = summarize(range(101))
+        assert stats.p01 == pytest.approx(1.0)
+        assert stats.p99 == pytest.approx(99.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row(self):
+        stats = Percentiles(median=2.0, p01=1.0, p99=3.0, n=10)
+        assert stats.as_row() == (2.0, 1.0, 3.0)
+
+    def test_str_contains_values(self):
+        text = str(summarize([1.0, 2.0, 3.0]))
+        assert "2.00" in text and "n=3" in text
+
+
+class TestMeanConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        mean, half = mean_confidence_interval([4.0])
+        assert mean == 4.0
+        assert half == 0.0
+
+    def test_constant_sample_zero_width(self):
+        mean, half = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert mean == 2.0
+        assert half == 0.0
+
+    def test_width_shrinks_with_n(self):
+        wide = mean_confidence_interval([0, 1] * 4)[1]
+        narrow = mean_confidence_interval([0, 1] * 100)[1]
+        assert narrow < wide
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])

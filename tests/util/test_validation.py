@@ -1,0 +1,39 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    require,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="broken"):
+            require(False, "broken")
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestNumericRequires:
+    def test_positive_accepts_positive(self):
+        require_positive(0.1, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_positive_rejects_non_positive(self, value):
+        with pytest.raises(ValidationError, match="x"):
+            require_positive(value, "x")
+
+    def test_non_negative_accepts_zero(self):
+        require_non_negative(0, "x")
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_non_negative(-0.001, "x")
