@@ -1,0 +1,338 @@
+"""Performance trajectory harness: measures the hot paths, writes BENCH_perf.json.
+
+Run as a script to append one entry to the repo-root ``BENCH_perf.json``
+trajectory::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--quick] [--out PATH]
+
+Each entry records ops/sec for the kernels that dominate evaluation
+wall-clock — the PageRank power iteration on an EC2-scale graph, snap
+lookups against the EC2 score table, one Algorithm 2 placement decision
+over a fleet — plus end-to-end :func:`run_experiment` wall-clock at
+``workers=1`` and ``workers=cpu_count`` (with a bit-identical-results
+check between the two).  Future PRs append entries, so the file reads as
+a perf trajectory across the repo's history.
+
+The seed (pre-optimization) PageRank implementation is kept here verbatim
+as :func:`seed_profile_pagerank` so the speedup of the sparse kernel stays
+measurable against a fixed reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.ec2 import EC2_VM_TYPES, ec2_pm_shape
+from repro.cluster.simulation import SimulationConfig
+from repro.core.graph import ProfileGraph, SuccessorStrategy, build_profile_graph
+from repro.core.pagerank import profile_pagerank
+from repro.core.placement import PageRankVMPolicy
+from repro.core.score_table import ScoreTable, build_score_table
+from repro.experiments.config import ExperimentConfig, WorkloadSpec
+from repro.experiments.runner import run_experiment
+
+BENCH_FORMAT = "repro.bench_perf.v1"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Metrics compared between the serial and parallel runs.
+_METRICS = ("pms_used", "energy_kwh", "migrations", "slo_violations")
+
+
+def seed_compute_bpru(graph: ProfileGraph) -> np.ndarray:
+    """The seed repo's BPRU DP: per-call Python sort + per-node loop."""
+    utils = np.asarray(
+        [graph.shape.utilization(u) for u in graph.profiles], dtype=float
+    )
+    order = sorted(
+        range(graph.n_nodes),
+        key=lambda i: sum(sum(g) for g in graph.profiles[i]),
+    )
+    bpru = utils.copy()
+    for node in reversed(order):
+        succ = graph.successors[node]
+        if succ:
+            best = max(bpru[s] for s in succ)
+            if best > bpru[node]:
+                bpru[node] = best
+    return bpru
+
+
+def seed_profile_pagerank(
+    graph: ProfileGraph,
+    damping: float = 0.85,
+    epsilon: float = 1e-10,
+    max_iterations: int = 10_000,
+    vote_direction: str = "forward",
+):
+    """The seed repo's full ``profile_pagerank``, kept verbatim as the
+    fixed baseline the new kernel's speedup is measured against: the
+    per-call edge-list flattening, the per-iteration ``np.add.at``
+    scatter, and the Python-loop BPRU DP.  Returns ``(scores,
+    iterations)``.
+    """
+    n = graph.n_nodes
+    srcs: List[int] = []
+    dsts: List[int] = []
+    for node, succ in enumerate(graph.successors):
+        for s in succ:
+            if vote_direction == "forward":
+                srcs.append(node)
+                dsts.append(s)
+            else:
+                srcs.append(s)
+                dsts.append(node)
+    src_arr = np.asarray(srcs, dtype=np.int64)
+    dst_arr = np.asarray(dsts, dtype=np.int64)
+    counts = np.zeros(n, dtype=float)
+    if src_arr.size:
+        np.add.at(counts, src_arr, 1.0)
+    out_deg = np.maximum(counts, 1.0)
+
+    pr = np.full(n, 1.0 / n, dtype=float)
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        aux = np.zeros(n, dtype=float)
+        if src_arr.size:
+            np.add.at(aux, dst_arr, pr[src_arr] / out_deg[src_arr])
+        new_pr = (1.0 - damping) / n + damping * aux
+        total = new_pr.sum()
+        if total > 0:
+            new_pr /= total
+        delta = float(np.max(np.abs(new_pr - pr)))
+        pr = new_pr
+        if delta < epsilon:
+            break
+    return pr * seed_compute_bpru(graph), iterations
+
+
+def ec2_scale_graph() -> ProfileGraph:
+    """The EC2-scale kernel workload: M3, BALANCED strategy, reachable mode."""
+    return build_profile_graph(
+        ec2_pm_shape("M3"),
+        EC2_VM_TYPES,
+        strategy=SuccessorStrategy.BALANCED,
+        mode="reachable",
+    )
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock of ``repeats`` calls."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def off_graph_usages(shape, count: int, seed: int = 0):
+    """Deterministic pseudo-random usages, mostly off the reachable graph."""
+    rng = np.random.default_rng(seed)
+    usages = []
+    for _ in range(count):
+        usage = []
+        for group in shape.groups:
+            usage.append(
+                tuple(
+                    int(rng.integers(0, cap + 1)) for cap in group.capacities
+                )
+            )
+        usages.append(shape.canonicalize(tuple(usage)))
+    return usages
+
+
+def measure_kernels(
+    graph: ProfileGraph,
+    table: ScoreTable,
+    repeats: int = 3,
+    with_seed_baseline: bool = True,
+) -> Dict[str, float]:
+    """Kernel metrics: pagerank iteration rate, snap lookups, decisions."""
+    from repro.cluster.machine import PhysicalMachine
+    from repro.cluster.vm import VirtualMachine
+    from repro.core.permutations import balanced_placement
+
+    metrics: Dict[str, float] = {}
+
+    # PageRank kernel (warm: derived structures cached on the graph).
+    profile_pagerank(graph)
+    wall = _best_of(lambda: profile_pagerank(graph), repeats)
+    result = profile_pagerank(graph)
+    metrics["pagerank_wall_s"] = wall
+    metrics["pagerank_iterations_per_s"] = result.iterations / wall
+    if with_seed_baseline:
+        seed_wall = _best_of(lambda: seed_profile_pagerank(graph), repeats)
+        metrics["pagerank_seed_wall_s"] = seed_wall
+        metrics["pagerank_speedup_vs_seed"] = seed_wall / wall
+
+    # Snap lookups: misses against the full EC2 table, then batched.
+    shape = table.shape
+    misses = off_graph_usages(shape, 64)
+    fresh = ScoreTable(
+        shape,
+        dict(table.items()),
+        damping=table.damping,
+        strategy=table.strategy,
+        vote_direction=table.vote_direction,
+    )
+    fresh.score_or_snap(misses[0])  # build the snap matrix once
+    start = time.perf_counter()
+    for usage in misses:
+        fresh.score_or_snap(usage)
+    single_wall = time.perf_counter() - start
+    metrics["snap_lookups_per_s"] = len(misses) / single_wall
+
+    batched = ScoreTable(
+        shape,
+        dict(table.items()),
+        damping=table.damping,
+        strategy=table.strategy,
+        vote_direction=table.vote_direction,
+    )
+    batched.score_or_snap(misses[0])
+    start = time.perf_counter()
+    batched.score_or_snap_many(misses)
+    batch_wall = time.perf_counter() - start
+    metrics["snap_batch_lookups_per_s"] = len(misses) / batch_wall
+
+    # One Algorithm 2 decision over a warmed 50-PM fleet.
+    policy = PageRankVMPolicy({shape: table})
+    machines = [PhysicalMachine(i, shape) for i in range(50)]
+    rng = np.random.default_rng(0)
+    vm = EC2_VM_TYPES[0]
+    for machine in machines:
+        for _ in range(int(rng.integers(1, 5))):
+            placement = balanced_placement(shape, machine.usage, vm)
+            if placement is None:
+                break
+            machine.place(VirtualMachine(int(rng.integers(1 << 40)), vm), placement)
+    policy.select(vm, machines)  # warm the candidate cache
+    decisions = 200
+    start = time.perf_counter()
+    for _ in range(decisions):
+        policy.select(vm, machines)
+    decision_wall = time.perf_counter() - start
+    metrics["placement_decisions_per_s"] = decisions / decision_wall
+    return metrics
+
+
+def measure_end_to_end(
+    workers_grid: Optional[List[int]] = None,
+    table_cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """End-to-end run_experiment wall-clock, plus a determinism check."""
+    cpu = os.cpu_count() or 1
+    if workers_grid is None:
+        workers_grid = sorted({1, cpu if cpu > 1 else 2})
+    config = ExperimentConfig(
+        n_vms=40,
+        datacenter=(("M3", 30), ("C3", 8)),
+        workload=WorkloadSpec(trace="planetlab"),
+        policies=("PageRankVM", "FF", "FFDSum"),
+        repetitions=4,
+        sim=SimulationConfig(duration_s=1800.0, monitor_interval_s=300.0),
+    )
+    # Warm the in-process score-table cache so every grid point times the
+    # simulation cells, not a first-run table build.
+    from repro.experiments.runner import _score_tables
+
+    _score_tables(config, table_cache_dir)
+    walls: Dict[str, float] = {}
+    reference = None
+    identical = True
+    for workers in workers_grid:
+        start = time.perf_counter()
+        results = run_experiment(
+            config, workers=workers, table_cache_dir=table_cache_dir
+        )
+        walls[f"run_experiment_wall_s_workers_{workers}"] = (
+            time.perf_counter() - start
+        )
+        values = {
+            (policy, metric): results.metric_values(policy, metric)
+            for policy in config.policies
+            for metric in _METRICS
+        }
+        if reference is None:
+            reference = values
+        elif values != reference:
+            identical = False
+    return {
+        "cpu_count": cpu,
+        "workers_grid": workers_grid,
+        "parallel_results_identical": identical,
+        **walls,
+    }
+
+
+def run_harness(
+    quick: bool = False, table_cache_dir: Optional[str] = None
+) -> Dict[str, object]:
+    """Measure everything and return one trajectory entry."""
+    graph = ec2_scale_graph()
+    table = build_score_table(
+        ec2_pm_shape("M3"), EC2_VM_TYPES,
+        strategy=SuccessorStrategy.BALANCED, graph=graph,
+    )
+    entry: Dict[str, object] = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "graph_nodes": graph.n_nodes,
+        "graph_edges": graph.n_edges,
+        "quick": quick,
+    }
+    entry.update(
+        measure_kernels(
+            graph, table,
+            repeats=1 if quick else 3,
+            with_seed_baseline=not quick,
+        )
+    )
+    entry.update(measure_end_to_end(table_cache_dir=table_cache_dir))
+    return entry
+
+
+def append_entry(entry: Dict[str, object], out: Path = DEFAULT_OUT) -> None:
+    """Append an entry to the trajectory file, creating it if missing."""
+    if out.exists():
+        payload = json.loads(out.read_text())
+        if payload.get("format") != BENCH_FORMAT:
+            raise ValueError(f"unrecognized bench format in {out}")
+    else:
+        payload = {"format": BENCH_FORMAT, "entries": []}
+    payload["entries"].append(entry)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single timing repeat, skip the seed-baseline comparison",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"trajectory file to append to (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--table-cache", default=None,
+        help="score-table disk cache directory for the end-to-end runs",
+    )
+    args = parser.parse_args(argv)
+    entry = run_harness(quick=args.quick, table_cache_dir=args.table_cache)
+    append_entry(entry, args.out)
+    print(json.dumps(entry, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,19 +2,27 @@
 
 Not a paper artifact — these keep an eye on the costs that dominate
 simulation wall-clock: placement enumeration, score lookups, one
-Algorithm 2 decision over a fleet, and the power-iteration step.
+Algorithm 2 decision over a fleet, and the power-iteration step — at the
+toy scale of the paper's worked examples and at EC2 scale (the M3
+reachable graph with the BALANCED strategy, ~125k profiles), where the
+sparse kernel's advantage over the seed implementation is asserted.
 """
+
+import statistics
+import time
 
 import numpy as np
 import pytest
 
+from perf_harness import ec2_scale_graph, off_graph_usages, seed_profile_pagerank
+from repro.cluster.ec2 import EC2_VM_TYPES, ec2_pm_shape
 from repro.cluster.machine import PhysicalMachine
-from repro.core.graph import build_profile_graph
+from repro.core.graph import SuccessorStrategy, build_profile_graph
 from repro.core.pagerank import profile_pagerank
 from repro.core.permutations import balanced_placement, enumerate_placements
 from repro.core.placement import PageRankVMPolicy
 from repro.core.profile import MachineShape, ResourceGroup, VMType
-from repro.core.score_table import build_score_table
+from repro.core.score_table import ScoreTable, build_score_table
 
 SHAPE = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
 VM2 = VMType(name="vm2", demands=((1, 1),))
@@ -24,6 +32,20 @@ VM4 = VMType(name="vm4", demands=((1, 1, 1, 1),))
 @pytest.fixture(scope="module")
 def table():
     return build_score_table(SHAPE, (VM2, VM4), mode="full")
+
+
+@pytest.fixture(scope="module")
+def ec2_graph():
+    """EC2-scale kernel workload (M3, BALANCED strategy, reachable mode)."""
+    return ec2_scale_graph()
+
+
+@pytest.fixture(scope="module")
+def ec2_table(ec2_graph):
+    return build_score_table(
+        ec2_pm_shape("M3"), EC2_VM_TYPES,
+        strategy=SuccessorStrategy.BALANCED, graph=ec2_graph,
+    )
 
 
 def test_perf_enumerate_placements(benchmark):
@@ -66,3 +88,86 @@ def test_perf_pagerank_iteration(benchmark):
     graph = build_profile_graph(SHAPE, (VM2, VM4), mode="full")
     result = benchmark(lambda: profile_pagerank(graph))
     assert result.converged
+
+
+# ----------------------------------------------------------------------
+# EC2 scale (M3 reachable graph, ~125k profiles)
+# ----------------------------------------------------------------------
+def _median_wall(fn, repeats=3):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def test_perf_ec2_pagerank_speedup_vs_seed(ec2_graph):
+    # Acceptance bar for the sparse kernel: >= 3x over the seed's
+    # per-iteration np.add.at scatter on the EC2-scale graph.
+    profile_pagerank(ec2_graph)  # build the cached kernel once
+    new_wall = _median_wall(lambda: profile_pagerank(ec2_graph))
+    seed_wall = _median_wall(lambda: seed_profile_pagerank(ec2_graph))
+    speedup = seed_wall / new_wall
+    print(f"\nEC2 pagerank: seed {seed_wall:.3f}s, "
+          f"kernel {new_wall:.3f}s, speedup {speedup:.1f}x")
+    assert speedup >= 3.0
+
+
+def test_perf_ec2_pagerank_iteration(benchmark, ec2_graph):
+    profile_pagerank(ec2_graph)
+    result = benchmark(lambda: profile_pagerank(ec2_graph))
+    assert result.converged
+    assert result.graph.n_nodes > 100_000
+
+
+def test_perf_ec2_snap_lookup(benchmark, ec2_table):
+    # Steady-state mix: first pass snaps 64 off-graph profiles, later
+    # rounds hit the LRU cache — the shape of a long dynamic simulation.
+    usages = off_graph_usages(ec2_table.shape, 64)
+    scores = benchmark(lambda: [ec2_table.score_or_snap(u) for u in usages])
+    assert len(scores) == 64
+
+
+def test_perf_ec2_batch_snap(benchmark, ec2_table):
+    # Every round gets a fresh table so the whole batch is a true miss
+    # batch resolved by one vectorized distance computation.
+    usages = off_graph_usages(ec2_table.shape, 64)
+
+    def fresh_table():
+        return (
+            ScoreTable(
+                ec2_table.shape,
+                dict(ec2_table.items()),
+                damping=ec2_table.damping,
+                strategy=ec2_table.strategy,
+                vote_direction=ec2_table.vote_direction,
+            ),
+        ), {}
+
+    scores = benchmark.pedantic(
+        lambda t: t.score_or_snap_many(usages),
+        setup=fresh_table,
+        rounds=3,
+    )
+    assert len(scores) == 64
+
+
+def test_perf_ec2_placement_decision(benchmark, ec2_table):
+    from repro.cluster.vm import VirtualMachine
+    from repro.core.permutations import balanced_placement
+
+    shape = ec2_table.shape
+    vm = EC2_VM_TYPES[0]
+    policy = PageRankVMPolicy({shape: ec2_table})
+    machines = [PhysicalMachine(i, shape) for i in range(50)]
+    rng = np.random.default_rng(0)
+    for machine in machines:
+        for _ in range(int(rng.integers(1, 5))):
+            placement = balanced_placement(shape, machine.usage, vm)
+            if placement is None:
+                break
+            machine.place(VirtualMachine(int(rng.integers(1 << 40)), vm), placement)
+
+    decision = benchmark(lambda: policy.select(vm, machines))
+    assert decision is not None

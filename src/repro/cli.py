@@ -55,6 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
                           default=["PageRankVM", "CompVM", "FFDSum", "FF"])
     simulate.add_argument("--repetitions", type=int, default=3)
     simulate.add_argument("--seed", type=int, default=2018)
+    simulate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the (policy, repetition) grid; "
+             "0 means one per CPU.  Results are bit-identical to "
+             "--workers 1 (default)")
+    simulate.add_argument(
+        "--table-cache", metavar="DIR", default=None,
+        help="directory for the on-disk score-table cache, shared across "
+             "runs and worker processes (default: $REPRO_TABLE_CACHE)")
 
     testbed = sub.add_parser("testbed", help="run the GENI testbed emulation")
     testbed.add_argument("--jobs", type=int, default=200)
@@ -75,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--scale", type=int, nargs="+",
                          default=[200, 400, 600],
                          help="grid of VM (or job) counts")
+    figures.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the simulation grid; 0 means one per "
+             "CPU (simulation figures only)")
+    figures.add_argument(
+        "--table-cache", metavar="DIR", default=None,
+        help="directory for the on-disk score-table cache "
+             "(default: $REPRO_TABLE_CACHE)")
 
     exact = sub.add_parser(
         "exact", help="solve a small random instance exactly"
@@ -128,7 +145,11 @@ def _cmd_simulate(args) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
     )
-    results = run_experiment(config)
+    results = run_experiment(
+        config,
+        workers=args.workers or None,
+        table_cache_dir=args.table_cache,
+    )
     print(f"{'policy':12s} {'PMs':>8s} {'kWh':>10s} {'migr':>8s} {'SLO':>8s}")
     for policy in config.policies:
         pms = results.summarize("pms_used")[policy].median
@@ -175,7 +196,13 @@ def _cmd_figures(args) -> int:
         "fig6": fig.figure6_migrations,
         "fig7": fig.figure7_slo,
     }[args.figure]
-    figure = maker(args.trace, n_vms_list=grid, repetitions=args.repetitions)
+    figure = maker(
+        args.trace,
+        n_vms_list=grid,
+        repetitions=args.repetitions,
+        workers=args.workers or None,
+        table_cache_dir=args.table_cache,
+    )
     print(figure.text)
     print(f"ordering (best first): {' < '.join(figure.ordering())}")
     return 0

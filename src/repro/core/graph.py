@@ -26,7 +26,9 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core import permutations
 from repro.core.profile import (
@@ -75,6 +77,9 @@ class ProfileGraph:
     profiles: List[Usage]
     successors: List[Tuple[int, ...]]
     _index: Dict[Usage, int] = field(default_factory=dict, repr=False)
+    _derived: Dict[str, Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self._index:
@@ -110,19 +115,150 @@ class ProfileGraph:
         """Node ids that cannot accommodate any further VM."""
         return [i for i, succ in enumerate(self.successors) if not succ]
 
+    def memo(self, key: str, builder: Callable[[], Any]) -> Any:
+        """Cache an immutable derived structure on the graph.
+
+        The graph never changes after construction, so flat matrices,
+        edge arrays and DP schedules are built once and shared by every
+        consumer (PageRank kernel, BPRU/EFU DPs, benchmarks).
+        """
+        try:
+            return self._derived[key]
+        except KeyError:
+            value = builder()
+            self._derived[key] = value
+            return value
+
+    def flat_profiles(self) -> np.ndarray:
+        """All profiles flattened to an (n_nodes, n_dimensions) int matrix."""
+        def build() -> np.ndarray:
+            m = self.shape.n_dimensions
+            flat = np.fromiter(
+                (
+                    u
+                    for usage in self.profiles
+                    for group in usage
+                    for u in group
+                ),
+                dtype=np.int64,
+                count=self.n_nodes * m,
+            )
+            return flat.reshape(self.n_nodes, m)
+
+        return self.memo("flat_profiles", build)
+
+    def total_units_array(self) -> np.ndarray:
+        """Total used units per node (the topological level of each node)."""
+        return self.memo(
+            "total_units", lambda: self.flat_profiles().sum(axis=1)
+        )
+
     def topological_order(self) -> List[int]:
         """Node ids sorted by total used units (a topological order).
 
         Every edge adds a VM with positive total demand, so total usage
         strictly increases along edges and sorting by it is topological.
         """
-        return sorted(range(self.n_nodes), key=lambda i: sum(
-            sum(g) for g in self.profiles[i]
-        ))
+        return self.memo(
+            "topological_order",
+            lambda: [
+                int(i)
+                for i in np.argsort(self.total_units_array(), kind="stable")
+            ],
+        )
 
     def utilizations(self) -> List[float]:
         """Mean per-dimension utilization of every node."""
-        return [self.shape.utilization(u) for u in self.profiles]
+        return self.memo(
+            "utilizations", lambda: [float(u) for u in self.utilization_array()]
+        )
+
+    def utilization_array(self) -> np.ndarray:
+        """Mean per-dimension utilization of every node, as a float vector."""
+
+        def build() -> np.ndarray:
+            caps = np.asarray(
+                [c for group in self.shape.groups for c in group.capacities],
+                dtype=float,
+            )
+            return (self.flat_profiles() / caps).mean(axis=1)
+
+        return self.memo("utilization_array", build)
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All edges as parallel (src, dst) int arrays, grouped by src.
+
+        This is the CSR adjacency flattened: ``dst`` is the concatenation
+        of every node's successor tuple and ``src`` repeats each node id
+        ``out_degree`` times.
+        """
+
+        def build() -> Tuple[np.ndarray, np.ndarray]:
+            out_deg = np.fromiter(
+                (len(s) for s in self.successors), dtype=np.int64,
+                count=self.n_nodes,
+            )
+            src = np.repeat(np.arange(self.n_nodes, dtype=np.int64), out_deg)
+            dst = np.fromiter(
+                (s for succ in self.successors for s in succ),
+                dtype=np.int64,
+                count=int(out_deg.sum()),
+            )
+            return src, dst
+
+        return self.memo("edge_arrays", build)
+
+    def reverse_level_schedule(self) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Vectorized schedule for reverse-topological dynamic programs.
+
+        Nodes are grouped by total used units (their topological level) in
+        *descending* order; every successor of a node has strictly more
+        total units and therefore lives in an earlier-processed level, so
+        a DP may sweep the levels in schedule order and reduce over all
+        successors of a level at once.  Each entry is ``(nodes, flat_successors, starts)`` where
+        ``nodes`` are the level's node ids that have successors,
+        ``flat_successors`` is the concatenation of their successor ids and
+        ``starts`` are the segment offsets into it (one per node, suitable
+        for ``np.ufunc.reduceat``).  Sink-only levels are omitted.
+        """
+
+        def build() -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+            totals = self.total_units_array()
+            src, dst = self.edge_arrays()
+            out_deg = np.bincount(src, minlength=self.n_nodes).astype(np.int64)
+            order = np.argsort(-totals, kind="stable")
+            rank = np.empty(self.n_nodes, dtype=np.int64)
+            rank[order] = np.arange(self.n_nodes, dtype=np.int64)
+            # Edges re-sorted into node processing order; each node's
+            # successor slice stays contiguous because edge_arrays groups
+            # edges by src and the sort is stable.
+            flat_all = dst[np.argsort(rank[src], kind="stable")]
+            edge_start = np.concatenate(
+                ([0], np.cumsum(out_deg[order])[:-1])
+            )
+            ordered_totals = totals[order]
+            boundaries = np.nonzero(np.diff(ordered_totals))[0] + 1
+            segments = np.split(np.arange(self.n_nodes), boundaries)
+            schedule: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+            for positions in segments:
+                nodes_seg = order[positions]
+                keep = out_deg[nodes_seg] > 0
+                if not np.any(keep):
+                    continue
+                nodes = nodes_seg[keep]
+                starts_abs = edge_start[positions][keep]
+                level_start = int(starts_abs[0])
+                level_end = level_start + int(out_deg[nodes].sum())
+                schedule.append(
+                    (
+                        nodes,
+                        flat_all[level_start:level_end],
+                        starts_abs - level_start,
+                    )
+                )
+            return schedule
+
+        return self.memo("reverse_level_schedule", build)
 
 
 def _successor_usages(

@@ -39,19 +39,88 @@ random placement walk — as an alternative scoring for ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
+
+try:  # pragma: no cover - exercised indirectly on both paths
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover
+    _scipy_sparse = None
 
 from repro.core.graph import ProfileGraph
 from repro.util.validation import require
 
 __all__ = [
     "PageRankResult",
+    "TransitionKernel",
+    "transition_kernel",
     "profile_pagerank",
     "compute_bpru",
     "expected_final_utilization",
 ]
+
+
+class TransitionKernel:
+    """The vote-propagation step of Algorithm 1 as a sparse matvec.
+
+    One power iteration computes ``aux[dst] = sum_{src -> dst}
+    pr[src] / out_degree[src]``.  The seed implementation re-ran a
+    ``np.add.at`` scatter over the raw edge list every iteration; this
+    kernel builds the transition structure once — a ``scipy.sparse`` CSR
+    matrix when SciPy is importable, otherwise destination-sorted edge
+    arrays with precomputed ``1/out_degree`` weights folded through
+    ``np.bincount`` — and reuses it for every iteration.  Kernels are
+    memoized on the graph per vote direction.
+    """
+
+    def __init__(self, n: int, src: np.ndarray, dst: np.ndarray):
+        self.n = n
+        self.n_edges = int(src.size)
+        counts = np.bincount(src, minlength=n).astype(float) if src.size else (
+            np.zeros(n, dtype=float)
+        )
+        out_deg = np.maximum(counts, 1.0)
+        self._matrix = None
+        if src.size and _scipy_sparse is not None:
+            data = 1.0 / out_deg[src]
+            self._matrix = _scipy_sparse.csr_matrix(
+                (data, (dst, src)), shape=(n, n)
+            )
+            self._src = self._dst = self._weights = None
+        else:
+            order = np.argsort(dst, kind="stable")
+            self._src = src[order]
+            self._dst = dst[order]
+            self._weights = 1.0 / out_deg[self._src]
+
+    def matvec(self, pr: np.ndarray) -> np.ndarray:
+        """One vote-propagation step: the auxiliary vector for ``pr``."""
+        if self._matrix is not None:
+            return self._matrix @ pr
+        if self.n_edges == 0:
+            return np.zeros(self.n, dtype=float)
+        return np.bincount(
+            self._dst, weights=pr[self._src] * self._weights, minlength=self.n
+        )
+
+
+def transition_kernel(
+    graph: ProfileGraph, vote_direction: str = "forward"
+) -> TransitionKernel:
+    """The (cached) transition kernel of a graph for a vote direction."""
+    require(
+        vote_direction in ("forward", "reverse"),
+        f"vote_direction must be 'forward' or 'reverse', got {vote_direction!r}",
+    )
+
+    def build() -> TransitionKernel:
+        src, dst = graph.edge_arrays()
+        if vote_direction == "forward":
+            return TransitionKernel(graph.n_nodes, src, dst)
+        return TransitionKernel(graph.n_nodes, dst, src)
+
+    return graph.memo(f"transition_kernel:{vote_direction}", build)
 
 
 @dataclass(frozen=True)
@@ -91,14 +160,12 @@ def compute_bpru(graph: ProfileGraph) -> np.ndarray:
     of any placement path through P.  Computed by a reverse-topological
     dynamic program over the DAG.
     """
-    utils = np.asarray(graph.utilizations(), dtype=float)
-    bpru = utils.copy()
-    for node in reversed(graph.topological_order()):
-        succ = graph.successors[node]
-        if succ:
-            best = max(bpru[s] for s in succ)
-            if best > bpru[node]:
-                bpru[node] = best
+    bpru = graph.utilization_array().copy()
+    # Sweep levels in descending total usage; within a level every node's
+    # successors are already final, so one reduceat handles the whole level.
+    for nodes, flat, starts in graph.reverse_level_schedule():
+        best = np.maximum.reduceat(bpru[flat], starts)
+        bpru[nodes] = np.maximum(bpru[nodes], best)
     return bpru
 
 
@@ -114,11 +181,11 @@ def expected_final_utilization(graph: ProfileGraph) -> np.ndarray:
     profiles score high.  Used as the ``"expected-utilization"`` scoring
     ablation; the default scoring remains Algorithm 1.
     """
-    values = np.asarray(graph.utilizations(), dtype=float)
-    for node in reversed(graph.topological_order()):
-        succ = graph.successors[node]
-        if succ:
-            values[node] = float(np.mean([values[s] for s in succ]))
+    values = graph.utilization_array().copy()
+    for nodes, flat, starts in graph.reverse_level_schedule():
+        sums = np.add.reduceat(values[flat], starts)
+        counts = np.diff(np.concatenate((starts, [flat.size])))
+        values[nodes] = sums / counts
     return values
 
 
@@ -156,32 +223,14 @@ def profile_pagerank(
     n = graph.n_nodes
     require(n > 0, "graph has no nodes")
 
-    # Flatten edges once: srcs[k] -> dsts[k], with out-degree weights.
-    srcs: List[int] = []
-    dsts: List[int] = []
-    for node, succ in enumerate(graph.successors):
-        for s in succ:
-            if vote_direction == "forward":
-                srcs.append(node)
-                dsts.append(s)
-            else:
-                srcs.append(s)
-                dsts.append(node)
-    src_arr = np.asarray(srcs, dtype=np.int64)
-    dst_arr = np.asarray(dsts, dtype=np.int64)
-    counts = np.zeros(n, dtype=float)
-    if src_arr.size:
-        np.add.at(counts, src_arr, 1.0)
-    out_deg = np.maximum(counts, 1.0)
+    kernel = transition_kernel(graph, vote_direction)
 
     pr = np.full(n, 1.0 / n, dtype=float)
     iterations = 0
     converged = False
     while iterations < max_iterations:
         iterations += 1
-        aux = np.zeros(n, dtype=float)
-        if src_arr.size:
-            np.add.at(aux, dst_arr, pr[src_arr] / out_deg[src_arr])
+        aux = kernel.matvec(pr)
         new_pr = (1.0 - damping) / n + damping * aux
         total = new_pr.sum()
         if total > 0:

@@ -40,6 +40,7 @@ __all__ = [
     "first_fit_group_placement",
     "first_fit_placement",
     "apply_assignments",
+    "remap_placement",
 ]
 
 # A group placement assigns chunk values to concrete unit indices.
@@ -111,6 +112,47 @@ def apply_assignments(
             values[idx] += chunk
         groups.append(tuple(values))
     return tuple(groups)
+
+
+def remap_placement(
+    shape: MachineShape, usage: Usage, placement: Placement
+) -> Placement:
+    """Translate a placement computed on canonical usage to real unit order.
+
+    Placement policies score and cache accommodations against the
+    *canonical* form of a machine's usage; applying the cached winner to a
+    concrete machine only requires renaming units, because within every
+    run of equal-capacity units the canonical form is the usage sorted
+    non-decreasingly.  The k-th canonical position of a run therefore maps
+    to the run's k-th least-used real unit (ties broken by index, matching
+    the stable canonical sort), a bijection that preserves per-unit usage
+    values — and with them feasibility and anti-collocation.
+
+    This replaces re-running :func:`enumerate_placements` on the selected
+    machine, which made every realized decision pay the enumeration cost
+    twice.
+    """
+    assignments: List[Assignment] = []
+    for group, group_usage, group_assign in zip(
+        shape.groups, usage, placement.assignments
+    ):
+        if not group_assign or not group.anti_collocation:
+            assignments.append(group_assign)
+            continue
+        caps = group.capacities
+        mapping = list(range(len(caps)))
+        start = 0
+        while start < len(caps):
+            end = start
+            while end < len(caps) and caps[end] == caps[start]:
+                end += 1
+            order = sorted(range(start, end), key=lambda i: (group_usage[i], i))
+            mapping[start:end] = order
+            start = end
+        assignments.append(
+            tuple((mapping[idx], chunk) for idx, chunk in group_assign)
+        )
+    return Placement(new_usage=placement.new_usage, assignments=tuple(assignments))
 
 
 def can_place_group(

@@ -96,6 +96,10 @@ class PageRankVMPolicy(ProfileScorePolicy):
         """Profile-PageRank table lookup with nearest-profile snapping."""
         return self.table_for(shape).score_or_snap(usage)
 
+    def profile_scores(self, shape: MachineShape, usages) -> list:
+        """Batched table lookups; misses share one snap distance pass."""
+        return self.table_for(shape).score_or_snap_many(usages)
+
     def candidate_mode(self, shape: MachineShape) -> str:
         """Match the candidate set to the table's successor strategy."""
         table = self.table_for(shape)

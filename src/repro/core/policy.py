@@ -34,7 +34,12 @@ from typing import (
 import numpy as np
 
 from repro.core import permutations
-from repro.core.permutations import Placement, balanced_placement, can_place
+from repro.core.permutations import (
+    Placement,
+    balanced_placement,
+    can_place,
+    remap_placement,
+)
 from repro.core.profile import MachineShape, Usage, VMType
 from repro.util.validation import require
 
@@ -154,8 +159,10 @@ class PlacementPolicy(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-# Cached candidate: (score, target canonical usage) or None when infeasible.
-_Candidate = Optional[Tuple[Any, Usage]]
+# Cached candidate: (score, target canonical usage, winning placement) or
+# None when infeasible.  The placement's assignments index the *canonical*
+# unit order; realization remaps them to the selected machine's real units.
+_Candidate = Optional[Tuple[Any, Usage, Placement]]
 
 
 class ProfileScorePolicy(PlacementPolicy):
@@ -190,6 +197,17 @@ class ProfileScorePolicy(PlacementPolicy):
     def profile_score(self, shape: MachineShape, usage: Usage) -> Any:
         """Score of a canonical usage; larger compares better."""
 
+    def profile_scores(
+        self, shape: MachineShape, usages: Sequence[Usage]
+    ) -> List[Any]:
+        """Scores of many canonical usages at once.
+
+        The default loops over :meth:`profile_score`; policies with a
+        vectorized scoring backend (PageRankVM's batched table snap)
+        override this so one candidate enumeration pays one lookup.
+        """
+        return [self.profile_score(shape, usage) for usage in usages]
+
     def candidate_mode(self, shape: MachineShape) -> str:
         """``"all"`` to enumerate every accommodation, ``"balanced"`` for
         the deterministic least-loaded one (scalable approximation)."""
@@ -207,25 +225,34 @@ class ProfileScorePolicy(PlacementPolicy):
     # ------------------------------------------------------------------
     def _candidates(
         self, shape: MachineShape, usage: Usage, vm: VMType
-    ) -> List[Tuple[Any, Usage]]:
-        results: List[Tuple[Any, Usage]] = []
+    ) -> List[Tuple[Any, Usage, Placement]]:
+        results: List[Tuple[Any, Usage, Placement]] = []
         if self.candidate_mode(shape) == "balanced":
             placed = permutations.balanced_placement(shape, usage, vm)
             if placed is not None:
                 results.append(
-                    (self.profile_score(shape, placed.new_usage), placed.new_usage)
+                    (
+                        self.profile_score(shape, placed.new_usage),
+                        placed.new_usage,
+                        placed,
+                    )
                 )
         else:
-            for placed in permutations.enumerate_placements(shape, usage, vm):
-                results.append(
-                    (self.profile_score(shape, placed.new_usage), placed.new_usage)
+            placements = list(permutations.enumerate_placements(shape, usage, vm))
+            if placements:
+                scores = self.profile_scores(
+                    shape, [placed.new_usage for placed in placements]
+                )
+                results.extend(
+                    (score, placed.new_usage, placed)
+                    for score, placed in zip(scores, placements)
                 )
         return results
 
     def best_candidate(
         self, shape: MachineShape, usage: Usage, vm: VMType
     ) -> _Candidate:
-        """Best (score, target usage) for placing ``vm`` at ``usage``.
+        """Best (score, target usage, placement) for placing ``vm`` at ``usage``.
 
         Cached on the canonical usage, so machines at equal resource
         states share one evaluation.  Returns None when the VM does not
@@ -243,10 +270,27 @@ class ProfileScorePolicy(PlacementPolicy):
         return best
 
     def _realize(
-        self, machine: MachineView, vm: VMType, target: Usage, score: Any
+        self,
+        machine: MachineView,
+        vm: VMType,
+        target: Usage,
+        score: Any,
+        placement: Optional[Placement] = None,
     ) -> Optional[PlacementDecision]:
-        """Find a concrete assignment on ``machine`` reaching ``target``."""
+        """Find a concrete assignment on ``machine`` reaching ``target``.
+
+        When the cached winning ``placement`` is supplied, its canonical
+        unit indices are remapped to the machine's real unit order — no
+        re-enumeration.  The enumeration fallback remains for callers
+        holding only a target usage.
+        """
         shape = machine.shape
+        if placement is not None:
+            return PlacementDecision(
+                pm_id=machine.pm_id,
+                placement=remap_placement(shape, machine.usage, placement),
+                score=score,
+            )
         if self.candidate_mode(shape) == "balanced":
             placed = permutations.balanced_placement(shape, machine.usage, vm)
             if placed is None:
@@ -275,16 +319,20 @@ class ProfileScorePolicy(PlacementPolicy):
         best_machine: Optional[MachineView] = None
         best_score: Any = None
         best_target: Optional[Usage] = None
+        best_placement: Optional[Placement] = None
         for machine in pool:
             candidate = self.best_candidate(machine.shape, machine.usage, vm)
             if candidate is None:
                 continue
-            score, target = candidate
+            score, target, placement = candidate
             if best_machine is None or score > best_score:
-                best_machine, best_score, best_target = machine, score, target
+                best_machine, best_score = machine, score
+                best_target, best_placement = target, placement
         if best_machine is None:
             return None
-        return self._realize(best_machine, vm, best_target, best_score)
+        return self._realize(
+            best_machine, vm, best_target, best_score, best_placement
+        )
 
     def _select_among_unused(
         self, vm: VMType, unused: Sequence[MachineView]
@@ -295,6 +343,6 @@ class ProfileScorePolicy(PlacementPolicy):
             candidate = self.best_candidate(machine.shape, machine.usage, vm)
             if candidate is None:
                 continue
-            score, target = candidate
-            return self._realize(machine, vm, target, score)
+            score, target, placement = candidate
+            return self._realize(machine, vm, target, score, placement)
         return None

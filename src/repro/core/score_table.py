@@ -14,10 +14,18 @@ scored by *snapping* to the nearest known profile in L1 distance.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+try:  # scipy's C cityblock kernel; optional, with a NumPy fallback below.
+    from scipy.spatial.distance import cdist as _cdist
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _cdist = None
 
 from repro.core.graph import SuccessorStrategy, build_profile_graph
 from repro.core.pagerank import expected_final_utilization, profile_pagerank
@@ -25,6 +33,23 @@ from repro.core.profile import MachineShape, Profile, ResourceGroup, Usage, VMTy
 from repro.util.validation import ValidationError, require
 
 __all__ = ["ScoreTable", "build_score_table"]
+
+
+def _pairwise_l1(queries: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """(queries, rows) L1 distance matrix without a 3-D intermediate.
+
+    A naive ``abs(matrix[None] - queries[:, None]).sum(axis=2)`` allocates
+    a (queries x rows x dims) array — hundreds of MB against an EC2-scale
+    table — and is slower than one scan per query.  scipy's cityblock
+    cdist streams in C; the fallback accumulates one dimension at a time
+    so the largest intermediate is (queries x rows).
+    """
+    if _cdist is not None:
+        return _cdist(queries, matrix, metric="cityblock")
+    distances = np.zeros((queries.shape[0], matrix.shape[0]))
+    for dim in range(matrix.shape[1]):
+        distances += np.abs(matrix[np.newaxis, :, dim] - queries[:, dim, np.newaxis])
+    return distances
 
 
 class ScoreTable:
@@ -35,7 +60,14 @@ class ScoreTable:
         scores: canonical usage -> final score.
         damping: damping factor used to build the table (metadata).
         strategy: successor strategy used to build the table (metadata).
+        snap_cache_size: bound on the snap-result cache; long dynamic
+            simulations with migrations produce a stream of off-graph
+            profiles, so the cache evicts least-recently-used entries
+            once full instead of growing without limit.
     """
+
+    #: Default bound on the snapped-score LRU cache.
+    DEFAULT_SNAP_CACHE_SIZE = 65_536
 
     def __init__(
         self,
@@ -44,8 +76,13 @@ class ScoreTable:
         damping: float = 0.85,
         strategy: SuccessorStrategy = SuccessorStrategy.ALL_PLACEMENTS,
         vote_direction: str = "forward",
+        snap_cache_size: int = DEFAULT_SNAP_CACHE_SIZE,
     ):
         require(len(scores) > 0, "a score table needs at least one profile")
+        require(
+            snap_cache_size >= 1,
+            f"snap_cache_size must be >= 1, got {snap_cache_size}",
+        )
         self.shape = shape
         self.damping = damping
         self.strategy = strategy
@@ -53,7 +90,9 @@ class ScoreTable:
         self._scores = dict(scores)
         self._flat_matrix: Optional[np.ndarray] = None
         self._flat_usages: Optional[List[Usage]] = None
-        self._snap_cache: Dict[Usage, float] = {}
+        self._flat_scores: Optional[np.ndarray] = None
+        self._snap_cache: "OrderedDict[Usage, float]" = OrderedDict()
+        self._snap_cache_size = int(snap_cache_size)
 
     def __len__(self) -> int:
         return len(self._scores)
@@ -80,24 +119,87 @@ class ScoreTable:
             return exact
         cached = self._snap_cache.get(usage)
         if cached is not None:
+            self._snap_cache.move_to_end(usage)
             return cached
-        matrix, usages = self._snap_structures()
-        flat = np.asarray([u for group in usage for u in group], dtype=float)
-        distances = np.abs(matrix - flat).sum(axis=1)
-        nearest = float(np.min(distances))
-        candidates = np.nonzero(distances == nearest)[0]
-        score = min(self._scores[usages[i]] for i in candidates)
-        self._snap_cache[usage] = score
+        score = self._snap_one(usage)
+        self._snap_remember(usage, score)
         return score
 
-    def _snap_structures(self) -> Tuple[np.ndarray, List[Usage]]:
-        if self._flat_matrix is None:
-            self._flat_usages = list(self._scores)
-            self._flat_matrix = np.asarray(
-                [[u for group in usage for u in group] for usage in self._flat_usages],
+    def score_or_snap_many(
+        self, usages: Sequence[Union[Usage, Profile]]
+    ) -> List[float]:
+        """Scores of many usages, batching the snap distance computation.
+
+        Exact hits and previously snapped usages resolve from the
+        dictionaries; all remaining misses share *one* vectorized L1
+        distance computation against the table matrix instead of one scan
+        per miss.
+        """
+        keys = [u.usage if isinstance(u, Profile) else u for u in usages]
+        results: List[Optional[float]] = [None] * len(keys)
+        misses: "OrderedDict[Usage, List[int]]" = OrderedDict()
+        for i, key in enumerate(keys):
+            exact = self._scores.get(key)
+            if exact is not None:
+                results[i] = exact
+                continue
+            cached = self._snap_cache.get(key)
+            if cached is not None:
+                self._snap_cache.move_to_end(key)
+                results[i] = cached
+                continue
+            misses.setdefault(key, []).append(i)
+        if misses:
+            matrix, _, flat_scores = self._snap_structures()
+            flats = np.asarray(
+                [[u for group in key for u in group] for key in misses],
                 dtype=float,
             )
-        return self._flat_matrix, self._flat_usages
+            distances = _pairwise_l1(flats, matrix)
+            nearest = distances.min(axis=1, keepdims=True)
+            for row, (key, positions) in enumerate(misses.items()):
+                candidates = np.nonzero(distances[row] == nearest[row, 0])[0]
+                score = float(flat_scores[candidates].min())
+                self._snap_remember(key, score)
+                for i in positions:
+                    results[i] = score
+        return results  # type: ignore[return-value]
+
+    def _snap_one(self, usage: Usage) -> float:
+        matrix, _, flat_scores = self._snap_structures()
+        flat = np.asarray([u for group in usage for u in group], dtype=float)
+        distances = np.abs(matrix - flat).sum(axis=1)
+        nearest = distances.min()
+        candidates = np.nonzero(distances == nearest)[0]
+        return float(flat_scores[candidates].min())
+
+    def _snap_remember(self, usage: Usage, score: float) -> None:
+        self._snap_cache[usage] = score
+        if len(self._snap_cache) > self._snap_cache_size:
+            self._snap_cache.popitem(last=False)
+
+    def _snap_structures(self) -> Tuple[np.ndarray, List[Usage], np.ndarray]:
+        if self._flat_matrix is None:
+            self._flat_usages = list(self._scores)
+            m = sum(len(group) for group in self._flat_usages[0])
+            self._flat_matrix = np.ascontiguousarray(
+                np.fromiter(
+                    (
+                        u
+                        for usage in self._flat_usages
+                        for group in usage
+                        for u in group
+                    ),
+                    dtype=float,
+                    count=len(self._flat_usages) * m,
+                ).reshape(len(self._flat_usages), m)
+            )
+            self._flat_scores = np.fromiter(
+                (self._scores[u] for u in self._flat_usages),
+                dtype=float,
+                count=len(self._flat_usages),
+            )
+        return self._flat_matrix, self._flat_usages, self._flat_scores
 
     def best_profile(self) -> Usage:
         """The usage with the highest score in the table."""
@@ -123,7 +225,13 @@ class ScoreTable:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        """Write the table to a JSON file."""
+        """Write the table to a JSON file, atomically.
+
+        The payload is written to a temporary file in the destination
+        directory and moved into place with :func:`os.replace`, so
+        concurrent readers (parallel experiment workers sharing a disk
+        cache) never observe a half-written table.
+        """
         payload = {
             "format": "repro.score_table.v1",
             "damping": self.damping,
@@ -142,7 +250,27 @@ class ScoreTable:
                 for usage, score in self._scores.items()
             ],
         }
-        Path(path).write_text(json.dumps(payload))
+        destination = Path(path)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(destination.parent) or ".",
+            prefix=destination.name + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            # mkstemp creates 0600 files; give the table the permissions a
+            # plain open() would, so shared cache directories stay readable.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.chmod(temp_name, 0o666 & ~umask)
+            os.replace(temp_name, destination)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
 
     @staticmethod
     def load(path: Union[str, Path]) -> "ScoreTable":
@@ -239,9 +367,7 @@ def build_score_table(
             values = result.raw * expected_final_utilization(graph)
         else:
             values = result.scores
-    scores = {
-        graph.profiles[i]: float(values[i]) for i in range(graph.n_nodes)
-    }
+    scores = dict(zip(graph.profiles, np.asarray(values, dtype=float).tolist()))
     return ScoreTable(
         shape=shape,
         scores=scores,

@@ -1,7 +1,17 @@
-"""Runs (policy x repetition) grids and aggregates percentile statistics."""
+"""Runs (policy x repetition) grids and aggregates percentile statistics.
+
+The grid is embarrassingly parallel: every (policy, repetition) cell
+derives all of its randomness from the config seed via
+:class:`repro.util.rng.RngFactory` label paths, so cells are independent
+and their results do not depend on execution order.
+:func:`run_experiment` exploits this with a process pool
+(``workers=N``) whose output is bit-identical to the serial run.
+"""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -57,6 +67,7 @@ def make_policy_and_selector(
     name: str,
     config: ExperimentConfig,
     repetition: int = 0,
+    table_cache_dir: Optional[str] = None,
 ):
     """Instantiate a placement policy and its eviction selector.
 
@@ -64,20 +75,16 @@ def make_policy_and_selector(
     PageRank eviction selector; baselines pair with CloudSim's default
     minimum-migration-time selector, exactly as in the paper.
 
+    Args:
+        table_cache_dir: optional on-disk score-table cache directory
+            (defaults to the ``REPRO_TABLE_CACHE`` environment variable).
+
     Raises:
         ValidationError: for unknown policy names.
     """
     rng = RngFactory(config.seed).generator("policy", name, repetition)
     if name in ("PageRankVM", "PageRankVM-2choice"):
-        shapes = [ec2_pm_shape(pm_name) for pm_name, _ in config.datacenter]
-        tables = score_tables_for(
-            shapes,
-            EC2_VM_TYPES,
-            strategy=SuccessorStrategy.BALANCED,
-            damping=config.damping,
-            vote_direction=config.vote_direction,
-            scoring=config.scoring,
-        )
+        tables = _score_tables(config, table_cache_dir)
         pool = 2 if name.endswith("2choice") else None
         policy = PageRankVMPolicy(tables, pool_size=pool, rng=rng)
         return policy, PageRankMigrationSelector(tables)
@@ -94,12 +101,31 @@ def make_policy_and_selector(
     )
 
 
+def _score_tables(config: ExperimentConfig, table_cache_dir: Optional[str]):
+    """The (cached) score tables every PageRankVM variant of a config shares."""
+    shapes = [ec2_pm_shape(pm_name) for pm_name, _ in config.datacenter]
+    return score_tables_for(
+        shapes,
+        EC2_VM_TYPES,
+        strategy=SuccessorStrategy.BALANCED,
+        damping=config.damping,
+        vote_direction=config.vote_direction,
+        scoring=config.scoring,
+        cache_dir=table_cache_dir,
+    )
+
+
 def run_single(
-    config: ExperimentConfig, policy_name: str, repetition: int
+    config: ExperimentConfig,
+    policy_name: str,
+    repetition: int,
+    table_cache_dir: Optional[str] = None,
 ) -> SimulationResult:
     """One (policy, repetition) simulation run."""
     datacenter = build_ec2_datacenter(dict(config.datacenter))
-    policy, selector = make_policy_and_selector(policy_name, config, repetition)
+    policy, selector = make_policy_and_selector(
+        policy_name, config, repetition, table_cache_dir=table_cache_dir
+    )
     vms = build_vms(config, repetition)
     simulation = CloudSimulation(datacenter, policy, selector, config.sim)
     return simulation.run(vms)
@@ -145,12 +171,55 @@ class ExperimentResults:
         )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResults:
-    """Run every configured policy over every repetition."""
+def _run_cell(args) -> SimulationResult:
+    """Process-pool entry point for one (policy, repetition) cell."""
+    config, policy_name, repetition, table_cache_dir = args
+    return run_single(
+        config, policy_name, repetition, table_cache_dir=table_cache_dir
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    workers: Optional[int] = 1,
+    table_cache_dir: Optional[str] = None,
+) -> ExperimentResults:
+    """Run every configured policy over every repetition.
+
+    Args:
+        workers: number of worker processes fanning the (policy,
+            repetition) grid out via :class:`ProcessPoolExecutor`; 1 (the
+            default) runs serially in-process, None uses every CPU.
+            Every cell derives its randomness from ``(config.seed,
+            policy, repetition)`` label paths, so the parallel results
+            are bit-identical to the serial ones regardless of worker
+            count or scheduling.
+        table_cache_dir: optional on-disk score-table cache shared by the
+            workers, so each distinct table is built once rather than
+            once per process (see :mod:`repro.experiments.tables`).
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
     results = ExperimentResults(config=config)
-    for policy_name in config.policies:
-        results.runs[policy_name] = [
-            run_single(config, policy_name, rep)
-            for rep in range(config.repetitions)
-        ]
+    cells = [
+        (config, policy_name, rep, table_cache_dir)
+        for policy_name in config.policies
+        for rep in range(config.repetitions)
+    ]
+    if workers == 1 or len(cells) == 1:
+        outcomes = [_run_cell(cell) for cell in cells]
+    else:
+        # Build the score tables once in the parent before the pool
+        # forks: children inherit the in-memory cache, and with a disk
+        # cache directory even spawn-started workers load instead of
+        # rebuilding.
+        if any(name.startswith("PageRankVM") for name in config.policies):
+            _score_tables(config, table_cache_dir)
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            outcomes = list(executor.map(_run_cell, cells))
+    for i, policy_name in enumerate(config.policies):
+        start = i * config.repetitions
+        results.runs[policy_name] = outcomes[start:start + config.repetitions]
     return results

@@ -19,9 +19,24 @@ from repro.core.graph import SuccessorStrategy
 from repro.core.profile import MachineShape, VMType
 from repro.core.score_table import ScoreTable, build_score_table
 
-__all__ = ["score_tables_for", "clear_memory_cache", "table_cache_key"]
+__all__ = [
+    "score_tables_for",
+    "clear_memory_cache",
+    "table_cache_key",
+    "build_counts",
+]
 
 _MEMORY_CACHE: Dict[str, ScoreTable] = {}
+
+#: Cache key -> number of from-scratch builds in this process.  Disk-cache
+#: loads do not count; tests use this to assert each distinct table is
+#: built exactly once per process.
+_BUILD_COUNTS: Dict[str, int] = {}
+
+
+def build_counts() -> Dict[str, int]:
+    """Per-cache-key count of from-scratch table builds in this process."""
+    return dict(_BUILD_COUNTS)
 
 
 def table_cache_key(
@@ -45,8 +60,9 @@ def table_cache_key(
 
 
 def clear_memory_cache() -> None:
-    """Drop all in-memory cached tables (tests use this)."""
+    """Drop all in-memory cached tables and counters (tests use this)."""
     _MEMORY_CACHE.clear()
+    _BUILD_COUNTS.clear()
 
 
 def _disk_cache_dir(cache_dir: Optional[str]) -> Optional[Path]:
@@ -92,6 +108,7 @@ def score_tables_for(
                 scoring=scoring,
                 node_limit=node_limit,
             )
+            _BUILD_COUNTS[key] = _BUILD_COUNTS.get(key, 0) + 1
             if disk is not None:
                 disk.mkdir(parents=True, exist_ok=True)
                 table.save(disk / f"score_table_{key}.json")

@@ -171,12 +171,14 @@ class NetworkAwarePageRankVM(PageRankVMPolicy):
             candidate = self.best_candidate(machine.shape, machine.usage, vm)
             if candidate is None:
                 continue
-            score, target = candidate
-            candidates.append((machine, score, target))
+            score, target, placement = candidate
+            candidates.append((machine, score, target, placement))
         if not candidates:
             return None
 
-        scores = np.asarray([score for _, score, _ in candidates], dtype=float)
+        scores = np.asarray(
+            [score for _, score, _, _ in candidates], dtype=float
+        )
         span = float(scores.max() - scores.min())
         if span > 0:
             normalized = (scores - scores.min()) / span
@@ -185,13 +187,15 @@ class NetworkAwarePageRankVM(PageRankVMPolicy):
 
         best = None
         best_value = -np.inf
-        for (machine, score, target), base in zip(candidates, normalized):
+        for (machine, score, target, placement), base in zip(
+            candidates, normalized
+        ):
             locality = self._locality(machine.pm_id, self.current_vm_id)
             value = (1.0 - self._weight) * float(base) + self._weight * locality
             if not machine.is_used:
                 value -= self._open_penalty
             if value > best_value:
                 best_value = value
-                best = (machine, score, target)
-        machine, score, target = best
-        return self._realize(machine, vm, target, score)
+                best = (machine, score, target, placement)
+        machine, score, target, placement = best
+        return self._realize(machine, vm, target, score, placement)

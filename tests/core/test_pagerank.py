@@ -166,3 +166,54 @@ class TestExpectedFinalUtilization:
         dead_end = efu[toy_graph.node_id(((3, 4, 4, 4),))]
         promising = efu[toy_graph.node_id(((2, 2, 3, 3),))]
         assert promising > dead_end - 1e-12 or dead_end <= 15 / 16
+
+
+class TestTransitionKernel:
+    def test_kernel_memoized_per_direction(self, toy_graph):
+        from repro.core.pagerank import transition_kernel
+
+        forward = transition_kernel(toy_graph, "forward")
+        assert transition_kernel(toy_graph, "forward") is forward
+        assert transition_kernel(toy_graph, "reverse") is not forward
+
+    def test_bad_direction_rejected(self, toy_graph):
+        from repro.core.pagerank import transition_kernel
+
+        with pytest.raises(ValidationError):
+            transition_kernel(toy_graph, "sideways")
+
+    @pytest.mark.parametrize("direction", ["forward", "reverse"])
+    def test_numpy_fallback_matches_scipy_path(
+        self, toy_shape, toy_vm_types, direction, monkeypatch
+    ):
+        # The bincount fallback must produce the same scores as the
+        # scipy CSR path (fresh graphs: kernels are memoized per graph).
+        import repro.core.pagerank as pagerank_module
+
+        reference = profile_pagerank(
+            build_profile_graph(toy_shape, toy_vm_types, mode="full"),
+            vote_direction=direction,
+        )
+        monkeypatch.setattr(pagerank_module, "_scipy_sparse", None)
+        fallback = profile_pagerank(
+            build_profile_graph(toy_shape, toy_vm_types, mode="full"),
+            vote_direction=direction,
+        )
+        assert fallback.iterations == reference.iterations
+        assert np.allclose(fallback.scores, reference.scores, atol=1e-13)
+
+    def test_edgeless_graph_kernel(self):
+        # When no VM fits, the graph is a single empty node with no
+        # edges; the kernel must still run (rank mass comes solely from
+        # the damping term).
+        from repro.core.profile import MachineShape, ResourceGroup, VMType
+
+        tiny = MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(1, 1)),)
+        )
+        huge = VMType(name="huge", demands=((2, 2),))
+        graph = build_profile_graph(tiny, (huge,), mode="reachable")
+        assert graph.n_edges == 0
+        result = profile_pagerank(graph)
+        assert result.converged
+        assert np.isclose(result.raw.sum(), 1.0)

@@ -121,6 +121,69 @@ class TestPoolSampling:
         assert run(7) == run(7)
 
 
+class TestRealization:
+    def test_no_reenumeration_on_realize(
+        self, toy_shape, vm2, fake_machine, monkeypatch
+    ):
+        # After best_candidate caches the winning placement, realizing a
+        # decision must not call enumerate_placements a second time.
+        from repro.core import permutations as perms
+
+        machine = fake_machine(0, toy_shape, ((1, 1, 0, 0),))
+        policy = UtilizationPolicy()
+        calls = []
+        original = perms.enumerate_placements
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(perms, "enumerate_placements", counting)
+        decision = policy.select(vm2, [machine])
+        assert decision is not None
+        assert len(calls) == 1
+
+        calls.clear()
+        decision = policy.select(vm2, [machine])  # fully cached now
+        assert decision is not None
+        assert calls == []
+
+    def test_remapped_placement_valid_on_noncanonical_machine(
+        self, toy_shape, vm2, fake_machine
+    ):
+        # Usage in descending (non-canonical) unit order: the cached
+        # canonical placement must be remapped onto the machine's real
+        # units without violating capacity or anti-collocation.
+        machine = fake_machine(0, toy_shape, ((3, 2, 1, 0),))
+        decision = UtilizationPolicy().select(vm2, [machine])
+        assert decision is not None
+        units = [unit for unit, _ in decision.placement.assignments[0]]
+        assert len(set(units)) == len(units)  # anti-collocation
+        for unit, chunk in decision.placement.assignments[0]:
+            assert machine.usage[0][unit] + chunk <= 4
+        # The realized usage matches the cached winner canonically.
+        realized = list(machine.usage[0])
+        for unit, chunk in decision.placement.assignments[0]:
+            realized[unit] += chunk
+        canonical = toy_shape.canonicalize((tuple(realized),))
+        target = toy_shape.canonicalize(decision.placement.new_usage)
+        assert canonical == target
+
+    def test_equal_usage_machines_get_machine_specific_placements(
+        self, toy_shape, vm2, fake_machine
+    ):
+        # Two machines whose usages are the same multiset but ordered
+        # differently share one cached candidate; each realized decision
+        # must still fit its own machine.
+        a = fake_machine(0, toy_shape, ((0, 1, 2, 3),))
+        b = fake_machine(1, toy_shape, ((3, 2, 1, 0),))
+        policy = UtilizationPolicy()
+        for machine in (a, b):
+            decision = policy.select(vm2, [machine])
+            for unit, chunk in decision.placement.assignments[0]:
+                assert machine.usage[0][unit] + chunk <= 4
+
+
 class TestCandidateModes:
     def test_balanced_mode_single_candidate(self, toy_shape, vm2, fake_machine):
         class BalancedUtil(UtilizationPolicy):

@@ -64,6 +64,73 @@ class TestSnapping:
         assert table.score_or_snap(missing) == first
 
 
+class TestSnapCacheBound:
+    def _reachable_table(self, toy_shape, toy_vm_types, **kwargs):
+        graph_table = build_score_table(toy_shape, toy_vm_types, mode="reachable")
+        return ScoreTable(
+            toy_shape,
+            dict(graph_table.items()),
+            damping=graph_table.damping,
+            strategy=graph_table.strategy,
+            **kwargs,
+        )
+
+    def test_cache_never_exceeds_bound(self, toy_shape, toy_vm_types):
+        table = self._reachable_table(toy_shape, toy_vm_types, snap_cache_size=4)
+        # Odd-total usages are off the reachable graph, so all of these
+        # miss and must be snapped.
+        for first in range(5):
+            table.score_or_snap(((1, 1, 1, 2 * first),))
+        assert len(table._snap_cache) <= 4
+
+    def test_least_recently_used_evicted_first(self, toy_shape, toy_vm_types):
+        table = self._reachable_table(toy_shape, toy_vm_types, snap_cache_size=2)
+        a, b, c = ((0, 0, 0, 1),), ((0, 0, 0, 3),), ((0, 0, 1, 2),)
+        table.score_or_snap(a)
+        table.score_or_snap(b)
+        table.score_or_snap(a)  # refresh a: b becomes least recent
+        table.score_or_snap(c)  # evicts b
+        assert a in table._snap_cache
+        assert b not in table._snap_cache
+        assert c in table._snap_cache
+
+    def test_eviction_does_not_change_scores(self, toy_shape, toy_vm_types):
+        bounded = self._reachable_table(toy_shape, toy_vm_types, snap_cache_size=1)
+        unbounded = self._reachable_table(toy_shape, toy_vm_types)
+        usages = [((0, 0, 0, 1),), ((0, 0, 0, 3),), ((0, 0, 0, 1),)]
+        for usage in usages:
+            assert bounded.score_or_snap(usage) == unbounded.score_or_snap(usage)
+
+    def test_invalid_bound_rejected(self, toy_shape, toy_table):
+        with pytest.raises(ValidationError):
+            ScoreTable(toy_shape, dict(toy_table.items()), snap_cache_size=0)
+
+
+class TestBatchSnap:
+    def test_matches_single_lookups(self, toy_shape, toy_vm_types):
+        table = build_score_table(toy_shape, toy_vm_types, mode="reachable")
+        reference = build_score_table(toy_shape, toy_vm_types, mode="reachable")
+        usages = [
+            ((0, 0, 0, 0),),   # exact hit
+            ((1, 0, 0, 0),),   # off-graph
+            ((0, 0, 1, 2),),   # off-graph
+            ((1, 0, 0, 0),),   # repeated miss in one batch
+            toy_shape.full_usage(),
+        ]
+        batched = table.score_or_snap_many(usages)
+        singles = [reference.score_or_snap(u) for u in usages]
+        assert batched == singles
+
+    def test_empty_batch(self, toy_table):
+        assert toy_table.score_or_snap_many([]) == []
+
+    def test_batch_populates_cache(self, toy_shape, toy_vm_types):
+        table = build_score_table(toy_shape, toy_vm_types, mode="reachable")
+        missing = ((1, 0, 0, 0),)
+        [score] = table.score_or_snap_many([missing])
+        assert table._snap_cache[missing] == score
+
+
 class TestPersistence:
     def test_roundtrip(self, toy_table, tmp_path):
         path = tmp_path / "table.json"
@@ -87,6 +154,41 @@ class TestPersistence:
         path.write_text('{"format": "something-else"}')
         with pytest.raises(ValidationError):
             ScoreTable.load(path)
+
+    def test_metadata_roundtrip_reverse_balanced(
+        self, toy_shape, toy_vm_types, tmp_path
+    ):
+        table = build_score_table(
+            toy_shape,
+            toy_vm_types,
+            strategy=SuccessorStrategy.BALANCED,
+            vote_direction="reverse",
+            damping=0.7,
+        )
+        path = tmp_path / "table.json"
+        table.save(path)
+        loaded = ScoreTable.load(path)
+        assert loaded.vote_direction == "reverse"
+        assert loaded.strategy is SuccessorStrategy.BALANCED
+        assert loaded.damping == pytest.approx(0.7)
+        for usage, score in table.items():
+            assert loaded.score(usage) == pytest.approx(score)
+
+    def test_save_is_atomic_no_leftover_temp_files(self, toy_table, tmp_path):
+        path = tmp_path / "table.json"
+        toy_table.save(path)
+        toy_table.save(path)  # overwrite must also go through os.replace
+        assert [p.name for p in tmp_path.iterdir()] == ["table.json"]
+        assert ScoreTable.load(path).score is not None
+
+    def test_failed_save_leaves_no_debris(self, toy_table, tmp_path, monkeypatch):
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.core.score_table.json.dump", boom)
+        with pytest.raises(OSError):
+            toy_table.save(tmp_path / "table.json")
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestBuild:

@@ -96,3 +96,29 @@ class TestRunExperiment:
         ordering = results.ordering("pms_used")
         medians = [results.summarize("pms_used")[p].median for p in ordering]
         assert medians == sorted(medians)
+
+
+class TestParallelExecution:
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_invalid_worker_count_rejected(self, workers):
+        with pytest.raises(ValidationError):
+            run_experiment(small_config(), workers=workers)
+
+    def test_parallel_is_bit_identical_to_serial(self):
+        config = small_config()
+        serial = run_experiment(config, workers=1)
+        parallel = run_experiment(config, workers=4)
+        assert set(parallel.runs) == set(serial.runs)
+        for policy in serial.runs:
+            for metric in (
+                "pms_used", "energy_kwh", "migrations", "slo_violations"
+            ):
+                assert parallel.metric_values(policy, metric) == (
+                    serial.metric_values(policy, metric)
+                ), f"{policy}/{metric} diverged between workers=4 and workers=1"
+
+    def test_single_cell_grid_runs_in_process(self):
+        # A 1-cell grid short-circuits the pool even with workers > 1.
+        config = small_config(policies=("FF",), repetitions=1)
+        results = run_experiment(config, workers=8)
+        assert len(results.runs["FF"]) == 1

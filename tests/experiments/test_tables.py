@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.graph import SuccessorStrategy
 from repro.experiments.tables import (
+    build_counts,
     clear_memory_cache,
     score_tables_for,
     table_cache_key,
@@ -86,3 +87,24 @@ class TestScoreTablesFor:
         monkeypatch.setenv("REPRO_TABLE_CACHE", str(tmp_path))
         score_tables_for([toy_shape], toy_vm_types)
         assert list(tmp_path.glob("score_table_*.json"))
+
+
+class TestBuildCounts:
+    def test_each_table_built_exactly_once(self, toy_shape, toy_vm_types):
+        for _ in range(3):
+            score_tables_for([toy_shape, toy_shape], toy_vm_types)
+        assert list(build_counts().values()) == [1]
+
+    def test_distinct_parameters_build_distinct_tables(
+        self, toy_shape, toy_vm_types
+    ):
+        score_tables_for([toy_shape], toy_vm_types, vote_direction="forward")
+        score_tables_for([toy_shape], toy_vm_types, vote_direction="reverse")
+        assert sorted(build_counts().values()) == [1, 1]
+
+    def test_disk_load_is_not_a_build(self, toy_shape, toy_vm_types, tmp_path):
+        score_tables_for([toy_shape], toy_vm_types, cache_dir=str(tmp_path))
+        assert sum(build_counts().values()) == 1
+        clear_memory_cache()
+        score_tables_for([toy_shape], toy_vm_types, cache_dir=str(tmp_path))
+        assert sum(build_counts().values()) == 0
