@@ -1,0 +1,55 @@
+"""Static analysis and runtime constraint auditing for the reproduction.
+
+Two engines guard the paper's correctness claims:
+
+* :mod:`repro.analysis.lint` — an AST-based static linter with domain
+  rules (codes ``PRV001``–``PRV008``) catching determinism and
+  invariant hazards before they ship: unseeded global RNG use, float
+  equality on utilization math, unordered-set iteration feeding the
+  parallel runner, mutation of memoized-immutable objects, and friends.
+* :mod:`repro.analysis.invariants` — a runtime auditor replaying any
+  allocation state against the MIP constraints (1)-(11) of Section IV
+  (assignment totality, per-unit anti-collocation, capacity
+  conservation) plus score-table consistency checks.
+
+Both are reachable from the CLI (``repro lint``, ``repro audit``) and
+from :func:`repro.experiments.runner.run_experiment` via ``audit=True``.
+"""
+
+from repro.analysis.invariants import (
+    AuditError,
+    AuditReport,
+    Violation,
+    audit_datacenter,
+    audit_score_table,
+    audit_simulation,
+    audit_solution,
+    load_placements,
+    save_placements,
+)
+from repro.analysis.lint import (
+    Finding,
+    Rule,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    # invariants
+    "AuditError",
+    "AuditReport",
+    "Violation",
+    "audit_solution",
+    "audit_datacenter",
+    "audit_simulation",
+    "audit_score_table",
+    "save_placements",
+    "load_placements",
+    # lint
+    "Rule",
+    "Finding",
+    "RULES",
+    "lint_source",
+    "lint_paths",
+]

@@ -1,0 +1,672 @@
+"""Domain-aware static linter for the reproduction (``repro lint``).
+
+A single AST pass over ``src/repro`` enforcing the invariants the
+paper's claims depend on.  Generic style is left to generic tools; every
+rule here encodes a *domain* hazard:
+
+========  =============================================================
+code      rule
+========  =============================================================
+PRV001    unseeded global RNG use (``random.*`` / ``np.random.*``
+          outside :mod:`repro.util.rng`) — breaks run-to-run
+          reproducibility and the parallel runner's bit-identity
+PRV002    float ``==`` / ``!=`` on capacity/utilization expressions —
+          the codebase is fixed-point for exactly this reason
+PRV003    iteration over an unordered ``set`` — ordering feeds the
+          parallel runner and score-table keys, so it must be sorted
+PRV004    mutable default argument — shared state across calls
+PRV005    mutation of :class:`~repro.core.graph.ProfileGraph` /
+          :class:`~repro.core.score_table.ScoreTable` outside their
+          defining modules — the PR 1 memoization depends on them
+          being effectively immutable
+PRV006    bare ``except:`` — swallows ``KeyboardInterrupt`` and masks
+          invariant violations
+PRV007    public module without ``__all__`` — the public-API contract
+          tests need an explicit export surface
+PRV008    hot-path class without ``__slots__`` — instance dicts cost
+          memory and attribute-typo safety on the allocation fast path
+========  =============================================================
+
+Suppression: append ``# prv: disable=PRV002`` (comma-separate several
+codes; anything after ``--`` is a free-form justification) to the
+flagged line.  Module-level findings (PRV007) anchor at line 1, class
+findings (PRV008) at the ``class`` statement.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "Rule",
+    "Finding",
+    "RULES",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: code, short name, what it catches, how to fix it."""
+
+    code: str
+    name: str
+    summary: str
+    hint: str
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        code="PRV001",
+        name="unseeded-global-rng",
+        summary="global RNG call outside repro.util.rng",
+        hint="draw from RngFactory / np.random.default_rng(seed) instead",
+    ),
+    Rule(
+        code="PRV002",
+        name="float-equality",
+        summary="== / != on a float-valued capacity or utilization "
+                "expression",
+        hint="compare quantized ints, use <=/>= guards, or math.isclose",
+    ),
+    Rule(
+        code="PRV003",
+        name="unordered-iteration",
+        summary="iteration over an unordered set (determinism hazard)",
+        hint="wrap in sorted(...) so downstream order is reproducible",
+    ),
+    Rule(
+        code="PRV004",
+        name="mutable-default-argument",
+        summary="mutable default argument",
+        hint="default to None and create the object inside the function",
+    ),
+    Rule(
+        code="PRV005",
+        name="immutable-mutation",
+        summary="mutation of a ProfileGraph/ScoreTable outside its "
+                "defining module",
+        hint="treat graphs and score tables as immutable; build new ones",
+    ),
+    Rule(
+        code="PRV006",
+        name="bare-except",
+        summary="bare except:",
+        hint="catch a concrete exception type (or Exception at worst)",
+    ),
+    Rule(
+        code="PRV007",
+        name="missing-all",
+        summary="public module without __all__",
+        hint="declare the export surface with __all__ = [...]",
+    ),
+    Rule(
+        code="PRV008",
+        name="missing-slots",
+        summary="hot-path class without __slots__",
+        hint="add __slots__ = (...) listing the instance attributes",
+    ),
+)
+
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def rule(self) -> Rule:
+        """The rule that produced this finding."""
+        return RULES_BY_CODE[self.code]
+
+    def render(self) -> str:
+        """The canonical one-line report format."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"{self.message} (hint: {self.rule.hint})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Configuration: which modules get which extra scrutiny
+# ----------------------------------------------------------------------
+#: Modules whose classes sit on the allocation fast path and must use
+#: ``__slots__``.  Keys are path suffixes relative to any source root.
+HOT_PATH_MODULES: Tuple[str, ...] = (
+    "repro/core/profile.py",
+    "repro/core/graph.py",
+    "repro/core/score_table.py",
+    "repro/core/permutations.py",
+    "repro/cluster/machine.py",
+    "repro/util/rng.py",
+)
+
+#: The modules allowed to mutate graph/table internals (their own).
+IMMUTABLE_DEFINING_MODULES: Tuple[str, ...] = (
+    "repro/core/graph.py",
+    "repro/core/score_table.py",
+)
+
+#: The one module allowed to touch global RNG machinery.
+RNG_MODULE = "repro/util/rng.py"
+
+#: ``np.random.<attr>`` accesses that are fine anywhere: they construct
+#: explicitly seeded generators or are types, not draws from the global
+#: state.
+SEEDED_RNG_ATTRS: Set[str] = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "Philox", "RandomState",
+}
+
+#: Identifier fragments marking a float-valued domain quantity.
+FLOATY_NAME = re.compile(
+    r"(util|utilization|fraction|rate|ratio|energy|kwh|score|weight|"
+    r"damping|epsilon|threshold|seconds|cost|watts|load_factor)",
+    re.IGNORECASE,
+)
+
+#: Methods whose call on an attribute of a graph/table mutates it.
+MUTATING_METHODS: Set[str] = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "sort", "reverse",
+}
+
+#: Names that syntactically denote a profile graph or score table.
+IMMUTABLE_VALUE_NAME = re.compile(r"(^|_)(graph|table|tables)$")
+
+#: Modules exempt from PRV007 (no public surface by design).
+ALL_EXEMPT_MODULES: Tuple[str, ...] = ("__main__.py",)
+
+_SUPPRESS = re.compile(r"#\s*prv:\s*disable=([A-Za-z0-9, ]+)")
+
+
+def _module_key(path: str) -> str:
+    """Normalize a path for suffix matching against the module lists."""
+    return str(path).replace("\\", "/")
+
+
+def _matches(path: str, suffixes: Iterable[str]) -> bool:
+    key = _module_key(path)
+    return any(key.endswith(suffix) for suffix in suffixes)
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Line -> set of codes disabled on that line via ``# prv: disable=``.
+
+    Parsed from the token stream so string literals containing the
+    marker do not suppress anything.
+    """
+    disabled: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS.search(token.string)
+            if not match:
+                continue
+            codes = {
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            disabled.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenizeError:
+        pass
+    return disabled
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass rule evaluation over one module's AST."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        # import-name bookkeeping for PRV001
+        self._random_aliases: Set[str] = set()      # `import random as r`
+        self._numpy_aliases: Set[str] = set()       # `import numpy as np`
+        self._np_random_aliases: Set[str] = set()   # `from numpy import random`
+        self._from_random_names: Set[str] = set()   # `from random import x`
+        self._is_rng_module = _matches(path, (RNG_MODULE,))
+        self._is_hot_path = _matches(path, HOT_PATH_MODULES)
+        self._may_mutate = _matches(path, IMMUTABLE_DEFINING_MODULES)
+
+    # -- helpers -------------------------------------------------------
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        ))
+
+    # -- imports (PRV001 bookkeeping) ----------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name
+            if alias.name == "random":
+                self._random_aliases.add(name)
+                if not self._is_rng_module:
+                    self._report(
+                        node, "PRV001",
+                        "stdlib `random` imported; all randomness must "
+                        "flow through repro.util.rng",
+                    )
+            elif alias.name in ("numpy", "numpy.random"):
+                if alias.name == "numpy.random":
+                    self._np_random_aliases.add(name)
+                else:
+                    self._numpy_aliases.add(name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and not self._is_rng_module:
+            names = ", ".join(alias.name for alias in node.names)
+            self._from_random_names.update(
+                alias.asname or alias.name for alias in node.names
+            )
+            self._report(
+                node, "PRV001",
+                f"`from random import {names}`; all randomness must flow "
+                "through repro.util.rng",
+            )
+        elif node.module in ("numpy", "numpy.random"):
+            for alias in node.names:
+                if node.module == "numpy" and alias.name == "random":
+                    self._np_random_aliases.add(alias.asname or alias.name)
+                elif (
+                    node.module == "numpy.random"
+                    and alias.name not in SEEDED_RNG_ATTRS
+                    and not self._is_rng_module
+                ):
+                    self._report(
+                        node, "PRV001",
+                        f"`from numpy.random import {alias.name}` draws "
+                        "from the unseeded global state",
+                    )
+        self.generic_visit(node)
+
+    # -- calls: PRV001 + PRV005 ----------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng_call(node)
+        self._check_mutating_call(node)
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call) -> None:
+        if self._is_rng_module:
+            return
+        func = node.func
+        # random.X(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._random_aliases
+        ):
+            self._report(
+                node, "PRV001",
+                f"call to stdlib random.{func.attr}() uses the unseeded "
+                "global RNG",
+            )
+            return
+        # <np>.random.X(...) or <nprandom_alias>.X(...)
+        if isinstance(func, ast.Attribute) and func.attr not in SEEDED_RNG_ATTRS:
+            target = func.value
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "random"
+                and isinstance(target.value, ast.Name)
+                and target.value.id in self._numpy_aliases
+            ) or (
+                isinstance(target, ast.Name)
+                and target.id in self._np_random_aliases
+            ):
+                self._report(
+                    node, "PRV001",
+                    f"call to np.random.{func.attr}() uses the unseeded "
+                    "global NumPy RNG",
+                )
+        # bare name imported from random
+        if (
+            isinstance(func, ast.Name)
+            and func.id in self._from_random_names
+        ):
+            self._report(
+                node, "PRV001",
+                f"call to {func.id}() (stdlib random) uses the unseeded "
+                "global RNG",
+            )
+
+    def _check_mutating_call(self, node: ast.Call) -> None:
+        if self._may_mutate:
+            return
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+        ):
+            return
+        base = self._immutable_base(func.value)
+        if base is not None:
+            self._report(
+                node, "PRV005",
+                f"{base}.{func.attr}() mutates a memoized-immutable "
+                "object",
+            )
+
+    @staticmethod
+    def _immutable_base(node: ast.AST) -> Optional[str]:
+        """Dotted name when ``node`` reads into a graph/table, else None.
+
+        Matches ``graph.profiles``-style attribute reads whose *root
+        identifier* names a graph or table (``graph``, ``score_table``,
+        ``tables`` ...), including ``self._graph.x`` chains.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+        else:
+            return None
+        dotted = ".".join(reversed(parts))
+        for part in parts:
+            if IMMUTABLE_VALUE_NAME.search(part):
+                return dotted
+        return None
+
+    # -- assignments: PRV005 -------------------------------------------
+    def _check_store_target(self, target: ast.AST) -> None:
+        if self._may_mutate:
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element)
+            return
+        if isinstance(target, ast.Subscript):
+            # A bare name like `tables[shape] = table` is the idiom for
+            # *building* a dict of tables; only an attribute chain
+            # (`table._scores[u] = s`) reaches into the object itself.
+            if not isinstance(target.value, ast.Attribute):
+                return
+            base = self._immutable_base(target.value)
+            if base is not None:
+                self._report(
+                    target, "PRV005",
+                    f"item assignment into {base}[...] mutates a "
+                    "memoized-immutable object",
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            base = self._immutable_base(target.value)
+            if base is not None:
+                self._report(
+                    target, "PRV005",
+                    f"attribute assignment {base}.{target.attr} mutates "
+                    "a memoized-immutable object",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    # -- comparisons: PRV002 -------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            floaty = next(
+                (o for o in operands if self._is_floaty(o)), None
+            )
+            if floaty is not None:
+                self._report(
+                    node, "PRV002",
+                    "float equality on a capacity/utilization expression "
+                    f"({ast.dump(floaty)[:40]}...)"
+                    if not isinstance(floaty, ast.Constant)
+                    else f"float equality against literal {floaty.value!r}",
+                )
+        self.generic_visit(node)
+
+    @classmethod
+    def _is_floaty(cls, node: ast.AST) -> bool:
+        """Heuristic: does this expression produce a float-valued domain
+        quantity (utilization, rate, energy ...)?"""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+        if isinstance(node, ast.BinOp):
+            return cls._is_floaty(node.left) or cls._is_floaty(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return cls._is_floaty(node.operand)
+        if isinstance(node, ast.Name):
+            return bool(FLOATY_NAME.search(node.id))
+        if isinstance(node, ast.Attribute):
+            return bool(FLOATY_NAME.search(node.attr))
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else ""
+            )
+            return bool(FLOATY_NAME.search(name))
+        return False
+
+    # -- iteration: PRV003 ---------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_generators(
+        self, generators: Sequence[ast.comprehension]
+    ) -> None:
+        for comp in generators:
+            self._check_iterable(comp.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def _check_iterable(self, node: ast.AST) -> None:
+        if self._is_unordered(node):
+            self._report(
+                node, "PRV003",
+                "iterating an unordered set; order leaks into results",
+            )
+
+    @staticmethod
+    def _is_unordered(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            # set algebra producing sets: a.union(b), a.intersection(b) ...
+            if node.func.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference",
+            ):
+                return _Visitor._is_unordered(node.func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return _Visitor._is_unordered(node.left) or _Visitor._is_unordered(
+                node.right
+            )
+        return False
+
+    # -- defaults: PRV004 ----------------------------------------------
+    def _check_defaults(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.DictComp,
+                                           ast.SetComp))
+            if not mutable and isinstance(default, ast.Call):
+                func = default.func
+                mutable = (
+                    isinstance(func, ast.Name)
+                    and func.id in ("list", "dict", "set", "bytearray")
+                )
+            if mutable:
+                self._report(
+                    default, "PRV004",
+                    f"mutable default argument in {node.name}()",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- exception handling: PRV006 ------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node, "PRV006",
+                "bare except: catches SystemExit/KeyboardInterrupt too",
+            )
+        self.generic_visit(node)
+
+    # -- classes: PRV008 -----------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_hot_path and not self._exempt_class(node):
+            has_slots = any(
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__slots__"
+                    for t in stmt.targets
+                )
+                for stmt in node.body
+            )
+            if not has_slots:
+                self._report(
+                    node, "PRV008",
+                    f"hot-path class {node.name} has no __slots__",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _exempt_class(node: ast.ClassDef) -> bool:
+        """Dataclasses, enums, exceptions and protocols are exempt:
+        ``@dataclass`` manages its own layout (slots need py>=3.10) and
+        the rest are not allocation-rate classes."""
+        for decorator in node.decorator_list:
+            name = decorator
+            if isinstance(name, ast.Call):
+                name = name.func
+            if isinstance(name, ast.Attribute) and name.attr == "dataclass":
+                return True
+            if isinstance(name, ast.Name) and name.id == "dataclass":
+                return True
+        for base in node.bases:
+            text = ast.unparse(base)
+            if re.search(
+                r"(Enum|Exception|Error|Protocol|NamedTuple|TypedDict)",
+                text,
+            ):
+                return True
+        return False
+
+
+def _module_findings(tree: ast.Module, path: str) -> List[Finding]:
+    """Module-level rules (PRV007)."""
+    if _matches(path, ALL_EXEMPT_MODULES):
+        return []
+    name = Path(path).name
+    if name.startswith("_") and name not in ("__init__.py",):
+        return []
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in stmt.targets
+        ):
+            return []
+        if isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.target, ast.Name
+        ) and stmt.target.id == "__all__":
+            return []
+    # Modules with no definitions at all (pure scripts) are still public.
+    return [Finding(
+        path=path, line=1, col=0, code="PRV007",
+        message=f"public module {name} does not declare __all__",
+    )]
+
+
+def lint_source(
+    source: str, path: str = "<string>"
+) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    findings = visitor.findings + _module_findings(tree, path)
+    disabled = _suppressions(source)
+    kept = [
+        f for f in findings
+        if f.code not in disabled.get(f.line, set())
+    ]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return sorted(set(files))
+
+
+def lint_paths(paths: Sequence[Union[str, Path]]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_source(file.read_text(), str(file)))
+    return findings

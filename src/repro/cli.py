@@ -8,6 +8,10 @@ Commands:
 * ``figures``   — regenerate one of the paper's figures as a text table.
 * ``exact``     — solve a small random instance exactly and report
   heuristic gaps.
+* ``lint``      — run the domain-aware static linter (PRV rules) over
+  source trees.
+* ``audit``     — replay a saved artifact (score table or placements)
+  against the MIP constraints (1)-(11).
 
 All commands take ``--seed`` and print deterministic output for a given
 seed, so CLI runs are as reproducible as library calls.
@@ -64,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--table-cache", metavar="DIR", default=None,
         help="directory for the on-disk score-table cache, shared across "
              "runs and worker processes (default: $REPRO_TABLE_CACHE)")
+    simulate.add_argument(
+        "--audit", action="store_true",
+        help="validate every run's final placements against the MIP "
+             "constraints (1)-(11) inside the worker that produced them")
 
     testbed = sub.add_parser("testbed", help="run the GENI testbed emulation")
     testbed.add_argument("--jobs", type=int, default=200)
@@ -99,6 +107,24 @@ def build_parser() -> argparse.ArgumentParser:
     exact.add_argument("--vms", type=int, default=8)
     exact.add_argument("--pms", type=int, default=5)
     exact.add_argument("--seed", type=int, default=2018)
+
+    lint = sub.add_parser(
+        "lint", help="run the domain-aware static linter (PRV rules)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+
+    audit = sub.add_parser(
+        "audit", help="audit a saved artifact against constraints (1)-(11)"
+    )
+    audit.add_argument("artifact",
+                       help="a JSON artifact: a score table written by "
+                            "ScoreTable.save or placements written by "
+                            "repro.analysis.save_placements")
+    audit.add_argument("--verbose", action="store_true",
+                       help="print every violation, not just the summary")
     return parser
 
 
@@ -149,6 +175,7 @@ def _cmd_simulate(args) -> int:
         config,
         workers=args.workers or None,
         table_cache_dir=args.table_cache,
+        audit=args.audit,
     )
     print(f"{'policy':12s} {'PMs':>8s} {'kWh':>10s} {'migr':>8s} {'SLO':>8s}")
     for policy in config.policies:
@@ -242,12 +269,66 @@ def _cmd_exact(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import RULES, lint_paths
+
+    if args.list_rules:
+        width = max(len(rule.name) for rule in RULES)
+        for rule in RULES:
+            print(f"{rule.code}  {rule.name:{width}s}  {rule.summary}")
+        return 0
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    scanned = ", ".join(str(p) for p in args.paths)
+    if findings:
+        print(f"repro lint: {len(findings)} finding(s) in {scanned}")
+        return 1
+    print(f"repro lint: clean ({scanned})")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.invariants import (
+        PLACEMENTS_FORMAT,
+        audit_score_table,
+        audit_solution,
+        load_placements,
+    )
+    from repro.core.score_table import ScoreTable
+
+    try:
+        payload = json.loads(Path(args.artifact).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"repro audit: cannot read {args.artifact}: {error}")
+        return 2
+    fmt = payload.get("format")
+    if fmt == "repro.score_table.v1":
+        report = audit_score_table(ScoreTable.load(args.artifact))
+    elif fmt == PLACEMENTS_FORMAT:
+        instance, solution = load_placements(args.artifact)
+        report = audit_solution(instance, solution)
+    else:
+        print(f"repro audit: unrecognized artifact format {fmt!r}")
+        return 2
+    if args.verbose:
+        for violation in report.violations:
+            print(violation)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "rank": _cmd_rank,
     "simulate": _cmd_simulate,
     "testbed": _cmd_testbed,
     "figures": _cmd_figures,
     "exact": _cmd_exact,
+    "lint": _cmd_lint,
+    "audit": _cmd_audit,
 }
 
 

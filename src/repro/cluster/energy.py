@@ -42,7 +42,7 @@ class PowerModel:
         require(points.size >= 2, "need at least two calibration points")
         require(points.size == power.size, "points and watts differ in length")
         require(bool(np.all(np.diff(points) > 0)), "points must be increasing")
-        if points[0] != 0.0 or points[-1] != 1.0:
+        if points[0] != 0.0 or points[-1] != 1.0:  # prv: disable=PRV002 -- calibration endpoints are exact literals by contract, not computed floats
             raise ValidationError("utilization points must span [0, 1]")
         self.name = name
         self._points = points

@@ -45,6 +45,11 @@ class PhysicalMachine:
         type_name: PM type label ("M3"/"C3"), used to pick a power model.
     """
 
+    __slots__ = (
+        "_pm_id", "_shape", "_type_name", "_usage", "_allocations",
+        "_cpu_group", "_cpu_capacity",
+    )
+
     def __init__(self, pm_id: int, shape: MachineShape, type_name: str = "PM"):
         self._pm_id = pm_id
         self._shape = shape
@@ -228,7 +233,7 @@ class PhysicalMachine:
             raise ValidationError(f"burst factor must be positive, got {burst}")
         for allocation in self._allocations.values():
             fraction = allocation.vm.cpu_utilization_at(time_s)
-            if fraction == 0.0:
+            if fraction <= 0.0:
                 continue
             for idx, chunk in allocation.assignments[self._cpu_group]:
                 if numeric:

@@ -59,6 +59,6 @@ class SLOTracker:
     @property
     def violation_rate(self) -> float:
         """Fraction of active-host time at full CPU (0 when never active)."""
-        if self._active_seconds == 0.0:
+        if self._active_seconds <= 0.0:
             return 0.0
         return self._violation_seconds / self._active_seconds

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.util.validation import ValidationError, require
 
@@ -52,6 +52,8 @@ class Quantizer:
             :meth:`to_units` before raising, guarding against silently
             distorting a demand that is not a multiple of the quantum.
     """
+
+    __slots__ = ("_quantum", "_tolerance")
 
     def __init__(self, quantum: float, tolerance: float = 1e-6):
         if not quantum > 0:
@@ -206,7 +208,7 @@ class MachineShape:
         non-decreasingly; units of different capacity keep their (sorted
         by capacity) positions.
         """
-        canonical = []
+        canonical: List[GroupUsage] = []
         for group, group_usage in zip(self.groups, usage):
             values = list(group_usage)
             if group.uniform():
@@ -274,7 +276,7 @@ class MachineShape:
 
     def dimension_utilizations(self, usage: Usage) -> Tuple[float, ...]:
         """Per-dimension utilization vector (flattened across groups)."""
-        utils = []
+        utils: List[float] = []
         for group, group_usage in zip(self.groups, usage):
             for used, cap in zip(group_usage, group.capacities):
                 utils.append(used / cap)

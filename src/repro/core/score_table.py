@@ -18,10 +18,21 @@ import os
 import tempfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+)
 
 import numpy as np
 
+_cdist: Optional[Callable[..., np.ndarray]]
 try:  # scipy's C cityblock kernel; optional, with a NumPy fallback below.
     from scipy.spatial.distance import cdist as _cdist
 except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
@@ -68,6 +79,12 @@ class ScoreTable:
 
     #: Default bound on the snapped-score LRU cache.
     DEFAULT_SNAP_CACHE_SIZE = 65_536
+
+    __slots__ = (
+        "shape", "damping", "strategy", "vote_direction", "_scores",
+        "_flat_matrix", "_flat_usages", "_flat_scores", "_snap_cache",
+        "_snap_cache_size",
+    )
 
     def __init__(
         self,
@@ -163,7 +180,8 @@ class ScoreTable:
                 self._snap_remember(key, score)
                 for i in positions:
                     results[i] = score
-        return results  # type: ignore[return-value]
+        # Every position is filled: exact hit, cache hit, or batch snap.
+        return cast(List[float], results)
 
     def _snap_one(self, usage: Usage) -> float:
         matrix, _, flat_scores = self._snap_structures()
@@ -199,11 +217,12 @@ class ScoreTable:
                 dtype=float,
                 count=len(self._flat_usages),
             )
+        assert self._flat_usages is not None and self._flat_scores is not None
         return self._flat_matrix, self._flat_usages, self._flat_scores
 
     def best_profile(self) -> Usage:
         """The usage with the highest score in the table."""
-        return max(self._scores, key=self._scores.get)
+        return max(self._scores, key=lambda usage: self._scores[usage])
 
     def top(self, count: int) -> List[Tuple[Usage, float]]:
         """The ``count`` best (usage, score) pairs, best first."""

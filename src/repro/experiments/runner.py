@@ -120,15 +120,32 @@ def run_single(
     policy_name: str,
     repetition: int,
     table_cache_dir: Optional[str] = None,
+    audit: bool = False,
 ) -> SimulationResult:
-    """One (policy, repetition) simulation run."""
+    """One (policy, repetition) simulation run.
+
+    Args:
+        audit: when True, the datacenter's final allocation state and
+            the reported metrics are replayed against the MIP
+            constraints (1)-(11) via
+            :func:`repro.analysis.invariants.audit_simulation`;
+            violations raise :class:`repro.analysis.invariants.AuditError`.
+            Because this runs inside the worker, a parallel
+            :func:`run_experiment` validates every worker's placements
+            *before* results merge in the parent.
+    """
     datacenter = build_ec2_datacenter(dict(config.datacenter))
     policy, selector = make_policy_and_selector(
         policy_name, config, repetition, table_cache_dir=table_cache_dir
     )
     vms = build_vms(config, repetition)
     simulation = CloudSimulation(datacenter, policy, selector, config.sim)
-    return simulation.run(vms)
+    result = simulation.run(vms)
+    if audit:
+        from repro.analysis.invariants import audit_simulation
+
+        audit_simulation(datacenter, result).raise_if_failed()
+    return result
 
 
 @dataclass
@@ -173,9 +190,13 @@ class ExperimentResults:
 
 def _run_cell(args) -> SimulationResult:
     """Process-pool entry point for one (policy, repetition) cell."""
-    config, policy_name, repetition, table_cache_dir = args
+    config, policy_name, repetition, table_cache_dir, audit = args
     return run_single(
-        config, policy_name, repetition, table_cache_dir=table_cache_dir
+        config,
+        policy_name,
+        repetition,
+        table_cache_dir=table_cache_dir,
+        audit=audit,
     )
 
 
@@ -183,6 +204,7 @@ def run_experiment(
     config: ExperimentConfig,
     workers: Optional[int] = 1,
     table_cache_dir: Optional[str] = None,
+    audit: bool = False,
 ) -> ExperimentResults:
     """Run every configured policy over every repetition.
 
@@ -197,6 +219,10 @@ def run_experiment(
         table_cache_dir: optional on-disk score-table cache shared by the
             workers, so each distinct table is built once rather than
             once per process (see :mod:`repro.experiments.tables`).
+        audit: when True, every cell's final allocation state is checked
+            against the MIP constraints (1)-(11) inside the worker that
+            produced it, so an invariant break fails the run before any
+            results are aggregated (see :func:`run_single`).
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -204,7 +230,7 @@ def run_experiment(
         raise ValidationError(f"workers must be >= 1, got {workers}")
     results = ExperimentResults(config=config)
     cells = [
-        (config, policy_name, rep, table_cache_dir)
+        (config, policy_name, rep, table_cache_dir, audit)
         for policy_name in config.policies
         for rep in range(config.repetitions)
     ]

@@ -14,7 +14,7 @@ in :mod:`repro.cluster`, so it can serve as a test oracle for it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.permutations import Placement
 from repro.core.policy import PlacementPolicy
@@ -86,72 +86,14 @@ def verify_constraints(
 ) -> List[str]:
     """Check constraints (1)-(10); returns human-readable violations.
 
-    An empty list means the solution is feasible.
+    An empty list means the solution is feasible.  The actual checking
+    lives in :func:`repro.analysis.invariants.audit_solution`, which
+    reports *structured* violations with constraint ids; this wrapper
+    keeps the original string-list oracle API.
     """
-    violations: List[str] = []
-    if len(solution.assignments) != len(instance.vms):
-        violations.append(
-            f"constraint (1): {len(solution.assignments)} assignments for "
-            f"{len(instance.vms)} VMs (every VM must be assigned exactly once)"
-        )
-        return violations
+    from repro.analysis.invariants import audit_solution
 
-    # Aggregate per-unit load to check capacities (5), (6), (10).
-    loads: Dict[int, List[List[int]]] = {}
-
-    for i, (pm_index, placement) in enumerate(solution.assignments):
-        vm = instance.vms[i]
-        if not 0 <= pm_index < len(instance.pms):
-            violations.append(f"VM {i}: PM index {pm_index} out of range")
-            continue
-        shape = instance.pms[pm_index]
-        if len(placement.assignments) != shape.n_groups:
-            violations.append(
-                f"VM {i}: placement has {len(placement.assignments)} groups, "
-                f"PM {pm_index} has {shape.n_groups}"
-            )
-            continue
-        if pm_index not in loads:
-            loads[pm_index] = [[0] * g.n_units for g in shape.groups]
-
-        for gi, (group, group_assign) in enumerate(
-            zip(shape.groups, placement.assignments)
-        ):
-            demanded = sorted(c for c in vm.demands[gi] if c > 0)
-            placed = sorted(chunk for _, chunk in group_assign)
-            # Constraints (3)/(8): every requested chunk placed exactly once.
-            if placed != demanded:
-                violations.append(
-                    f"VM {i}, group {group.name!r}: placed chunks {placed} "
-                    f"!= demanded {demanded} (constraints (3)/(8))"
-                )
-            # Constraints (4)/(9): at most one chunk per unit per VM.
-            units = [idx for idx, _ in group_assign]
-            if group.anti_collocation and len(set(units)) != len(units):
-                violations.append(
-                    f"VM {i}, group {group.name!r}: anti-collocation violated "
-                    f"(units {units}; constraints (4)/(9))"
-                )
-            for idx, chunk in group_assign:
-                if not 0 <= idx < group.n_units:
-                    violations.append(
-                        f"VM {i}, group {group.name!r}: unit {idx} out of range"
-                    )
-                    continue
-                loads[pm_index][gi][idx] += chunk
-
-    # Capacity constraints (5), (6), (10).
-    for pm_index, group_loads in loads.items():
-        shape = instance.pms[pm_index]
-        for group, unit_loads in zip(shape.groups, group_loads):
-            for idx, load in enumerate(unit_loads):
-                if load > group.capacities[idx]:
-                    violations.append(
-                        f"PM {pm_index}, group {group.name!r}, unit {idx}: "
-                        f"load {load} > capacity {group.capacities[idx]} "
-                        f"(constraints (5)/(6)/(10))"
-                    )
-    return violations
+    return [str(v) for v in audit_solution(instance, solution).violations]
 
 
 def solution_from_policy(

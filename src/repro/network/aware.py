@@ -125,7 +125,7 @@ class NetworkAwarePageRankVM(PageRankVMPolicy):
             closeness = 1.0 - self._topology.hops(pm_id, peer_pm) / _MAX_HOPS
             weighted += rate * closeness
             total += rate
-        if total == 0.0:
+        if total <= 0.0:
             return 0.0
         return weighted / total
 
@@ -144,7 +144,7 @@ class NetworkAwarePageRankVM(PageRankVMPolicy):
         consolidation pressure at low weights.  With ``w = 0`` (or no
         placement context) behaviour reverts exactly to Algorithm 2.
         """
-        if self.current_vm_id is None or self._weight == 0.0:
+        if self.current_vm_id is None or self._weight <= 0.0:
             return super().select(vm, machines)
 
         pool = list(machines)
@@ -165,7 +165,7 @@ class NetworkAwarePageRankVM(PageRankVMPolicy):
                 # shape to the fleet's rack diversity.
                 key = machine.shape
                 if key in seen_empty_shapes:
-                    if self._locality(machine.pm_id, self.current_vm_id) == 0.0:
+                    if self._locality(machine.pm_id, self.current_vm_id) <= 0.0:
                         continue
                 seen_empty_shapes.add(key)
             candidate = self.best_candidate(machine.shape, machine.usage, vm)

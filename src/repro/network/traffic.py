@@ -33,7 +33,7 @@ class TrafficMatrix:
         """Add ``rate`` to the (symmetric) traffic between two VMs."""
         require(rate >= 0, f"rate must be non-negative, got {rate}")
         require(vm_a != vm_b, "a VM has no traffic with itself")
-        if rate == 0:
+        if rate <= 0:
             return
         key = self._key(vm_a, vm_b)
         self._rates[key] = self._rates.get(key, 0.0) + rate

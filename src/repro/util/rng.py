@@ -55,6 +55,8 @@ class RngFactory:
         True
     """
 
+    __slots__ = ("_seed", "_prefix")
+
     def __init__(self, seed: int = 0, _prefix: tuple = ()):
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")

@@ -99,3 +99,27 @@ class FakeMachine:
 def fake_machine():
     """Factory for MachineView test doubles."""
     return FakeMachine
+
+
+@pytest.fixture
+def constraint_audit():
+    """Audit helper: replay state against the MIP constraints (1)-(11).
+
+    Call with a :class:`~repro.cluster.datacenter.Datacenter` (and
+    optionally the :class:`~repro.cluster.simulation.SimulationResult`
+    it produced); returns the passing
+    :class:`~repro.analysis.invariants.AuditReport` or raises
+    :class:`~repro.analysis.invariants.AuditError` naming the broken
+    constraint.  Use it at the end of any test that mutates allocation
+    state through a new code path.
+    """
+    from repro.analysis.invariants import audit_datacenter, audit_simulation
+
+    def _audit(datacenter, result=None, **kwargs):
+        if result is None:
+            report = audit_datacenter(datacenter, **kwargs)
+        else:
+            report = audit_simulation(datacenter, result, **kwargs)
+        return report.raise_if_failed()
+
+    return _audit

@@ -122,3 +122,36 @@ class TestParallelExecution:
         config = small_config(policies=("FF",), repetitions=1)
         results = run_experiment(config, workers=8)
         assert len(results.runs["FF"]) == 1
+
+
+class TestAuditHook:
+    """The opt-in constraint audit on every (policy, repetition) cell."""
+
+    def test_audited_run_matches_unaudited(self):
+        plain = run_single(small_config(), "FF", 0)
+        audited = run_single(small_config(), "FF", 0, audit=True)
+        assert audited == plain  # auditing must not perturb the run
+
+    def test_audited_experiment_passes(self):
+        config = small_config(policies=("FF",), repetitions=1)
+        results = run_experiment(config, audit=True)
+        assert len(results.runs["FF"]) == 1
+
+    def test_audit_failure_raises_before_merge(self, monkeypatch):
+        from repro.analysis.invariants import AuditError
+        from repro.cluster.simulation import CloudSimulation
+
+        original = CloudSimulation.run
+
+        def corrupting_run(self, vms):
+            result = original(self, vms)
+            self._dc.machines[0]._usage[0][0] += 1  # break conservation
+            return result
+
+        monkeypatch.setattr(CloudSimulation, "run", corrupting_run)
+        # Without the audit the corruption sails through...
+        run_single(small_config(), "FF", 0)
+        # ...with it, the worker rejects the cell, naming the constraint.
+        with pytest.raises(AuditError) as excinfo:
+            run_single(small_config(), "FF", 0, audit=True)
+        assert "C2" in excinfo.value.report.constraint_ids()

@@ -1,0 +1,161 @@
+"""Property-based tests for the constraint auditor.
+
+Soundness direction: whatever random workload the policies under test
+place (FF, FFDSum, PageRankVM), the resulting solution satisfies the
+MIP constraints (1)-(11) and the auditor says so.  Completeness
+direction: injecting a known corruption class into a valid solution
+always produces a report naming exactly that constraint.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.invariants import audit_solution
+from repro.baselines import FFDSumPolicy, FirstFitPolicy
+from repro.core.permutations import Placement
+from repro.core.placement import PageRankVMPolicy
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.core.score_table import build_score_table
+from repro.model.analytic import (
+    PlacementInstance,
+    PlacementSolution,
+    solution_from_policy,
+)
+
+TOY = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
+TYPES = (
+    VMType(name="vm1", demands=((1,),)),
+    VMType(name="vm2", demands=((1, 1),)),
+    VMType(name="vm4", demands=((1, 1, 1, 1),)),
+)
+# One table for every example; building it per-example would dominate
+# the test budget without adding coverage.
+TABLE = build_score_table(TOY, TYPES, mode="full")
+
+POLICIES = (
+    ("FF", lambda: FirstFitPolicy()),
+    ("FFDSum", lambda: FFDSumPolicy()),
+    ("PageRankVM", lambda: PageRankVMPolicy({TOY: TABLE})),
+)
+
+
+@st.composite
+def instances(draw, min_vms=1):
+    """A random toy-world instance with guaranteed-sufficient PMs."""
+    vms = tuple(
+        TYPES[draw(st.integers(0, len(TYPES) - 1))]
+        for _ in range(draw(st.integers(min_value=min_vms, max_value=12)))
+    )
+    # One PM per VM always suffices; every policy must find a packing.
+    return PlacementInstance(vms=vms, pms=(TOY,) * len(vms))
+
+
+def solve(instance, make_policy):
+    solution = solution_from_policy(instance, make_policy())
+    assert solution is not None, "sufficient PMs, yet the policy failed"
+    return solution
+
+
+class TestPoliciesSatisfyConstraints:
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_first_fit_placements_pass_audit(self, instance):
+        report = audit_solution(instance, solve(instance, POLICIES[0][1]))
+        assert report.ok, report.summary()
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_ffd_sum_placements_pass_audit(self, instance):
+        report = audit_solution(instance, solve(instance, POLICIES[1][1]))
+        assert report.ok, report.summary()
+
+    @given(instances())
+    @settings(max_examples=25, deadline=None)
+    def test_pagerankvm_placements_pass_audit(self, instance):
+        report = audit_solution(instance, solve(instance, POLICIES[2][1]))
+        assert report.ok, report.summary()
+
+    @given(instances())
+    @settings(max_examples=15, deadline=None)
+    def test_reported_cost_matches_objective(self, instance):
+        solution = solve(instance, POLICIES[2][1])
+        report = audit_solution(
+            instance, solution, reported_cost=solution.total_cost(instance)
+        )
+        assert report.ok, report.summary()
+
+
+def mutate(solution, index, placement):
+    assignments = list(solution.assignments)
+    pm_index, _ = assignments[index]
+    assignments[index] = (pm_index, placement)
+    return PlacementSolution(assignments=tuple(assignments))
+
+
+class TestInjectedViolationsAreCaught:
+    @given(instances(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_dropped_assignment_is_c1(self, instance, data):
+        solution = solve(instance, POLICIES[0][1])
+        index = data.draw(
+            st.integers(0, len(solution.assignments) - 1), label="victim"
+        )
+        truncated = PlacementSolution(
+            assignments=solution.assignments[:index]
+            + solution.assignments[index + 1:]
+        )
+        report = audit_solution(instance, truncated)
+        assert "C1" in report.constraint_ids()
+
+    @given(instances(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_missing_chunk_is_c3(self, instance, data):
+        solution = solve(instance, POLICIES[0][1])
+        index = data.draw(
+            st.integers(0, len(solution.assignments) - 1), label="victim"
+        )
+        victim = solution.assignments[index][1]
+        incomplete = Placement(
+            new_usage=victim.new_usage,
+            assignments=(victim.assignments[0][:-1],) if victim.assignments
+            else (),
+        )
+        report = audit_solution(instance, mutate(solution, index, incomplete))
+        assert "C3" in report.constraint_ids()
+
+    @given(instances(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_collocated_pair_is_c4(self, instance, data):
+        # Pile all of one VM's chunks onto a single core: whatever else
+        # that breaks, the per-VM anti-collocation check (4) must fire.
+        solution = solve(instance, POLICIES[0][1])
+        candidates = [
+            i for i, vm in enumerate(instance.vms)
+            if len([c for c in vm.demands[0] if c > 0]) >= 2
+        ]
+        if not candidates:
+            return  # an all-vm1 workload has no collocatable pair
+        index = data.draw(st.sampled_from(candidates), label="victim")
+        chunks = [c for c in instance.vms[index].demands[0] if c > 0]
+        piled = Placement(
+            new_usage=((sum(chunks), 0, 0, 0),),
+            assignments=(tuple((0, c) for c in chunks),),
+        )
+        report = audit_solution(instance, mutate(solution, index, piled))
+        assert "C4" in report.constraint_ids()
+
+    @given(instances(min_vms=2))
+    @settings(max_examples=40, deadline=None)
+    def test_overfull_pm_is_c5(self, instance):
+        # Every VM claims the whole of core 0 on PM 0; with >= 2 VMs
+        # the summed load (>= 8) exceeds the capacity (4), so the
+        # capacity constraint (5) must be among the findings whatever
+        # else (chunk completeness) also broke.
+        full_core = Placement(
+            new_usage=((4, 0, 0, 0),), assignments=(((0, 4),),)
+        )
+        solution = PlacementSolution(
+            assignments=tuple((0, full_core) for _ in instance.vms)
+        )
+        report = audit_solution(instance, solution)
+        assert "C5" in report.constraint_ids()

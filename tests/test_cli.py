@@ -85,3 +85,92 @@ class TestFiguresCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Fig 8" in out
+
+
+class TestLintCommand:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("PRV001", "PRV008"):
+            assert code in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("__all__ = []\nx = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "__all__ = []\ntry:\n    x = 1\nexcept:\n    pass\n"
+        )
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "PRV006" in out
+
+    def test_shipped_tree_is_clean(self, capsys):
+        import repro
+
+        src = str(
+            __import__("pathlib").Path(repro.__file__).resolve().parent
+        )
+        assert main(["lint", src]) == 0
+
+
+class TestAuditCommand:
+    def test_placements_artifact_ok(self, tmp_path, toy_shape, vm2, capsys):
+        from repro.analysis.invariants import save_placements
+        from repro.core.permutations import balanced_placement
+        from repro.model.analytic import PlacementInstance, PlacementSolution
+
+        instance = PlacementInstance(vms=(vm2,), pms=(toy_shape,))
+        placement = balanced_placement(
+            toy_shape, toy_shape.empty_usage(), vm2
+        )
+        solution = PlacementSolution(assignments=((0, placement),))
+        path = tmp_path / "placements.json"
+        save_placements(instance, solution, path)
+        assert main(["audit", str(path)]) == 0
+        assert "audit OK" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, tmp_path, toy_shape, vm2, capsys):
+        from repro.analysis.invariants import save_placements
+        from repro.core.permutations import Placement
+        from repro.model.analytic import PlacementInstance, PlacementSolution
+
+        instance = PlacementInstance(vms=(vm2,), pms=(toy_shape,))
+        collocated = Placement(
+            new_usage=((2, 0, 0, 0),), assignments=(((0, 1), (0, 1)),)
+        )
+        solution = PlacementSolution(assignments=((0, collocated),))
+        path = tmp_path / "bad.json"
+        save_placements(instance, solution, path)
+        assert main(["audit", str(path), "--verbose"]) == 1
+        out = capsys.readouterr().out
+        assert "audit FAILED" in out
+        assert "[C4]" in out
+
+    def test_score_table_artifact_ok(self, tmp_path, toy_table, capsys):
+        path = tmp_path / "table.json"
+        toy_table.save(path)
+        assert main(["audit", str(path)]) == 0
+        assert "profiles checked" in capsys.readouterr().out
+
+    def test_unknown_format_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "who.knows"}')
+        assert main(["audit", str(path)]) == 2
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "missing.json")]) == 2
+
+
+class TestSimulateAuditFlag:
+    def test_audited_simulate_runs(self, capsys):
+        code = main(
+            ["simulate", "--vms", "15", "--policies", "FF",
+             "--repetitions", "1", "--audit"]
+        )
+        assert code == 0
+        assert "FF" in capsys.readouterr().out
