@@ -3,10 +3,11 @@
 Two engines guard the paper's correctness claims:
 
 * :mod:`repro.analysis.lint` — an AST-based static linter with domain
-  rules (codes ``PRV001``–``PRV008``) catching determinism and
+  rules (codes ``PRV001``–``PRV009``) catching determinism and
   invariant hazards before they ship: unseeded global RNG use, float
   equality on utilization math, unordered-set iteration feeding the
-  parallel runner, mutation of memoized-immutable objects, and friends.
+  parallel runner, mutation of memoized-immutable objects, wall-clock
+  reads inside simulated-time code, and friends.
 * :mod:`repro.analysis.invariants` — a runtime auditor replaying any
   allocation state against the MIP constraints (1)-(11) of Section IV
   (assignment totality, per-unit anti-collocation, capacity

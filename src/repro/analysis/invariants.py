@@ -493,6 +493,13 @@ def audit_simulation(
         ))
     if expect_all_hosted:
         expected = result.n_vms - result.unplaced_vms
+        lost = 0
+        if result.resilience is not None:
+            # Under fault injection, VMs the policy could not re-place
+            # after a crash or flap are reported as placements_lost and
+            # are legitimately absent from the final state.
+            lost = result.resilience.placements_lost
+            expected -= lost
         hosted = datacenter.n_vms
         if hosted != expected:
             report.violations.append(Violation(
@@ -500,7 +507,8 @@ def audit_simulation(
                 message=(
                     f"constraint (1): {hosted} VMs hosted, expected "
                     f"{expected} (= {result.n_vms} requested - "
-                    f"{result.unplaced_vms} unplaced)"
+                    f"{result.unplaced_vms} unplaced - {lost} lost to "
+                    f"faults)"
                 ),
             ))
     return report

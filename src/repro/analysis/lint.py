@@ -25,6 +25,12 @@ PRV007    public module without ``__all__`` — the public-API contract
           tests need an explicit export surface
 PRV008    hot-path class without ``__slots__`` — instance dicts cost
           memory and attribute-typo safety on the allocation fast path
+PRV009    wall-clock read (``time.time``/``monotonic``/``datetime.now``
+          ...) or ``time.sleep`` inside simulation, fault-injection or
+          testbed code — simulated time must come from the
+          :class:`~repro.cluster.events.EventLoop` clock or an injected
+          ``time_s``; wall time breaks bit-identical replay and
+          checkpoint resume
 ========  =============================================================
 
 Suppression: append ``# prv: disable=PRV002`` (comma-separate several
@@ -114,6 +120,13 @@ RULES: Tuple[Rule, ...] = (
         summary="hot-path class without __slots__",
         hint="add __slots__ = (...) listing the instance attributes",
     ),
+    Rule(
+        code="PRV009",
+        name="wall-clock-in-simulation",
+        summary="wall-clock read or sleep inside simulation/fault code",
+        hint="use the EventLoop clock or the injected time_s; wall time "
+             "breaks determinism and checkpoint resume",
+    ),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}
@@ -165,6 +178,27 @@ IMMUTABLE_DEFINING_MODULES: Tuple[str, ...] = (
 #: The one module allowed to touch global RNG machinery.
 RNG_MODULE = "repro/util/rng.py"
 
+#: Path fragments marking *simulated-time* code, where any wall-clock
+#: read is a determinism bug (PRV009).  Matched as substrings, so whole
+#: packages are covered; the experiment runner (``repro/experiments/``)
+#: is deliberately outside the scope — its retry backoff legitimately
+#: sleeps on the wall clock.
+DETERMINISM_SCOPES: Tuple[str, ...] = (
+    "repro/cluster/",
+    "repro/faults/",
+    "repro/testbed/",
+)
+
+#: ``time.<func>`` calls that read (or wait on) the wall clock.
+WALL_CLOCK_TIME_FUNCS: Set[str] = {
+    "sleep", "time", "monotonic", "perf_counter", "process_time",
+    "time_ns", "monotonic_ns", "perf_counter_ns", "process_time_ns",
+    "localtime", "gmtime", "ctime",
+}
+
+#: ``datetime.<method>`` constructors that capture the wall clock.
+WALL_CLOCK_DATETIME_METHODS: Set[str] = {"now", "utcnow", "today"}
+
 #: ``np.random.<attr>`` accesses that are fine anywhere: they construct
 #: explicitly seeded generators or are types, not draws from the global
 #: state.
@@ -205,6 +239,13 @@ def _matches(path: str, suffixes: Iterable[str]) -> bool:
     return any(key.endswith(suffix) for suffix in suffixes)
 
 
+def _in_scope(path: str, fragments: Iterable[str]) -> bool:
+    """Substring matching for package-wide scopes (cf. suffix matching
+    in :func:`_matches`, which pins down individual modules)."""
+    key = _module_key(path)
+    return any(fragment in key for fragment in fragments)
+
+
 def _suppressions(source: str) -> Dict[int, Set[str]]:
     """Line -> set of codes disabled on that line via ``# prv: disable=``.
 
@@ -242,9 +283,15 @@ class _Visitor(ast.NodeVisitor):
         self._numpy_aliases: Set[str] = set()       # `import numpy as np`
         self._np_random_aliases: Set[str] = set()   # `from numpy import random`
         self._from_random_names: Set[str] = set()   # `from random import x`
+        # import-name bookkeeping for PRV009
+        self._time_aliases: Set[str] = set()        # `import time as t`
+        self._from_time_names: Dict[str, str] = {}  # local -> time.<orig>
+        self._datetime_mod_aliases: Set[str] = set()   # `import datetime`
+        self._datetime_cls_aliases: Set[str] = set()   # `from datetime import datetime`
         self._is_rng_module = _matches(path, (RNG_MODULE,))
         self._is_hot_path = _matches(path, HOT_PATH_MODULES)
         self._may_mutate = _matches(path, IMMUTABLE_DEFINING_MODULES)
+        self._is_sim_scope = _in_scope(path, DETERMINISM_SCOPES)
 
     # -- helpers -------------------------------------------------------
     def _report(self, node: ast.AST, code: str, message: str) -> None:
@@ -273,6 +320,10 @@ class _Visitor(ast.NodeVisitor):
                     self._np_random_aliases.add(name)
                 else:
                     self._numpy_aliases.add(name)
+            elif alias.name == "time":
+                self._time_aliases.add(name)
+            elif alias.name == "datetime":
+                self._datetime_mod_aliases.add(name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -300,12 +351,25 @@ class _Visitor(ast.NodeVisitor):
                         f"`from numpy.random import {alias.name}` draws "
                         "from the unseeded global state",
                     )
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_TIME_FUNCS:
+                    self._from_time_names[alias.asname or alias.name] = (
+                        alias.name
+                    )
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self._datetime_cls_aliases.add(
+                        alias.asname or alias.name
+                    )
         self.generic_visit(node)
 
-    # -- calls: PRV001 + PRV005 ----------------------------------------
+    # -- calls: PRV001 + PRV005 + PRV009 -------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         self._check_rng_call(node)
         self._check_mutating_call(node)
+        self._check_wall_clock_call(node)
         self.generic_visit(node)
 
     def _check_rng_call(self, node: ast.Call) -> None:
@@ -368,6 +432,57 @@ class _Visitor(ast.NodeVisitor):
                 f"{base}.{func.attr}() mutates a memoized-immutable "
                 "object",
             )
+
+    def _check_wall_clock_call(self, node: ast.Call) -> None:
+        if not self._is_sim_scope:
+            return
+        func = node.func
+        # time.sleep(...) / time.monotonic() / ...
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in WALL_CLOCK_TIME_FUNCS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_aliases
+        ):
+            self._report(
+                node, "PRV009",
+                f"time.{func.attr}() reads the wall clock inside "
+                "simulated-time code",
+            )
+            return
+        # sleep(...) imported via `from time import sleep`
+        if (
+            isinstance(func, ast.Name)
+            and func.id in self._from_time_names
+        ):
+            self._report(
+                node, "PRV009",
+                f"{func.id}() (time.{self._from_time_names[func.id]}) "
+                "reads the wall clock inside simulated-time code",
+            )
+            return
+        # datetime.now() / datetime.datetime.utcnow() / date.today()
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in WALL_CLOCK_DATETIME_METHODS
+        ):
+            target = func.value
+            from_class = (
+                isinstance(target, ast.Name)
+                and target.id in self._datetime_cls_aliases
+            )
+            from_module = (
+                isinstance(target, ast.Attribute)
+                and target.attr in ("datetime", "date")
+                and isinstance(target.value, ast.Name)
+                and target.value.id in self._datetime_mod_aliases
+            )
+            if from_class or from_module:
+                self._report(
+                    node, "PRV009",
+                    f"{ast.unparse(func)}() captures the wall clock "
+                    "inside simulated-time code",
+                )
 
     @staticmethod
     def _immutable_base(node: ast.AST) -> Optional[str]:

@@ -72,6 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit", action="store_true",
         help="validate every run's final placements against the MIP "
              "constraints (1)-(11) inside the worker that produced them")
+    simulate.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject a deterministic fault schedule: comma-separated "
+             "key=value pairs, e.g. 'pm-crash=2,pm-downtime=1800,"
+             "vm-flap=3,mig-fail=0.1' (keys: pm-crash, pm-downtime, "
+             "vm-flap, flap-downtime, monitor-drop, drop-duration, "
+             "mig-fail, restart-fail, latency)")
+    simulate.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="atomic JSON checkpoint recording every finished "
+             "(policy, repetition) cell as it completes; enables --resume")
+    simulate.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already recorded in --checkpoint; the combined "
+             "output is bit-identical to an uninterrupted run")
+    simulate.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per grid cell before it is recorded as a failed "
+             "cell instead of aborting the grid (default 3)")
+    simulate.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="per-cell wall-clock timeout in seconds "
+             "(parallel runs only; default: no timeout)")
 
     testbed = sub.add_parser("testbed", help="run the GENI testbed emulation")
     testbed.add_argument("--jobs", type=int, default=200)
@@ -161,7 +184,19 @@ def _cmd_rank(args) -> int:
 
 def _cmd_simulate(args) -> int:
     from repro.experiments.config import ExperimentConfig, WorkloadSpec
-    from repro.experiments.runner import run_experiment
+    from repro.experiments.runner import RetryPolicy, run_experiment
+    from repro.faults.spec import parse_fault_spec
+
+    faults = parse_fault_spec(args.faults) if args.faults else None
+    faults_active = faults is not None and faults.active
+    retry = None
+    if args.retries is not None or args.cell_timeout is not None:
+        retry_kwargs = {}
+        if args.retries is not None:
+            retry_kwargs["max_attempts"] = args.retries
+        if args.cell_timeout is not None:
+            retry_kwargs["cell_timeout_s"] = args.cell_timeout
+        retry = RetryPolicy(**retry_kwargs)
 
     config = ExperimentConfig(
         n_vms=args.vms,
@@ -176,15 +211,37 @@ def _cmd_simulate(args) -> int:
         workers=args.workers or None,
         table_cache_dir=args.table_cache,
         audit=args.audit,
+        faults=faults,
+        retry=retry,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
-    print(f"{'policy':12s} {'PMs':>8s} {'kWh':>10s} {'migr':>8s} {'SLO':>8s}")
+    header = f"{'policy':12s} {'PMs':>8s} {'kWh':>10s} {'migr':>8s} {'SLO':>8s}"
+    if faults_active:
+        header += f" {'down_s':>10s} {'lost':>6s}"
+    print(header)
     for policy in config.policies:
+        runs = results.runs.get(policy, [])
+        if not runs:
+            print(f"{policy:12s} (no successful runs)")
+            continue
         pms = results.summarize("pms_used")[policy].median
         kwh = results.summarize("energy_kwh")[policy].median
         migr = results.summarize("migrations")[policy].median
         slo = results.summarize("slo_violations")[policy].median
-        print(f"{policy:12s} {pms:8.1f} {kwh:10.1f} {migr:8.1f} "
-              f"{100 * slo:7.2f}%")
+        row = (f"{policy:12s} {pms:8.1f} {kwh:10.1f} {migr:8.1f} "
+               f"{100 * slo:7.2f}%")
+        if faults_active:
+            resilience = [r.resilience for r in runs if r.resilience is not None]
+            if resilience:
+                down = float(np.median([m.vm_downtime_s for m in resilience]))
+                lost = float(np.median([m.placements_lost for m in resilience]))
+                row += f" {down:10.1f} {lost:6.1f}"
+        print(row)
+    for failure in results.failed_cells:
+        print(f"failed cell {failure.policy}/{failure.repetition}: "
+              f"{failure.status} after {failure.attempts} attempt(s) "
+              f"— {failure.message}")
     return 0
 
 

@@ -59,6 +59,10 @@ class Datacenter:
         """PMs currently hosting at least one VM."""
         return [m for m in self._machines if m.is_used]
 
+    def healthy_machines(self) -> List[PhysicalMachine]:
+        """PMs not currently crashed — the candidate pool under faults."""
+        return [m for m in self._machines if not m.is_failed]
+
     @property
     def pms_used(self) -> int:
         """Number of PMs currently hosting VMs."""
@@ -107,6 +111,37 @@ class Datacenter:
         allocation = self._by_id[pm_id].remove(vm_id)
         del self._vm_location[vm_id]
         return allocation
+
+    def crash_machine(self, pm_id: int) -> List[Allocation]:
+        """Fail a PM, evicting every hosted VM.
+
+        The PM is flagged failed first (so nothing can land on it while
+        its tenants are being salvaged) and then emptied; the displaced
+        allocations are returned in hosting order so the caller — the
+        fault-aware simulation — can queue them for re-placement.
+
+        Raises:
+            KeyError: for unknown ids.
+            ValidationError: when the PM is already crashed (a schedule
+                should fold overlapping crash windows, not stack them).
+        """
+        machine = self.machine(pm_id)
+        if machine.is_failed:
+            raise ValidationError(f"PM#{pm_id} is already crashed")
+        machine.mark_failed()
+        return [self.evict(a.vm_id) for a in machine.allocations]
+
+    def repair_machine(self, pm_id: int) -> None:
+        """Bring a crashed PM back into the candidate pool (empty).
+
+        Raises:
+            KeyError: for unknown ids.
+            ValidationError: when the PM is not crashed.
+        """
+        machine = self.machine(pm_id)
+        if not machine.is_failed:
+            raise ValidationError(f"PM#{pm_id} is not crashed")
+        machine.mark_repaired()
 
     def migrate(
         self,

@@ -19,18 +19,43 @@ __all__ = ["EventHandle", "EventLoop"]
 
 
 class EventHandle:
-    """Handle to a scheduled event; supports cancellation."""
+    """Handle to a scheduled event; supports cancellation.
 
-    __slots__ = ("time", "_cancelled", "_action")
+    Cancellation takes effect immediately, including against events at
+    the *same* timestamp that are later in FIFO order: the loop checks
+    the flag when an entry reaches the heap top, so an event cancelled
+    by a same-time earlier event is never fired.
+    """
 
-    def __init__(self, time: float, action: Callable[[], None]):
+    __slots__ = ("time", "_cancelled", "_action", "_loop", "_fired")
+
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], None],
+        loop: Optional["EventLoop"] = None,
+    ):
         self.time = time
         self._action = action
         self._cancelled = False
+        self._loop = loop
+        self._fired = False
 
     def cancel(self) -> None:
-        """Prevent the event from firing (idempotent)."""
+        """Prevent the event from firing (idempotent).
+
+        The action closure is released right away — a cancelled event
+        must not keep simulation state alive until its timestamp drifts
+        past the heap top — and the owning loop is told so it can keep
+        its length honest and compact the heap when stale entries pile
+        up (fault schedules cancel aggressively).
+        """
+        if self._cancelled:
+            return
         self._cancelled = True
+        self._action = None
+        if self._loop is not None and not self._fired:
+            self._loop._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -41,10 +66,15 @@ class EventHandle:
 class EventLoop:
     """A heap-based discrete-event loop with a monotonic clock."""
 
+    #: Compaction threshold: rebuild the heap once this many cancelled
+    #: entries are pending *and* they outnumber the live ones.
+    _COMPACT_MIN = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._seq = itertools.count()
         self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._stale = 0  # cancelled entries still sitting in the heap
 
     @property
     def now(self) -> float:
@@ -52,7 +82,8 @@ class EventLoop:
         return self._now
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of *live* (non-cancelled) pending events."""
+        return len(self._heap) - self._stale
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` at absolute time ``time``.
@@ -64,9 +95,21 @@ class EventLoop:
             raise ValidationError(
                 f"cannot schedule at {time} (now is {self._now})"
             )
-        handle = EventHandle(time, action)
+        handle = EventHandle(time, action, loop=self)
         heapq.heappush(self._heap, (time, next(self._seq), handle))
         return handle
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel`."""
+        self._stale += 1
+        if self._stale >= self._COMPACT_MIN and self._stale * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortized O(n))."""
+        self._heap = [e for e in self._heap if not e[2].cancelled]
+        heapq.heapify(self._heap)
+        self._stale = 0
 
     def schedule_after(
         self, delay: float, action: Callable[[], None]
@@ -110,9 +153,11 @@ class EventLoop:
         fired = 0
         while self._heap and self._heap[0][0] <= deadline:
             time, _, handle = heapq.heappop(self._heap)
-            self._now = time
             if handle.cancelled:
+                self._stale -= 1
                 continue
+            self._now = time
+            handle._fired = True
             handle._action()
             fired += 1
         self._now = deadline
@@ -123,9 +168,11 @@ class EventLoop:
         fired = 0
         while self._heap:
             time, _, handle = heapq.heappop(self._heap)
-            self._now = time
             if handle.cancelled:
+                self._stale -= 1
                 continue
+            self._now = time
+            handle._fired = True
             handle._action()
             fired += 1
         return fired

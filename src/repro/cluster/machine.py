@@ -47,7 +47,7 @@ class PhysicalMachine:
 
     __slots__ = (
         "_pm_id", "_shape", "_type_name", "_usage", "_allocations",
-        "_cpu_group", "_cpu_capacity",
+        "_cpu_group", "_cpu_capacity", "_failed",
     )
 
     def __init__(self, pm_id: int, shape: MachineShape, type_name: str = "PM"):
@@ -60,6 +60,7 @@ class PhysicalMachine:
         self._allocations: Dict[int, Allocation] = {}
         self._cpu_group = cpu_group_index(shape)
         self._cpu_capacity = shape.groups[self._cpu_group].total_capacity
+        self._failed = False
 
     # ------------------------------------------------------------------
     # MachineView protocol
@@ -118,10 +119,28 @@ class PhysicalMachine:
         return allocation
 
     # ------------------------------------------------------------------
+    # Failure state
+    # ------------------------------------------------------------------
+    @property
+    def is_failed(self) -> bool:
+        """True while the PM is crashed (hosts nothing, accepts nothing)."""
+        return self._failed
+
+    def mark_failed(self) -> None:
+        """Flag the PM as crashed; it refuses placements until repaired."""
+        self._failed = True
+
+    def mark_repaired(self) -> None:
+        """Clear the crash flag; the PM rejoins the candidate pool."""
+        self._failed = False
+
+    # ------------------------------------------------------------------
     # Placement / removal
     # ------------------------------------------------------------------
     def can_host(self, vm_type: VMType) -> bool:
         """Feasibility of hosting a VM of the given type right now."""
+        if self._failed:
+            return False
         return can_place(self._shape, self.usage, vm_type)
 
     def place(
@@ -130,9 +149,14 @@ class PhysicalMachine:
         """Apply a placement decision's concrete assignment.
 
         Raises:
-            ValidationError: on double placement or capacity violation —
-                both indicate a policy returned a stale decision.
+            ValidationError: on double placement, capacity violation, or
+                placement onto a crashed PM — all indicate the caller
+                acted on stale state.
         """
+        if self._failed:
+            raise ValidationError(
+                f"PM#{self._pm_id} is crashed and cannot accept VM#{vm.vm_id}"
+            )
         if vm.vm_id in self._allocations:
             raise ValidationError(
                 f"VM#{vm.vm_id} is already placed on PM#{self._pm_id}"

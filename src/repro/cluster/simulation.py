@@ -28,6 +28,8 @@ from repro.cluster.slo import SLOTracker
 from repro.cluster.vm import VirtualMachine
 from repro.core.permutations import balanced_placement
 from repro.core.policy import PlacementDecision, PlacementPolicy
+from repro.faults.metrics import ResilienceMetrics
+from repro.faults.schedule import FaultEvent, FaultInjector
 from repro.util.validation import require
 
 __all__ = [
@@ -78,7 +80,9 @@ class SimulationResult:
     The trailing fields only move under the optional extensions:
     ``consolidations`` counts PMs drained by underload consolidation,
     ``rejected_arrivals``/``completed_vms`` are dynamic-workload
-    counters (see :class:`DynamicSimulation`).
+    counters (see :class:`DynamicSimulation`), and ``resilience`` holds
+    the fault-injection record (None unless a
+    :class:`~repro.faults.schedule.FaultInjector` was attached).
     """
 
     policy_name: str
@@ -96,6 +100,7 @@ class SimulationResult:
     consolidations: int = 0
     rejected_arrivals: int = 0
     completed_vms: int = 0
+    resilience: Optional[ResilienceMetrics] = None
 
     def __str__(self) -> str:
         return (
@@ -104,6 +109,20 @@ class SimulationResult:
             f"migrations={self.migrations}, "
             f"slo={100 * self.slo_violation_rate:.2f}%"
         )
+
+
+@dataclass
+class _PendingVM:
+    """A VM displaced by a fault, waiting to be placed again.
+
+    ``not_before`` models boot/image-pull latency after a crash, or the
+    intentional outage of a flap; downtime accrues from ``displaced_at``
+    until the policy actually finds it a home.
+    """
+
+    vm: VirtualMachine
+    displaced_at: float
+    not_before: float
 
 
 class CloudSimulation:
@@ -118,6 +137,12 @@ class CloudSimulation:
         power_models: optional override mapping a PM ``type_name`` to a
             :class:`PowerModel`; defaults to the paper's Table III via
             :func:`repro.cluster.energy.power_model_for`.
+        faults: optional fault injector.  When set, the schedule's PM
+            crashes, VM flaps and monitoring dropouts fire as simulation
+            events, displaced VMs are re-placed by the policy under test
+            (anti-collocation still enforced by the machines), and the
+            run's :class:`~repro.faults.metrics.ResilienceMetrics` are
+            attached to the result.
     """
 
     def __init__(
@@ -127,6 +152,7 @@ class CloudSimulation:
         victim_selector,
         config: SimulationConfig = SimulationConfig(),
         power_models: Optional[dict] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self._dc = datacenter
         self._policy = policy
@@ -144,6 +170,11 @@ class CloudSimulation:
         self._unplaced = 0
         self._peak_pms = 0
         self._consolidations = 0
+        self._faults = faults
+        self._resilience = ResilienceMetrics() if faults is not None else None
+        self._pending: List[_PendingVM] = []
+        self._monitor_down = False
+        self._loop: Optional[EventLoop] = None
 
     # ------------------------------------------------------------------
     # Phase 1: initial allocation
@@ -153,7 +184,7 @@ class CloudSimulation:
         ordered = self._policy.order_vms(list(vms))
         placed = 0
         for vm in ordered:
-            decision = self._policy.select(vm.vm_type, self._dc.machines)
+            decision = self._policy.select(vm.vm_type, self._healthy())
             if decision is None:
                 self._unplaced += 1
                 continue
@@ -172,12 +203,14 @@ class CloudSimulation:
 
         loop = EventLoop()
         interval = self._config.monitor_interval_s
+        self._install_faults(loop)
 
         def tick() -> None:
             self._on_tick(loop.now, interval)
 
         loop.schedule_every(interval, tick)
         loop.run_until(self._config.duration_s)
+        self._finalize_resilience()
 
         return SimulationResult(
             policy_name=self._policy.name,
@@ -193,6 +226,7 @@ class CloudSimulation:
             slo_violation_rate=self._slo.violation_rate,
             duration_s=self._config.duration_s,
             consolidations=self._consolidations,
+            resilience=self._resilience,
         )
 
     def _power_model(self, machine: PhysicalMachine) -> PowerModel:
@@ -201,7 +235,14 @@ class CloudSimulation:
         return power_model_for(machine.type_name)
 
     def _on_tick(self, time_s: float, dt_s: float) -> None:
-        snapshots = self._monitor.snapshot(self._dc.machines, time_s)
+        if self._pending:
+            self._replace_pending(time_s)
+        if self._monitor_down:
+            # Inside a monitoring dropout nothing is observed: no energy
+            # or SLO accounting, and overloads go unnoticed this tick.
+            self._resilience.monitor_dropped_ticks += 1
+            return
+        snapshots = self._monitor.snapshot(self._healthy(), time_s)
         for snap in snapshots:
             self._slo.record(snap.cpu_utilization, dt_s, active=snap.active)
             if snap.active:
@@ -235,6 +276,14 @@ class CloudSimulation:
             if decision is None:
                 self._failed_migrations += 1
                 break
+            if self._faults is not None and self._faults.migration_fails(
+                time_s, victim.vm_id
+            ):
+                # The copy failed in flight; the VM stays on its source
+                # PM, which remains overloaded until the next tick.
+                self._failed_migrations += 1
+                self._resilience.migration_faults += 1
+                break
             self._dc.migrate(victim.vm_id, decision, time_s)
             self._migrations += 1
 
@@ -266,7 +315,7 @@ class CloudSimulation:
             for allocation in machine.allocations:
                 targets = [
                     m
-                    for m in self._dc.machines
+                    for m in self._healthy()
                     if m.pm_id != machine.pm_id
                     and m.is_used
                     and m.pm_id not in drained
@@ -307,8 +356,151 @@ class CloudSimulation:
         keeping policies away from already-hot PMs.  A policy that picks
         a destination about to overload pays for it with further
         migrations, which is exactly the churn the evaluation measures.
+        Crashed PMs are never candidates.
         """
-        return [m for m in self._dc.machines if m.pm_id != source.pm_id]
+        return [m for m in self._healthy() if m.pm_id != source.pm_id]
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _healthy(self) -> List[PhysicalMachine]:
+        """The candidate pool policies see: every non-crashed PM."""
+        if self._faults is None:
+            return self._dc.machines
+        return self._dc.healthy_machines()
+
+    def _install_faults(self, loop: EventLoop) -> None:
+        """Schedule the fault schedule's events onto the run's loop."""
+        self._loop = loop
+        if self._faults is None:
+            return
+        handlers = {
+            "pm_crash": self._on_pm_crash,
+            "pm_recover": self._on_pm_recover,
+            "vm_flap": self._on_vm_flap,
+            "monitor_down": self._on_monitor_down,
+            "monitor_up": self._on_monitor_up,
+        }
+        for event in self._faults.schedule.events:
+            if event.time_s > self._config.duration_s:
+                continue  # beyond the horizon (e.g. a late recovery)
+            loop.schedule_at(
+                event.time_s, lambda e=event, h=handlers[event.kind]: h(e)
+            )
+
+    def _on_pm_crash(self, event: FaultEvent) -> None:
+        machine = self._dc.machine(event.target)
+        if machine.is_failed:
+            return  # overlapping crash windows fold into one outage
+        now = self._loop.now
+        displaced = self._dc.crash_machine(event.target)
+        self._resilience.pm_crashes += 1
+        self._resilience.vms_displaced += len(displaced)
+        ready_at = now + self._faults.spec.replacement_latency_s
+        for allocation in displaced:
+            self._pending.append(
+                _PendingVM(
+                    vm=allocation.vm, displaced_at=now, not_before=ready_at
+                )
+            )
+        if displaced:
+            self._schedule_replacement(ready_at)
+
+    def _on_pm_recover(self, event: FaultEvent) -> None:
+        machine = self._dc.machine(event.target)
+        if not machine.is_failed:
+            return
+        self._dc.repair_machine(event.target)
+        self._resilience.pm_recoveries += 1
+        if self._pending:
+            # Fresh capacity: homeless VMs may fit now.
+            self._replace_pending(self._loop.now)
+
+    def _on_vm_flap(self, event: FaultEvent) -> None:
+        if self._dc.locate(event.target) is None:
+            return  # unplaced, already displaced, or departed
+        now = self._loop.now
+        allocation = self._dc.evict(event.target)
+        self._resilience.vms_displaced += 1
+        back_at = now + event.duration_s
+        self._pending.append(
+            _PendingVM(vm=allocation.vm, displaced_at=now, not_before=back_at)
+        )
+        self._schedule_replacement(back_at)
+
+    def _on_monitor_down(self, event: FaultEvent) -> None:
+        self._monitor_down = True
+
+    def _on_monitor_up(self, event: FaultEvent) -> None:
+        self._monitor_down = False
+
+    def _schedule_replacement(self, at: float) -> None:
+        if at <= self._config.duration_s:
+            self._loop.schedule_at(
+                at, lambda: self._replace_pending(self._loop.now)
+            )
+
+    def _replace_pending(self, time_s: float) -> None:
+        """Ask the policy to re-place every displaced VM that is ready.
+
+        VMs the policy cannot fit stay queued and are retried on every
+        monitor tick and PM recovery; whatever is still homeless at the
+        horizon becomes ``placements_lost``.  Each successful pass is
+        audited against C1-C11 so constraint damage caused by recovery
+        is surfaced in the metrics rather than hidden.
+        """
+        still_waiting: List[_PendingVM] = []
+        restored = False
+        for entry in self._pending:
+            if entry.not_before > time_s:
+                still_waiting.append(entry)
+                continue
+            decision = self._policy.select(entry.vm.vm_type, self._healthy())
+            if decision is None:
+                still_waiting.append(entry)
+                continue
+            self._dc.apply(entry.vm, decision, time_s)
+            gap = time_s - entry.displaced_at
+            self._resilience.vms_restored += 1
+            self._resilience.vm_downtime_s += gap
+            self._resilience.recovery_time_s.append(gap)
+            restored = True
+        self._pending = still_waiting
+        if restored:
+            self._peak_pms = max(self._peak_pms, self._dc.pms_used)
+            self._audit_recovery()
+
+    def _audit_recovery(self) -> None:
+        """Count (never raise) constraint violations after a recovery pass."""
+        # Imported lazily: analysis depends on cluster, not vice versa.
+        from repro.analysis.invariants import audit_datacenter
+
+        report = audit_datacenter(self._dc)
+        if not report.ok:
+            self._resilience.audit_violations += len(report.violations)
+
+    def _drop_pending(self, vm_id: int, time_s: float) -> bool:
+        """Forget a displaced VM (it departed); returns True if found."""
+        for i, entry in enumerate(self._pending):
+            if entry.vm.vm_id == vm_id:
+                del self._pending[i]
+                if self._resilience is not None:
+                    self._resilience.vm_downtime_s += max(
+                        0.0, time_s - entry.displaced_at
+                    )
+                return True
+        return False
+
+    def _finalize_resilience(self) -> None:
+        """Charge VMs still homeless at the horizon as lost placements."""
+        if self._resilience is None:
+            return
+        horizon = self._config.duration_s
+        for entry in self._pending:
+            self._resilience.placements_lost += 1
+            self._resilience.vm_downtime_s += max(
+                0.0, horizon - entry.displaced_at
+            )
 
 
 @dataclass(frozen=True)
@@ -355,7 +547,7 @@ class DynamicSimulation(CloudSimulation):
 
         def arrive(event: WorkloadEvent) -> None:
             decision = self._policy.select(
-                event.vm.vm_type, self._dc.machines
+                event.vm.vm_type, self._healthy()
             )
             if decision is None:
                 rejected[0] += 1
@@ -370,7 +562,12 @@ class DynamicSimulation(CloudSimulation):
 
         def depart(event: WorkloadEvent) -> None:
             if self._dc.locate(event.vm.vm_id) is None:
-                return  # already gone (defensive; should not happen)
+                # Displaced by a fault and still homeless: the VM's
+                # lifetime ended while it waited, so it completes (from
+                # the tenant's view) without ever being restored.
+                if self._drop_pending(event.vm.vm_id, loop.now):
+                    completed[0] += 1
+                return
             self._dc.evict(event.vm.vm_id)
             completed[0] += 1
 
@@ -382,9 +579,11 @@ class DynamicSimulation(CloudSimulation):
         def tick() -> None:
             self._on_tick(loop.now, interval)
 
+        self._install_faults(loop)
         loop.schedule_every(interval, tick)
         pms_initial = self._dc.pms_used
         loop.run_until(self._config.duration_s)
+        self._finalize_resilience()
 
         return SimulationResult(
             policy_name=self._policy.name,
@@ -402,4 +601,5 @@ class DynamicSimulation(CloudSimulation):
             consolidations=self._consolidations,
             rejected_arrivals=rejected[0],
             completed_vms=completed[0],
+            resilience=self._resilience,
         )

@@ -14,17 +14,26 @@ with nearest-profile snapping for off-graph profiles.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+import logging
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.graph import SuccessorStrategy
-from repro.core.policy import ProfileScorePolicy
+from repro.core.policy import PlacementDecision, ProfileScorePolicy
 from repro.core.profile import MachineShape, Usage, VMType
 from repro.core.score_table import ScoreTable, build_score_table
-from repro.util.validation import require
+from repro.util.validation import ValidationError, require
 
 __all__ = ["PageRankVMPolicy"]
+
+logger = logging.getLogger(__name__)
+
+#: Score-table faults the policy survives by degrading: a shape with no
+#: table (KeyError), a table whose arrays are truncated/mis-shaped
+#: (IndexError/ValueError) and one with poisoned scores (ValidationError
+#: from the finiteness guard).
+_TABLE_FAULTS = (KeyError, IndexError, ValueError, ValidationError)
 
 
 class PageRankVMPolicy(ProfileScorePolicy):
@@ -37,6 +46,12 @@ class PageRankVMPolicy(ProfileScorePolicy):
             decision (the 2-choice method uses ``pool_size=2``); None
             scans every used PM, as in Algorithm 2.
         rng: random generator for pool sampling.
+        fallback: when True (default), a score-table fault mid-run —
+            missing table for a shape, corrupt/truncated arrays,
+            non-finite scores — degrades the policy to FFDSum (logged
+            once) instead of crashing the simulation; ``degraded`` /
+            ``degraded_reason`` report that it happened.  False keeps
+            the fail-fast behavior for debugging.
     """
 
     name = "PageRankVM"
@@ -46,11 +61,15 @@ class PageRankVMPolicy(ProfileScorePolicy):
         tables: Mapping[MachineShape, ScoreTable],
         pool_size: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        fallback: bool = True,
     ):
         super().__init__(pool_size=pool_size, rng=rng)
         require(len(tables) > 0, "PageRankVMPolicy needs at least one score table")
         self._tables = dict(tables)
         self._shape_ids = {shape: i for i, shape in enumerate(self._tables)}
+        self._fallback_enabled = fallback
+        self._fallback_policy = None
+        self._degraded_reason: Optional[str] = None
 
     @classmethod
     def for_shapes(
@@ -93,12 +112,72 @@ class PageRankVMPolicy(ProfileScorePolicy):
         return table
 
     def profile_score(self, shape: MachineShape, usage: Usage) -> float:
-        """Profile-PageRank table lookup with nearest-profile snapping."""
-        return self.table_for(shape).score_or_snap(usage)
+        """Profile-PageRank table lookup with nearest-profile snapping.
+
+        Raises:
+            ValidationError: when the table returns a non-finite score —
+                the signature of a corrupt or poisoned table.
+        """
+        score = self.table_for(shape).score_or_snap(usage)
+        if not np.isfinite(score):
+            raise ValidationError(
+                f"score table for shape returned non-finite score {score!r}"
+            )
+        return score
 
     def profile_scores(self, shape: MachineShape, usages) -> list:
-        """Batched table lookups; misses share one snap distance pass."""
-        return self.table_for(shape).score_or_snap_many(usages)
+        """Batched table lookups; misses share one snap distance pass.
+
+        Raises:
+            ValidationError: when any score is non-finite (corrupt table).
+        """
+        scores = self.table_for(shape).score_or_snap_many(usages)
+        if not np.all(np.isfinite(scores)):
+            raise ValidationError(
+                "score table returned non-finite scores in batched lookup"
+            )
+        return scores
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True once a score-table fault forced the FFDSum fallback."""
+        return self._fallback_policy is not None
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        """Why the policy degraded (None while healthy)."""
+        return self._degraded_reason
+
+    def _degrade(self, error: BaseException) -> None:
+        # Imported lazily: baselines depends on core, not vice versa.
+        from repro.baselines.ffd_sum import FFDSumPolicy
+
+        self._degraded_reason = f"{type(error).__name__}: {error}"
+        self._fallback_policy = FFDSumPolicy()
+        logger.warning(
+            "PageRankVM score tables unusable (%s); degrading to FFDSum "
+            "for the rest of this run",
+            self._degraded_reason,
+        )
+
+    def order_vms(self, vms: Sequence[VMType]) -> List[VMType]:
+        if self._fallback_policy is not None:
+            return self._fallback_policy.order_vms(vms)
+        return super().order_vms(vms)
+
+    def select(self, vm, machines) -> Optional[PlacementDecision]:
+        if self._fallback_policy is not None:
+            return self._fallback_policy.select(vm, machines)
+        try:
+            return super().select(vm, machines)
+        except _TABLE_FAULTS as error:
+            if not self._fallback_enabled:
+                raise
+            self._degrade(error)
+            return self._fallback_policy.select(vm, machines)
 
     def candidate_mode(self, shape: MachineShape) -> str:
         """Match the candidate set to the table's successor strategy."""

@@ -1,0 +1,214 @@
+"""Atomic JSON checkpointing for experiment grids.
+
+A long (policy x repetition) grid writes every finished cell into an
+:class:`ExperimentCheckpoint` so a crashed or killed run can ``--resume``
+and skip straight to the unfinished cells.  Three properties make the
+resume bit-identical to an uninterrupted run:
+
+* cells derive all randomness from ``(config.seed, labels)`` paths, so a
+  re-run cell equals its first run;
+* results round-trip JSON exactly — Python's ``json`` serializes floats
+  via shortest-repr, which parses back to the identical double;
+* the file is replaced atomically (tmp + ``os.replace``), so a kill
+  mid-save leaves the previous consistent snapshot, never a torn file.
+
+The checkpoint is bound to its config by a fingerprint of the config's
+repr; resuming against a different config raises instead of silently
+mixing grids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.simulation import SimulationResult
+from repro.faults.metrics import ResilienceMetrics
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "ExperimentCheckpoint",
+    "config_fingerprint",
+    "result_from_dict",
+    "result_to_dict",
+]
+
+#: Format tag embedded in every checkpoint file.
+CHECKPOINT_FORMAT = "repro.checkpoint.v1"
+
+
+def config_fingerprint(config) -> str:
+    """Content fingerprint binding a checkpoint to one experiment config.
+
+    ``ExperimentConfig`` is a frozen dataclass of value types, so its
+    repr is a complete, deterministic description of the grid.
+    """
+    digest = hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """A JSON-ready dict that :func:`result_from_dict` inverts exactly."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: Dict[str, object]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` saved by :func:`result_to_dict`."""
+    payload = dict(data)
+    resilience = payload.get("resilience")
+    if resilience is not None:
+        payload["resilience"] = ResilienceMetrics.from_dict(resilience)
+    return SimulationResult(**payload)
+
+
+class ExperimentCheckpoint:
+    """Completed cells and recorded failures of one grid, on disk.
+
+    Cells are keyed ``"<policy>/<repetition>"``.  Every :meth:`record`
+    and :meth:`record_failure` persists immediately, so the on-disk
+    state never lags the in-memory state by more than the cell being
+    processed — a kill loses at most the in-flight cells.
+    """
+
+    def __init__(self, path: str, fingerprint: str):
+        self._path = path
+        self._fingerprint = fingerprint
+        self._completed: Dict[str, Dict[str, object]] = {}
+        self._failures: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: str, config, resume: bool = False
+    ) -> "ExperimentCheckpoint":
+        """Open a checkpoint for a run.
+
+        With ``resume=True`` an existing file is loaded (and validated
+        against the config); otherwise a fresh, empty checkpoint
+        replaces whatever was there.  Resuming with no file present
+        simply starts fresh — nothing was completed yet.
+        """
+        if resume and os.path.exists(path):
+            return cls.load(path, config)
+        checkpoint = cls(path, config_fingerprint(config))
+        checkpoint.save()
+        return checkpoint
+
+    @classmethod
+    def load(cls, path: str, config) -> "ExperimentCheckpoint":
+        """Load and validate an existing checkpoint file.
+
+        Raises:
+            ValidationError: on a foreign file format or a fingerprint
+                mismatch (the file belongs to a different config).
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("format") != CHECKPOINT_FORMAT:
+            raise ValidationError(
+                f"{path} is not a {CHECKPOINT_FORMAT} checkpoint "
+                f"(format={data.get('format')!r})"
+            )
+        expected = config_fingerprint(config)
+        found = data.get("fingerprint")
+        if found != expected:
+            raise ValidationError(
+                f"checkpoint {path} was written for a different config "
+                f"(fingerprint {found} != {expected}); refusing to mix grids"
+            )
+        checkpoint = cls(path, expected)
+        checkpoint._completed = dict(data.get("completed", {}))
+        checkpoint._failures = dict(data.get("failures", {}))
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Where the checkpoint lives."""
+        return self._path
+
+    @property
+    def fingerprint(self) -> str:
+        """The config fingerprint this checkpoint is bound to."""
+        return self._fingerprint
+
+    @staticmethod
+    def cell_key(policy: str, repetition: int) -> str:
+        """The stable key of one grid cell."""
+        return f"{policy}/{repetition}"
+
+    @property
+    def n_completed(self) -> int:
+        """Number of cells with a stored result."""
+        return len(self._completed)
+
+    def result_for(
+        self, policy: str, repetition: int
+    ) -> Optional[SimulationResult]:
+        """The stored result of a cell, or None when not completed."""
+        data = self._completed.get(self.cell_key(policy, repetition))
+        if data is None:
+            return None
+        return result_from_dict(data)
+
+    def completed_cells(self) -> Tuple[Tuple[str, int], ...]:
+        """Every completed (policy, repetition) cell, in stored order."""
+        cells = []
+        for key in self._completed:
+            policy, _, repetition = key.rpartition("/")
+            cells.append((policy, int(repetition)))
+        return tuple(cells)
+
+    # ------------------------------------------------------------------
+    # Mutation (persists immediately)
+    # ------------------------------------------------------------------
+    def record(
+        self, policy: str, repetition: int, result: SimulationResult
+    ) -> None:
+        """Store a finished cell (clearing any earlier failure for it)."""
+        key = self.cell_key(policy, repetition)
+        self._completed[key] = result_to_dict(result)
+        self._failures.pop(key, None)
+        self.save()
+
+    def record_failure(
+        self, policy: str, repetition: int, failure: Dict[str, object]
+    ) -> None:
+        """Store a cell's terminal failure record (retries exhausted)."""
+        self._failures[self.cell_key(policy, repetition)] = dict(failure)
+        self.save()
+
+    def failure_records(self) -> Dict[str, Dict[str, object]]:
+        """The stored failure records, keyed by cell."""
+        return {k: dict(v) for k, v in self._failures.items()}
+
+    def save(self) -> None:
+        """Atomically replace the on-disk snapshot with current state."""
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "fingerprint": self._fingerprint,
+            "completed": self._completed,
+            "failures": self._failures,
+        }
+        directory = os.path.dirname(os.path.abspath(self._path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self._path) + ".", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self._path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise

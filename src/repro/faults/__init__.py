@@ -1,0 +1,32 @@
+"""Deterministic fault injection for simulations and the testbed.
+
+The package splits chaos into three layers: :mod:`repro.faults.spec`
+says *what* to inject (a frozen :class:`FaultSpec`),
+:mod:`repro.faults.schedule` materializes *when and where* (a
+:class:`FaultSchedule` of :class:`FaultEvent` drawn from ``RngFactory``
+label paths, plus the runtime :class:`FaultInjector` oracle), and
+:mod:`repro.faults.metrics` records *what it cost*
+(:class:`ResilienceMetrics`).  Nothing here imports the cluster or
+experiment layers, so those can depend on faults without cycles.
+"""
+
+from repro.faults.metrics import ResilienceMetrics
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    build_fault_schedule,
+)
+from repro.faults.spec import FaultSpec, parse_fault_spec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "ResilienceMetrics",
+    "build_fault_schedule",
+    "parse_fault_spec",
+]

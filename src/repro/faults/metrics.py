@@ -1,0 +1,76 @@
+"""Resilience metrics collected by failure-aware simulations.
+
+:class:`ResilienceMetrics` is the mutable scratchpad the simulation
+fills in while faults play out, and the record attached to
+:class:`~repro.cluster.simulation.SimulationResult` afterwards.  It is a
+plain dataclass with value equality and exact ``as_dict``/``from_dict``
+round-tripping, because the checkpoint/resume bit-identity tests compare
+whole results — resilience included — across JSON serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List
+
+__all__ = ["ResilienceMetrics"]
+
+
+@dataclass
+class ResilienceMetrics:
+    """What happened to placements while faults were being injected.
+
+    Attributes:
+        pm_crashes: PM crash events that actually fired in the horizon.
+        pm_recoveries: crashed PMs that came back before the horizon.
+        vms_displaced: VM evictions caused by crashes and flaps.
+        vms_restored: displaced VMs the policy successfully re-placed.
+        placements_lost: displaced VMs still homeless at the horizon.
+        vm_downtime_s: summed displacement-to-re-placement gaps; VMs
+            never restored accrue downtime up to the horizon.
+        recovery_time_s: per-restoration gaps (drives mean_recovery_s).
+        migration_faults: migrations the injector failed in flight.
+        restart_faults: testbed kill+restarts the injector failed.
+        monitor_dropped_ticks: monitor ticks skipped inside dropouts.
+        audit_violations: constraint violations found by the invariants
+            auditor in the post-recovery sweeps (0 means every recovery
+            preserved C1-C11).
+    """
+
+    pm_crashes: int = 0
+    pm_recoveries: int = 0
+    vms_displaced: int = 0
+    vms_restored: int = 0
+    placements_lost: int = 0
+    vm_downtime_s: float = 0.0
+    recovery_time_s: List[float] = None  # type: ignore[assignment]
+    migration_faults: int = 0
+    restart_faults: int = 0
+    monitor_dropped_ticks: int = 0
+    audit_violations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.recovery_time_s is None:
+            self.recovery_time_s = []
+
+    @property
+    def mean_recovery_s(self) -> float:
+        """Mean displacement-to-re-placement gap (0.0 when none)."""
+        if not self.recovery_time_s:
+            return 0.0
+        return sum(self.recovery_time_s) / len(self.recovery_time_s)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; exact float round-trip via from_dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResilienceMetrics":
+        """Inverse of :meth:`as_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "recovery_time_s" in kwargs:
+            kwargs["recovery_time_s"] = [
+                float(v) for v in kwargs["recovery_time_s"]
+            ]
+        return cls(**kwargs)

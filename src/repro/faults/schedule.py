@@ -1,0 +1,243 @@
+"""Deterministic fault schedules and the runtime injector.
+
+:func:`build_fault_schedule` turns a :class:`~repro.faults.spec.FaultSpec`
+into a concrete, sorted list of :class:`FaultEvent` — every time and
+target drawn from :class:`~repro.util.rng.RngFactory` label paths so the
+schedule is a pure function of (seed, labels).  The
+:class:`FaultInjector` wraps a schedule for the simulation: it answers
+the per-decision stochastic questions (does *this* migration fail?)
+through one-shot label-derived draws, so the answers do not depend on
+call order and serial runs match ``workers=N`` runs bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.spec import FaultSpec
+from repro.util.rng import RngFactory
+from repro.util.validation import require
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "build_fault_schedule",
+    "FaultInjector",
+]
+
+#: Every primitive fault event kind a schedule may contain.
+FAULT_KINDS: Tuple[str, ...] = (
+    "pm_crash",
+    "pm_recover",
+    "vm_flap",
+    "monitor_down",
+    "monitor_up",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One primitive fault at a point in simulated time.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        time_s: when the fault strikes.
+        target: the PM id (crash/recover) or VM id (flap) affected;
+            -1 for fleet-wide events (monitoring dropouts).
+        duration_s: outage length for events that carry one (VM flaps).
+    """
+
+    kind: str
+    time_s: float
+    target: int = -1
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(self.kind in FAULT_KINDS, f"unknown fault kind {self.kind!r}")
+        require(self.time_s >= 0, "fault time must be non-negative")
+        require(self.duration_s >= 0, "fault duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A materialized fault schedule: sorted events plus its spec.
+
+    Events are ordered by (time, insertion index); a schedule compares
+    equal to another iff every event matches, which is what the
+    bit-reproducibility tests assert.
+    """
+
+    spec: FaultSpec
+    horizon_s: float
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[FaultEvent]:
+        """The events of one kind, in schedule order."""
+        require(kind in FAULT_KINDS, f"unknown fault kind {kind!r}")
+        return [e for e in self.events if e.kind == kind]
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLI output."""
+        counts = {
+            kind: sum(1 for e in self.events if e.kind == kind)
+            for kind in FAULT_KINDS
+        }
+        parts = [f"{kind}={n}" for kind, n in counts.items() if n]
+        return "fault schedule: " + (", ".join(parts) if parts else "empty")
+
+
+def build_fault_schedule(
+    spec: FaultSpec,
+    rngs: RngFactory,
+    horizon_s: float,
+    pm_ids: Sequence[int],
+    n_vms: int = 0,
+) -> FaultSchedule:
+    """Materialize a spec into concrete fault events.
+
+    Every fault family draws from its own label path (``"pm-crash"``,
+    ``"vm-flap"``, ``"monitor"``), so adding a family never perturbs the
+    schedules of existing ones and the whole schedule is reproducible
+    from (factory seed + prefix, spec, horizon, targets).
+
+    Crash times land in the middle 90 % of the horizon (a crash in the
+    first instants would race initial allocation; one at the very end
+    would be unobservable).  Recovery may fall beyond the horizon, in
+    which case the PM simply stays down to the end.
+
+    Args:
+        spec: what to inject.
+        rngs: factory the schedule draws from — spawn a per-repetition
+            child (e.g. ``RngFactory(seed).spawn("faults", rep)``) so
+            repetitions see independent schedules.
+        horizon_s: the simulation horizon faults must strike within.
+        pm_ids: crash candidates (usually every PM in the datacenter).
+        n_vms: flap candidates are drawn from ``range(n_vms)``.
+    """
+    require(horizon_s > 0, "horizon_s must be positive")
+    events: List[FaultEvent] = []
+
+    if spec.pm_crashes > 0:
+        require(len(pm_ids) > 0, "pm crashes need a non-empty pm_ids")
+        rng = rngs.generator("pm-crash")
+        # Distinct targets while possible, so concurrent crash windows on
+        # one PM (which the runtime would fold together) stay rare.
+        n = spec.pm_crashes
+        if n <= len(pm_ids):
+            picks = rng.choice(len(pm_ids), size=n, replace=False)
+        else:
+            picks = rng.choice(len(pm_ids), size=n, replace=True)
+        for i in range(n):
+            at = float(rng.uniform(0.05, 0.95)) * horizon_s
+            down = float(rng.exponential(spec.pm_downtime_s))
+            pm_id = int(pm_ids[int(picks[i])])
+            events.append(FaultEvent("pm_crash", at, target=pm_id))
+            events.append(FaultEvent("pm_recover", at + down, target=pm_id))
+
+    if spec.vm_flaps > 0:
+        require(n_vms > 0, "vm flaps need n_vms > 0")
+        rng = rngs.generator("vm-flap")
+        for _ in range(spec.vm_flaps):
+            at = float(rng.uniform(0.05, 0.95)) * horizon_s
+            down = float(rng.exponential(spec.vm_flap_downtime_s))
+            vm_id = int(rng.integers(n_vms))
+            events.append(
+                FaultEvent("vm_flap", at, target=vm_id, duration_s=down)
+            )
+
+    if spec.monitor_dropouts > 0:
+        rng = rngs.generator("monitor")
+        for _ in range(spec.monitor_dropouts):
+            at = float(rng.uniform(0.05, 0.95)) * horizon_s
+            down = float(rng.exponential(spec.monitor_dropout_s))
+            events.append(FaultEvent("monitor_down", at))
+            events.append(FaultEvent("monitor_up", at + down))
+
+    order = sorted(range(len(events)), key=lambda i: (events[i].time_s, i))
+    return FaultSchedule(
+        spec=spec,
+        horizon_s=horizon_s,
+        events=tuple(events[i] for i in order),
+    )
+
+
+class FaultInjector:
+    """Runtime fault oracle the simulation and testbed consult.
+
+    Couples a materialized :class:`FaultSchedule` (the *when* of crashes,
+    flaps and dropouts) with label-derived per-decision draws (the
+    *whether* of in-flight migration and restart failures).  Each draw
+    hashes ``(label, subject id, time)`` into its own generator, so the
+    verdicts are independent of the order in which the simulation asks —
+    the property the serial-vs-parallel bit-identity tests rely on.
+    """
+
+    __slots__ = ("_schedule", "_rngs")
+
+    def __init__(self, schedule: FaultSchedule, rngs: RngFactory):
+        self._schedule = schedule
+        self._rngs = rngs
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        """The materialized fault schedule driving timed events."""
+        return self._schedule
+
+    @property
+    def spec(self) -> FaultSpec:
+        """The spec the schedule was built from."""
+        return self._schedule.spec
+
+    def _draw(self, *labels: object) -> float:
+        return float(self._rngs.generator(*labels).random())
+
+    def migration_fails(self, time_s: float, vm_id: int) -> bool:
+        """Does the migration of ``vm_id`` attempted at ``time_s`` fail?"""
+        rate = self._schedule.spec.migration_failure_rate
+        if rate <= 0.0:
+            return False
+        return self._draw("migration", vm_id, repr(float(time_s))) < rate
+
+    def restart_fails(self, time_s: float, vm_id: int) -> bool:
+        """Does the kill+restart of ``vm_id`` at ``time_s`` fail?"""
+        rate = self._schedule.spec.restart_failure_rate
+        if rate <= 0.0:
+            return False
+        return self._draw("restart", vm_id, repr(float(time_s))) < rate
+
+    @classmethod
+    def for_run(
+        cls,
+        spec: FaultSpec,
+        base_seed: int,
+        repetition: int,
+        horizon_s: float,
+        pm_ids: Sequence[int],
+        n_vms: int = 0,
+    ) -> Optional["FaultInjector"]:
+        """The canonical injector for one (seed, repetition) cell.
+
+        The schedule derives from ``(seed, "faults", repetition)`` and
+        the per-decision draws from ``(seed, "fault-draws", repetition)``
+        — note *not* from the policy name, so every policy in a
+        repetition faces the same fault schedule (paired comparison,
+        mirroring :func:`repro.experiments.workload.build_vms`).
+        Returns None when the spec has nothing switched on.
+        """
+        if not spec.active:
+            return None
+        schedule = build_fault_schedule(
+            spec,
+            RngFactory(base_seed).spawn("faults", repetition),
+            horizon_s=horizon_s,
+            pm_ids=pm_ids,
+            n_vms=n_vms,
+        )
+        return cls(
+            schedule, RngFactory(base_seed).spawn("fault-draws", repetition)
+        )

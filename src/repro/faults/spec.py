@@ -1,0 +1,152 @@
+"""What faults to inject: the configuration half of :mod:`repro.faults`.
+
+A :class:`FaultSpec` is a frozen description of the fault classes one
+run is subjected to — how many PM crashes, how many VM flaps, how leaky
+the migration path is — with *no* randomness of its own.  The concrete
+fault times and targets are materialized by
+:func:`repro.faults.schedule.build_fault_schedule` from
+:class:`~repro.util.rng.RngFactory` label paths, so a (spec, seed) pair
+reproduces the same fault schedule bit-for-bit in every process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.util.validation import ValidationError, require
+
+__all__ = ["FaultSpec", "parse_fault_spec"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The fault classes injected into one run (all off by default).
+
+    Attributes:
+        pm_crashes: number of PM crash events over the horizon.  A
+            crashed PM drops out of the candidate set and its VMs are
+            re-placed by the policy under test.
+        pm_downtime_s: mean crash-to-recovery gap (exponential draw).
+        vm_flaps: number of VM flap events — the VM goes dark, then asks
+            to be placed again after its outage.
+        vm_flap_downtime_s: mean flap outage length (exponential draw).
+        monitor_dropouts: number of monitoring-dropout windows during
+            which the utilization monitor observes nothing (no overload
+            handling, no energy/SLO accounting).
+        monitor_dropout_s: mean dropout window length (exponential draw).
+        migration_failure_rate: probability that any one migration
+            attempt fails in flight (the VM stays on its source PM).
+        restart_failure_rate: probability that a testbed kill+restart
+            fails (the job is restored on its source instance and the
+            interruption is still paid).
+        replacement_latency_s: how long a VM displaced by a crash or
+            flap takes before it can be placed again (models boot +
+            image pull; drives the downtime/recovery metrics).
+    """
+
+    pm_crashes: int = 0
+    pm_downtime_s: float = 3600.0
+    vm_flaps: int = 0
+    vm_flap_downtime_s: float = 600.0
+    monitor_dropouts: int = 0
+    monitor_dropout_s: float = 900.0
+    migration_failure_rate: float = 0.0
+    restart_failure_rate: float = 0.0
+    replacement_latency_s: float = 90.0
+
+    def __post_init__(self) -> None:
+        require(self.pm_crashes >= 0, "pm_crashes must be non-negative")
+        require(self.vm_flaps >= 0, "vm_flaps must be non-negative")
+        require(
+            self.monitor_dropouts >= 0, "monitor_dropouts must be non-negative"
+        )
+        require(self.pm_downtime_s > 0, "pm_downtime_s must be positive")
+        require(
+            self.vm_flap_downtime_s > 0, "vm_flap_downtime_s must be positive"
+        )
+        require(
+            self.monitor_dropout_s > 0, "monitor_dropout_s must be positive"
+        )
+        require(
+            0.0 <= self.migration_failure_rate <= 1.0,
+            "migration_failure_rate must be in [0, 1]",
+        )
+        require(
+            0.0 <= self.restart_failure_rate <= 1.0,
+            "restart_failure_rate must be in [0, 1]",
+        )
+        require(
+            self.replacement_latency_s >= 0,
+            "replacement_latency_s must be non-negative",
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when any fault class is switched on."""
+        return (
+            self.pm_crashes > 0
+            or self.vm_flaps > 0
+            or self.monitor_dropouts > 0
+            or self.migration_failure_rate > 0
+            or self.restart_failure_rate > 0
+        )
+
+
+#: ``--faults`` key -> (FaultSpec field, parser).  Counts are ints,
+#: everything else floats.
+_SPEC_KEYS = {
+    "pm-crash": ("pm_crashes", int),
+    "pm-downtime": ("pm_downtime_s", float),
+    "vm-flap": ("vm_flaps", int),
+    "flap-downtime": ("vm_flap_downtime_s", float),
+    "monitor-drop": ("monitor_dropouts", int),
+    "drop-duration": ("monitor_dropout_s", float),
+    "mig-fail": ("migration_failure_rate", float),
+    "restart-fail": ("restart_failure_rate", float),
+    "latency": ("replacement_latency_s", float),
+}
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI's compact fault spec string.
+
+    Format: comma-separated ``key=value`` pairs, e.g.
+    ``pm-crash=2,vm-flap=3,mig-fail=0.1``.  Known keys::
+
+        pm-crash=N        pm-downtime=SECONDS
+        vm-flap=N         flap-downtime=SECONDS
+        monitor-drop=N    drop-duration=SECONDS
+        mig-fail=RATE     restart-fail=RATE
+        latency=SECONDS
+
+    Raises:
+        ValidationError: on unknown keys or malformed values.
+    """
+    updates = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in _SPEC_KEYS:
+            known = ", ".join(sorted(_SPEC_KEYS))
+            raise ValidationError(
+                f"bad fault spec entry {part!r}; use key=value with keys: "
+                f"{known}"
+            )
+        field_name, cast = _SPEC_KEYS[key]
+        try:
+            updates[field_name] = cast(value.strip())
+        except ValueError as error:
+            raise ValidationError(
+                f"bad value for fault spec key {key!r}: {error}"
+            ) from None
+    return replace(FaultSpec(), **updates)
+
+
+# parse_fault_spec round-trips every public field; keep the key table in
+# sync with the dataclass so new fault classes are CLI-reachable.
+assert {f for f, _ in _SPEC_KEYS.values()} == {
+    f.name for f in fields(FaultSpec)
+}

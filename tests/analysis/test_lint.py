@@ -1,4 +1,4 @@
-"""Tests for the domain-aware static linter (PRV001-PRV008)."""
+"""Tests for the domain-aware static linter (PRV001-PRV009)."""
 
 import textwrap
 from pathlib import Path
@@ -22,10 +22,10 @@ def codes(source, path="repro/somewhere/module.py"):
 
 
 class TestRuleTable:
-    def test_eight_rules_with_unique_codes(self):
-        assert len(RULES) == 8
-        assert len(RULES_BY_CODE) == 8
-        assert sorted(RULES_BY_CODE) == [f"PRV00{i}" for i in range(1, 9)]
+    def test_nine_rules_with_unique_codes(self):
+        assert len(RULES) == 9
+        assert len(RULES_BY_CODE) == 9
+        assert sorted(RULES_BY_CODE) == [f"PRV00{i}" for i in range(1, 10)]
 
     def test_every_rule_has_a_hint(self):
         for rule in RULES:
@@ -234,6 +234,74 @@ class TestMissingSlots:
             "__all__ = []\nclass Thing:\n    pass\n",
             "src/repro/experiments/report.py",
         ) == []
+
+
+class TestWallClock:
+    SIM = "src/repro/cluster/simulation.py"
+    FAULTS = "src/repro/faults/schedule.py"
+    TESTBED = "src/repro/testbed/controller.py"
+
+    def test_time_sleep_in_cluster_flagged(self):
+        source = "__all__ = []\nimport time\ntime.sleep(1.0)\n"
+        assert codes(source, self.SIM) == ["PRV009"]
+
+    def test_time_read_in_faults_flagged(self):
+        source = "__all__ = []\nimport time\nt = time.monotonic()\n"
+        assert codes(source, self.FAULTS) == ["PRV009"]
+
+    def test_aliased_time_import_flagged(self):
+        source = "__all__ = []\nimport time as t\nnow = t.time()\n"
+        assert codes(source, self.TESTBED) == ["PRV009"]
+
+    def test_from_time_import_sleep_flagged(self):
+        source = "__all__ = []\nfrom time import sleep\nsleep(0.1)\n"
+        assert codes(source, self.SIM) == ["PRV009"]
+
+    def test_datetime_now_flagged(self):
+        source = (
+            "__all__ = []\nfrom datetime import datetime\n"
+            "stamp = datetime.now()\n"
+        )
+        assert codes(source, self.SIM) == ["PRV009"]
+
+    def test_datetime_module_utcnow_flagged(self):
+        source = (
+            "__all__ = []\nimport datetime\n"
+            "stamp = datetime.datetime.utcnow()\n"
+        )
+        assert codes(source, self.FAULTS) == ["PRV009"]
+
+    def test_ns_variant_flagged(self):
+        source = "__all__ = []\nimport time\nt = time.perf_counter_ns()\n"
+        assert codes(source, self.SIM) == ["PRV009"]
+
+    def test_runner_backoff_sleep_not_flagged(self):
+        # The experiment runner's retry backoff legitimately sleeps on
+        # the wall clock — it is outside the simulated-time scope.
+        source = "__all__ = []\nimport time\ntime.sleep(0.5)\n"
+        assert codes(source, "src/repro/experiments/runner.py") == []
+
+    def test_simulated_time_s_parameter_not_flagged(self):
+        # Passing `time_s` around (the simulated clock) must not trip
+        # the rule; only the stdlib wall-clock calls do.
+        source = (
+            "__all__ = []\n"
+            "def tick(time_s):\n"
+            "    return time_s + 1.0\n"
+        )
+        assert codes(source, self.SIM) == []
+
+    def test_unrelated_sleep_method_not_flagged(self):
+        # A method *named* sleep on some other object is fine.
+        source = "__all__ = []\nmachine.sleep(5)\n"
+        assert codes(source, self.SIM) == []
+
+    def test_suppression_works_for_prv009(self):
+        source = (
+            "__all__ = []\nimport time\n"
+            "t = time.time()  # prv: disable=PRV009 -- log stamp only\n"
+        )
+        assert codes(source, self.SIM) == []
 
 
 class TestSuppression:

@@ -74,6 +74,101 @@ class TestCancellation:
         handle.cancel()
         assert handle.cancelled
 
+    def test_same_time_earlier_event_cancels_later_one(self):
+        # Regression: FIFO + cancellation at equal timestamps.  The
+        # victim shares the killer's timestamp but is later in FIFO
+        # order; its cancellation must take effect before it reaches
+        # the heap top.
+        loop = EventLoop()
+        fired = []
+        victim = loop.schedule_at(5.0, lambda: fired.append("victim"))
+
+        def kill() -> None:
+            fired.append("killer")
+            victim.cancel()
+
+        # Killer scheduled second but at an earlier same-tick moment is
+        # not possible; instead schedule killer first at the same time.
+        loop2 = EventLoop()
+        fired2 = []
+        holder = {}
+        loop2.schedule_at(5.0, lambda: (fired2.append("killer"),
+                                        holder["victim"].cancel()))
+        holder["victim"] = loop2.schedule_at(
+            5.0, lambda: fired2.append("victim")
+        )
+        loop2.run_until(10.0)
+        assert fired2 == ["killer"]
+
+        # And the mirror case on the first loop: a killer *later* in
+        # FIFO order cannot retro-cancel an event that already fired.
+        loop.schedule_at(5.0, kill)
+        loop.run_until(10.0)
+        assert fired == ["victim", "killer"]
+
+    def test_same_time_cancellation_of_periodic_series(self):
+        # A killer FIFO-earlier than the series' first firing, at the
+        # same timestamp: the series must never fire.
+        loop = EventLoop()
+        times = []
+        holder = {}
+        loop.schedule_at(10.0, lambda: holder["series"].cancel())
+        holder["series"] = loop.schedule_every(
+            10.0, lambda: times.append(loop.now)
+        )
+        loop.run_until(50.0)
+        assert times == []
+
+    def test_same_time_fifo_later_killer_does_not_retro_cancel_series(self):
+        # The mirror case: the series' firing is FIFO-earlier than the
+        # killer at the same timestamp, so the first tick happens and
+        # only subsequent ones are suppressed.
+        loop = EventLoop()
+        times = []
+        series = loop.schedule_every(10.0, lambda: times.append(loop.now))
+        loop.schedule_at(10.0, series.cancel)
+        loop.run_until(50.0)
+        assert times == [10.0]
+
+    def test_len_counts_only_live_events(self):
+        loop = EventLoop()
+        handles = [loop.schedule_at(float(i + 1), lambda: None)
+                   for i in range(10)]
+        assert len(loop) == 10
+        for handle in handles[:6]:
+            handle.cancel()
+        assert len(loop) == 4
+
+    def test_cancel_releases_action_reference(self):
+        # A cancelled event must not pin its closure (and whatever
+        # simulation state it captures) until its timestamp drains.
+        loop = EventLoop()
+        handle = loop.schedule_at(1e9, lambda: None)
+        assert handle._action is not None
+        handle.cancel()
+        assert handle._action is None
+
+    def test_heap_compaction_under_cancel_churn(self):
+        # Fault schedules schedule-and-cancel aggressively; stale
+        # entries must not accumulate without bound.
+        loop = EventLoop()
+        keeper = []
+        loop.schedule_at(500.0, lambda: keeper.append(loop.now))
+        for i in range(200):
+            loop.schedule_at(1000.0 + i, lambda: None).cancel()
+        assert len(loop) == 1
+        assert len(loop._heap) < 200  # stale entries were compacted
+        loop.run_until(600.0)
+        assert keeper == [500.0]
+
+    def test_cancel_after_firing_keeps_len_consistent(self):
+        loop = EventLoop()
+        handle = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        loop.run_until(1.5)
+        handle.cancel()  # too late — already fired; must not miscount
+        assert len(loop) == 1
+
 
 class TestPeriodic:
     def test_fires_every_interval(self):

@@ -1,8 +1,14 @@
 """Tests for the PageRankVM allocation policy (Algorithm 2)."""
 
+import logging
+
+import numpy as np
 import pytest
 
+from repro.baselines.ffd_sum import FFDSumPolicy
+from repro.core.graph import SuccessorStrategy
 from repro.core.placement import PageRankVMPolicy
+from repro.core.profile import MachineShape, ResourceGroup
 from repro.core.score_table import build_score_table
 from repro.util.validation import ValidationError
 
@@ -127,3 +133,95 @@ class TestPaperScenario:
         # vm2 -> (4,4,3,3), BPRU 1.
         decision = policy.select(vm2, [toward_dead_end, completable])
         assert decision.pm_id == 1
+
+
+class _PoisonedTable:
+    """A score table whose lookups return NaN — the corruption signature."""
+
+    strategy = SuccessorStrategy.ALL_PLACEMENTS
+
+    def score_or_snap(self, usage):
+        return float("nan")
+
+    def score_or_snap_many(self, usages):
+        return np.full(len(list(usages)), np.nan)
+
+
+class TestGracefulDegradation:
+    @pytest.fixture
+    def odd_shape(self):
+        # Same structure as the toy shape but different capacities, so
+        # machines of this shape have no entry in the policy's tables.
+        return MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(5, 5, 5, 5)),)
+        )
+
+    def test_healthy_policy_reports_no_degradation(self, policy):
+        assert not policy.degraded
+        assert policy.degraded_reason is None
+
+    def test_missing_table_degrades_to_ffdsum(
+        self, policy, odd_shape, vm2, fake_machine, caplog
+    ):
+        machine = fake_machine(0, odd_shape, ((1, 0, 0, 0),))
+        with caplog.at_level(logging.WARNING, logger="repro.core.placement"):
+            decision = policy.select(vm2, [machine])
+
+        assert decision is not None
+        assert policy.degraded
+        assert "KeyError" in policy.degraded_reason
+        assert any("degrading to FFDSum" in r.message for r in caplog.records)
+        expected = FFDSumPolicy().select(
+            vm2, [fake_machine(0, odd_shape, ((1, 0, 0, 0),))]
+        )
+        assert decision.pm_id == expected.pm_id
+        assert decision.placement.new_usage == expected.placement.new_usage
+
+    def test_fallback_disabled_fails_fast(
+        self, toy_shape, toy_table, odd_shape, vm2, fake_machine
+    ):
+        policy = PageRankVMPolicy({toy_shape: toy_table}, fallback=False)
+        with pytest.raises(KeyError, match="no score table"):
+            policy.select(vm2, [fake_machine(0, odd_shape, ((1, 0, 0, 0),))])
+        assert not policy.degraded
+
+    def test_poisoned_table_degrades(self, toy_shape, vm2, fake_machine):
+        policy = PageRankVMPolicy({toy_shape: _PoisonedTable()})
+        decision = policy.select(
+            vm2, [fake_machine(0, toy_shape, ((1, 0, 0, 0),))]
+        )
+        assert decision is not None
+        assert policy.degraded
+        assert "ValidationError" in policy.degraded_reason
+        assert "non-finite" in policy.degraded_reason
+
+    def test_profile_score_guards_against_non_finite(self, toy_shape):
+        policy = PageRankVMPolicy({toy_shape: _PoisonedTable()})
+        with pytest.raises(ValidationError, match="non-finite"):
+            policy.profile_score(toy_shape, ((0, 0, 0, 0),))
+        with pytest.raises(ValidationError, match="non-finite"):
+            policy.profile_scores(toy_shape, [((0, 0, 0, 0),)])
+
+    def test_degradation_is_sticky(
+        self, policy, odd_shape, toy_shape, vm2, fake_machine
+    ):
+        policy.select(vm2, [fake_machine(0, odd_shape, ((1, 0, 0, 0),))])
+        assert policy.degraded
+        # Later decisions on perfectly healthy shapes stay on FFDSum for
+        # the rest of the run — no half-degraded mixtures.
+        decision = policy.select(
+            vm2, [fake_machine(1, toy_shape, ((2, 1, 0, 0),))]
+        )
+        expected = FFDSumPolicy().select(
+            vm2, [fake_machine(1, toy_shape, ((2, 1, 0, 0),))]
+        )
+        assert decision.pm_id == expected.pm_id
+        assert decision.placement.new_usage == expected.placement.new_usage
+
+    def test_degraded_policy_orders_vms_like_ffdsum(
+        self, policy, odd_shape, vm2, vm4, fake_machine
+    ):
+        policy.select(vm2, [fake_machine(0, odd_shape, ((1, 0, 0, 0),))])
+        assert policy.order_vms([vm2, vm4]) == FFDSumPolicy().order_vms(
+            [vm2, vm4]
+        )

@@ -1,0 +1,267 @@
+"""Tests for checkpoint/resume, retries, and the crash-tolerant runner."""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.simulation import SimulationConfig
+from repro.experiments.checkpoint import (
+    CHECKPOINT_FORMAT,
+    ExperimentCheckpoint,
+    config_fingerprint,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.config import ExperimentConfig, WorkloadSpec
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    CHAOS_KILL_ENV,
+    CellFailure,
+    RetryPolicy,
+    run_experiment,
+    run_single,
+)
+from repro.faults.spec import FaultSpec
+from repro.util.validation import ValidationError
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        n_vms=30,
+        datacenter=(("M3", 20), ("C3", 5)),
+        workload=WorkloadSpec(trace="planetlab"),
+        policies=("FF", "FFDSum"),
+        repetitions=2,
+        sim=SimulationConfig(duration_s=1800.0, monitor_interval_s=300.0),
+    )
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.0)
+
+
+class TestResultSerde:
+    def test_json_round_trip_is_exact(self):
+        result = run_single(small_config(), "FF", 0)
+        wire = json.loads(json.dumps(result_to_dict(result)))
+        assert result_from_dict(wire) == result
+
+    def test_round_trip_preserves_resilience(self):
+        result = run_single(
+            small_config(), "FF", 0,
+            faults=FaultSpec(pm_crashes=2, pm_downtime_s=600.0),
+        )
+        assert result.resilience is not None
+        wire = json.loads(json.dumps(result_to_dict(result)))
+        rebuilt = result_from_dict(wire)
+        assert rebuilt == result
+        assert rebuilt.resilience.as_dict() == result.resilience.as_dict()
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_attempts=0),
+        dict(backoff_base_s=-1.0),
+        dict(backoff_factor=0.5),
+        dict(cell_timeout_s=0.0),
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially(self):
+        retry = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0)
+        assert retry.backoff_s(1) == pytest.approx(0.1)
+        assert retry.backoff_s(2) == pytest.approx(0.2)
+        assert retry.backoff_s(3) == pytest.approx(0.4)
+
+
+class TestCheckpointFile:
+    def test_open_creates_fresh_file(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        checkpoint = ExperimentCheckpoint.open(path, small_config())
+        assert os.path.exists(path)
+        assert checkpoint.n_completed == 0
+        assert checkpoint.fingerprint == config_fingerprint(small_config())
+
+    def test_resume_with_missing_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "missing.json")
+        checkpoint = ExperimentCheckpoint.open(
+            path, small_config(), resume=True
+        )
+        assert checkpoint.n_completed == 0
+
+    def test_recorded_cell_loads_bit_identically(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        config = small_config()
+        result = run_single(config, "FF", 0)
+        ExperimentCheckpoint.open(path, config).record("FF", 0, result)
+
+        loaded = ExperimentCheckpoint.load(path, config)
+        assert loaded.completed_cells() == (("FF", 0),)
+        assert loaded.result_for("FF", 0) == result
+        assert loaded.result_for("FF", 1) is None
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ExperimentCheckpoint.open(path, small_config())
+        with pytest.raises(ValidationError, match="different config"):
+            ExperimentCheckpoint.load(path, small_config(seed=999))
+
+    def test_foreign_format_rejected(self, tmp_path):
+        path = tmp_path / "alien.json"
+        path.write_text(json.dumps({"format": "not.a.checkpoint"}))
+        with pytest.raises(ValidationError, match=CHECKPOINT_FORMAT):
+            ExperimentCheckpoint.load(str(path), small_config())
+
+    def test_record_clears_earlier_failure(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        config = small_config()
+        checkpoint = ExperimentCheckpoint.open(path, config)
+        checkpoint.record_failure("FF", 0, {"status": "error"})
+        assert "FF/0" in checkpoint.failure_records()
+        checkpoint.record("FF", 0, run_single(config, "FF", 0))
+        assert checkpoint.failure_records() == {}
+
+
+class TestRunWithCheckpoint:
+    def test_all_cells_persisted(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        config = small_config()
+        run_experiment(config, checkpoint_path=path)
+        checkpoint = ExperimentCheckpoint.load(path, config)
+        assert checkpoint.n_completed == 4
+        assert set(checkpoint.completed_cells()) == {
+            ("FF", 0), ("FF", 1), ("FFDSum", 0), ("FFDSum", 1),
+        }
+
+    def test_resume_skips_completed_and_matches_uninterrupted(
+        self, tmp_path, monkeypatch
+    ):
+        config = small_config()
+        baseline = run_experiment(config)
+
+        # Simulate an interrupted run: only half the grid completed.
+        path = str(tmp_path / "ck.json")
+        partial = ExperimentCheckpoint.open(path, config)
+        partial.record("FF", 0, baseline.runs["FF"][0])
+        partial.record("FFDSum", 1, baseline.runs["FFDSum"][1])
+
+        ran = []
+        original = runner_module.run_single
+
+        def counting_run_single(config, policy_name, repetition, **kwargs):
+            ran.append((policy_name, repetition))
+            return original(config, policy_name, repetition, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_single", counting_run_single)
+        resumed = run_experiment(config, checkpoint_path=path, resume=True)
+
+        assert sorted(ran) == [("FF", 1), ("FFDSum", 0)]  # only the rest
+        assert resumed.runs == baseline.runs  # bit-identical merge
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(ValidationError, match="checkpoint_path"):
+            run_experiment(small_config(), resume=True)
+
+    def test_failed_cell_recorded_instead_of_aborting(
+        self, tmp_path, monkeypatch
+    ):
+        config = small_config()
+        original = runner_module.run_single
+
+        def exploding_run_single(config, policy_name, repetition, **kwargs):
+            if (policy_name, repetition) == ("FF", 1):
+                raise RuntimeError("synthetic worker bug")
+            return original(config, policy_name, repetition, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_single", exploding_run_single)
+        path = str(tmp_path / "ck.json")
+        results = run_experiment(
+            config, retry=FAST_RETRY, checkpoint_path=path
+        )
+
+        assert len(results.runs["FF"]) == 1
+        assert len(results.runs["FFDSum"]) == 2
+        assert [
+            (f.policy, f.repetition, f.status, f.attempts)
+            for f in results.failed_cells
+        ] == [("FF", 1, "error", 3)]
+        assert "synthetic worker bug" in results.failed_cells[0].message
+        checkpoint = ExperimentCheckpoint.load(path, config)
+        assert "FF/1" in checkpoint.failure_records()
+
+    def test_flaky_cell_recovers_via_retry(self, monkeypatch):
+        config = small_config()
+        original = runner_module.run_single
+        calls = {"n": 0}
+
+        def flaky_run_single(config, policy_name, repetition, **kwargs):
+            if (policy_name, repetition) == ("FFDSum", 0):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise OSError("transient filesystem hiccup")
+            return original(config, policy_name, repetition, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_single", flaky_run_single)
+        results = run_experiment(config, retry=FAST_RETRY)
+
+        assert calls["n"] == 2  # failed once, succeeded on retry
+        assert results.failed_cells == []
+        assert all(len(runs) == 2 for runs in results.runs.values())
+
+    def test_validation_error_fails_fast(self, monkeypatch):
+        def broken_run_single(config, policy_name, repetition, **kwargs):
+            raise ValidationError("config is nonsense")
+
+        monkeypatch.setattr(runner_module, "run_single", broken_run_single)
+        with pytest.raises(ValidationError, match="nonsense"):
+            run_experiment(small_config(), retry=FAST_RETRY)
+
+    def test_cell_failure_as_dict_round_trips(self):
+        failure = CellFailure(
+            policy="FF", repetition=1, attempts=3,
+            status="timeout", message="cell exceeded 10s",
+        )
+        assert failure.as_dict() == {
+            "policy": "FF", "repetition": 1, "attempts": 3,
+            "status": "timeout", "message": "cell exceeded 10s",
+        }
+
+
+class TestFaultedGridDeterminism:
+    def test_faulted_grid_identical_serial_vs_parallel(self):
+        config = small_config()
+        faults = FaultSpec(pm_crashes=1, migration_failure_rate=0.2)
+        serial = run_experiment(config, faults=faults)
+        parallel = run_experiment(config, workers=2, faults=faults)
+        assert serial.runs == parallel.runs
+        for runs in serial.runs.values():
+            assert all(r.resilience is not None for r in runs)
+
+
+class TestChaosKill:
+    def test_killed_worker_is_retried_and_grid_completes(
+        self, tmp_path, monkeypatch
+    ):
+        # The first worker to pick up FF/1 SIGKILLs itself (once — the
+        # sentinel file keeps the retry alive).  The wave-based pool
+        # must absorb the dead worker, retry the lost cells, and still
+        # produce results bit-identical to a calm serial run.
+        config = small_config()
+        baseline = run_experiment(config)
+
+        sentinel = tmp_path / "chaos.sentinel"
+        monkeypatch.setenv(CHAOS_KILL_ENV, f"FF/1@{sentinel}")
+        path = str(tmp_path / "ck.json")
+        results = run_experiment(
+            config, workers=2, retry=FAST_RETRY, checkpoint_path=path
+        )
+
+        assert sentinel.exists()  # the kill really happened
+        assert results.failed_cells == []
+        assert results.runs == baseline.runs
+        checkpoint = ExperimentCheckpoint.load(path, config)
+        assert checkpoint.n_completed == 4

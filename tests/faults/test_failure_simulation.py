@@ -1,0 +1,284 @@
+"""Failure-mode tests: the simulation under hand-built fault schedules.
+
+Each test drives :class:`~repro.cluster.simulation.CloudSimulation` with
+an exact, hand-written :class:`~repro.faults.schedule.FaultSchedule` so
+the displacement, recovery and accounting behavior can be asserted to
+the second, and the final allocation is always replayed against the MIP
+constraints (1)-(11).
+"""
+
+import pytest
+
+from repro.baselines import FirstFitPolicy, MinimumMigrationTimeSelector
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.simulation import (
+    CloudSimulation,
+    DynamicSimulation,
+    SimulationConfig,
+    WorkloadEvent,
+)
+from repro.cluster.vm import VirtualMachine
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.traces.base import ConstantTrace
+from repro.util.rng import RngFactory
+from repro.util.validation import ValidationError
+
+TOY = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
+VM4 = VMType(name="vm4", demands=((1, 1, 1, 1),))
+
+HORIZON = 1800.0
+
+
+def make_datacenter(n_pms):
+    return Datacenter(
+        [PhysicalMachine(i, TOY, type_name="M3") for i in range(n_pms)]
+    )
+
+
+def make_vms(n, util=0.1):
+    return [VirtualMachine(i, VM4, ConstantTrace(util)) for i in range(n)]
+
+
+def make_injector(events, spec=None, horizon=HORIZON, seed=99):
+    spec = spec if spec is not None else FaultSpec(pm_crashes=1)
+    schedule = FaultSchedule(
+        spec=spec, horizon_s=horizon, events=tuple(events)
+    )
+    return FaultInjector(schedule, RngFactory(seed).spawn("fault-draws", 0))
+
+
+def run_sim(datacenter, vms, injector, horizon=HORIZON):
+    simulation = CloudSimulation(
+        datacenter,
+        FirstFitPolicy(),
+        MinimumMigrationTimeSelector(),
+        SimulationConfig(duration_s=horizon, monitor_interval_s=300.0),
+        faults=injector,
+    )
+    return simulation.run(vms)
+
+
+class TestPMCrash:
+    def test_crash_displaces_and_policy_restores(self, constraint_audit):
+        # 4 VMs fill PM0; the crash displaces all of them and FF finds
+        # them a home on PM1 after the replacement latency (90 s).
+        datacenter = make_datacenter(2)
+        injector = make_injector([FaultEvent("pm_crash", 600.0, target=0)])
+        result = run_sim(datacenter, make_vms(4), injector)
+
+        metrics = result.resilience
+        assert metrics is not None
+        assert metrics.pm_crashes == 1
+        assert metrics.vms_displaced == 4
+        assert metrics.vms_restored == 4
+        assert metrics.placements_lost == 0
+        assert metrics.recovery_time_s == [90.0] * 4
+        assert metrics.vm_downtime_s == pytest.approx(360.0)
+        assert metrics.mean_recovery_s == pytest.approx(90.0)
+        assert metrics.audit_violations == 0
+        constraint_audit(datacenter, result)
+
+    def test_crashed_pm_hosts_nothing_while_down(self):
+        datacenter = make_datacenter(2)
+        injector = make_injector([FaultEvent("pm_crash", 600.0, target=0)])
+        run_sim(datacenter, make_vms(4), injector)
+
+        crashed = datacenter.machine(0)
+        assert crashed.is_failed
+        assert crashed.n_vms == 0
+        assert not crashed.can_host(VM4)
+        assert datacenter.machine(1).n_vms == 4
+
+    def test_recovery_restores_lost_capacity(self, constraint_audit):
+        # One PM only: while it is down nothing fits; recovery brings
+        # the fleet back and the pending VMs return home.
+        datacenter = make_datacenter(1)
+        injector = make_injector([
+            FaultEvent("pm_crash", 600.0, target=0),
+            FaultEvent("pm_recover", 1200.0, target=0),
+        ])
+        result = run_sim(datacenter, make_vms(2), injector)
+
+        metrics = result.resilience
+        assert metrics.pm_crashes == 1
+        assert metrics.pm_recoveries == 1
+        assert metrics.vms_restored == 2
+        assert metrics.placements_lost == 0
+        assert metrics.recovery_time_s == [600.0, 600.0]
+        assert not datacenter.machine(0).is_failed
+        assert datacenter.machine(0).n_vms == 2
+        constraint_audit(datacenter, result)
+
+    def test_placements_lost_when_nothing_ever_fits(self, constraint_audit):
+        datacenter = make_datacenter(1)
+        injector = make_injector([FaultEvent("pm_crash", 600.0, target=0)])
+        result = run_sim(datacenter, make_vms(2), injector)
+
+        metrics = result.resilience
+        assert metrics.vms_restored == 0
+        assert metrics.placements_lost == 2
+        assert metrics.vm_downtime_s == pytest.approx(2 * (HORIZON - 600.0))
+        # The C1 audit accounts for the lost placements.
+        constraint_audit(datacenter, result)
+
+    def test_overlapping_crash_windows_fold(self):
+        datacenter = make_datacenter(1)
+        injector = make_injector([
+            FaultEvent("pm_crash", 600.0, target=0),
+            FaultEvent("pm_crash", 700.0, target=0),
+            FaultEvent("pm_recover", 1200.0, target=0),
+        ])
+        result = run_sim(datacenter, make_vms(2), injector)
+
+        metrics = result.resilience
+        assert metrics.pm_crashes == 1  # second crash folds into the first
+        assert metrics.pm_recoveries == 1
+        assert metrics.vms_displaced == 2
+
+    def test_crashing_a_crashed_pm_directly_rejected(self):
+        datacenter = make_datacenter(1)
+        datacenter.crash_machine(0)
+        with pytest.raises(ValidationError):
+            datacenter.crash_machine(0)
+        with pytest.raises(ValidationError):
+            datacenter.repair_machine(0)
+            datacenter.repair_machine(0)
+
+
+class TestVMFlap:
+    def test_flap_evicts_then_restores(self, constraint_audit):
+        datacenter = make_datacenter(1)
+        injector = make_injector(
+            [FaultEvent("vm_flap", 600.0, target=0, duration_s=300.0)],
+            spec=FaultSpec(vm_flaps=1),
+        )
+        result = run_sim(datacenter, make_vms(2), injector)
+
+        metrics = result.resilience
+        assert metrics.vms_displaced == 1
+        assert metrics.vms_restored == 1
+        assert metrics.recovery_time_s == [300.0]
+        assert datacenter.locate(0) == 0
+        constraint_audit(datacenter, result)
+
+    def test_flap_of_absent_vm_is_a_no_op(self):
+        datacenter = make_datacenter(1)
+        injector = make_injector(
+            [FaultEvent("vm_flap", 600.0, target=99, duration_s=300.0)],
+            spec=FaultSpec(vm_flaps=1),
+        )
+        result = run_sim(datacenter, make_vms(2), injector)
+        assert result.resilience.vms_displaced == 0
+
+
+class TestMonitorDropout:
+    def test_dropout_skips_observation_ticks(self):
+        datacenter = make_datacenter(1)
+        injector = make_injector(
+            [
+                FaultEvent("monitor_down", 250.0),
+                FaultEvent("monitor_up", 1450.0),
+            ],
+            spec=FaultSpec(monitor_dropouts=1),
+        )
+        result = run_sim(datacenter, make_vms(2), injector)
+        # Ticks at 300, 600, 900, 1200 fall inside the dropout window.
+        assert result.resilience.monitor_dropped_ticks == 4
+
+    def test_dropout_loses_energy_accounting(self):
+        blind = run_sim(
+            make_datacenter(1),
+            make_vms(2),
+            make_injector(
+                [
+                    FaultEvent("monitor_down", 250.0),
+                    FaultEvent("monitor_up", 1450.0),
+                ],
+                spec=FaultSpec(monitor_dropouts=1),
+            ),
+        )
+        observed = run_sim(make_datacenter(1), make_vms(2), None)
+        assert blind.energy_kwh < observed.energy_kwh
+
+
+class TestMigrationFaults:
+    def test_injected_migration_failure_blocks_relief(self):
+        # 4 hot VMs overload PM0 every tick; with the failure rate at
+        # 1.0 every migration attempt dies in flight, so the VMs never
+        # move and each attempt is counted.
+        datacenter = make_datacenter(2)
+        injector = make_injector(
+            [], spec=FaultSpec(migration_failure_rate=1.0)
+        )
+        result = run_sim(datacenter, make_vms(4, util=1.0), injector)
+
+        assert result.migrations == 0
+        assert result.resilience.migration_faults >= 1
+        assert result.failed_migrations == result.resilience.migration_faults
+        assert datacenter.machine(0).n_vms == 4
+
+    def test_zero_rate_leaves_migrations_untouched(self):
+        faulted = run_sim(
+            make_datacenter(2),
+            make_vms(4, util=1.0),
+            make_injector([], spec=FaultSpec(pm_crashes=0, vm_flaps=0,
+                                             migration_failure_rate=0.0)),
+        )
+        plain = run_sim(make_datacenter(2), make_vms(4, util=1.0), None)
+        assert faulted.migrations == plain.migrations
+        assert faulted.energy_kwh == plain.energy_kwh
+
+
+class TestDynamicWorkloadUnderFaults:
+    def test_departure_while_displaced_completes_without_restore(self):
+        datacenter = make_datacenter(1)
+        vm = VirtualMachine(0, VM4, ConstantTrace(0.1))
+        events = [WorkloadEvent(arrival_s=0.0, vm=vm, departure_s=1000.0)]
+        injector = make_injector([FaultEvent("pm_crash", 300.0, target=0)])
+        simulation = DynamicSimulation(
+            datacenter,
+            FirstFitPolicy(),
+            MinimumMigrationTimeSelector(),
+            SimulationConfig(duration_s=HORIZON, monitor_interval_s=300.0),
+            faults=injector,
+        )
+        result = simulation.run_events(events)
+
+        assert result.completed_vms == 1
+        metrics = result.resilience
+        assert metrics.vms_displaced == 1
+        assert metrics.vms_restored == 0
+        assert metrics.placements_lost == 0  # departed, not lost
+        assert metrics.vm_downtime_s == pytest.approx(700.0)
+
+
+class TestDeterminism:
+    def test_faulted_runs_reproduce_bit_for_bit(self):
+        spec = FaultSpec(pm_crashes=2, vm_flaps=1, migration_failure_rate=0.3)
+
+        def run():
+            injector = FaultInjector.for_run(
+                spec, 2018, 0, horizon_s=HORIZON,
+                pm_ids=[0, 1, 2], n_vms=8,
+            )
+            result = run_sim(make_datacenter(3), make_vms(8), injector)
+            return (
+                result.pms_used_final,
+                result.energy_kwh,
+                result.migrations,
+                result.failed_migrations,
+                result.resilience.as_dict(),
+            )
+
+        assert run() == run()
+
+    def test_resilience_none_without_injector(self):
+        result = run_sim(make_datacenter(1), make_vms(2), None)
+        assert result.resilience is None

@@ -1,0 +1,230 @@
+"""Tests for fault specs, deterministic schedules, and the injector."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    build_fault_schedule,
+    parse_fault_spec,
+)
+from repro.util.rng import RngFactory
+from repro.util.validation import ValidationError
+
+HORIZON = 86_400.0
+PM_IDS = list(range(10))
+
+
+class TestFaultSpec:
+    def test_defaults_are_inactive(self):
+        assert not FaultSpec().active
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(pm_crashes=1),
+        dict(vm_flaps=1),
+        dict(monitor_dropouts=1),
+        dict(migration_failure_rate=0.01),
+        dict(restart_failure_rate=0.01),
+    ])
+    def test_any_fault_class_activates(self, kwargs):
+        assert FaultSpec(**kwargs).active
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(pm_crashes=-1),
+        dict(vm_flaps=-1),
+        dict(pm_downtime_s=0.0),
+        dict(vm_flap_downtime_s=-1.0),
+        dict(migration_failure_rate=1.5),
+        dict(restart_failure_rate=-0.1),
+        dict(replacement_latency_s=-1.0),
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            FaultSpec(**kwargs)
+
+
+class TestParseFaultSpec:
+    def test_full_spec_round_trips(self):
+        spec = parse_fault_spec(
+            "pm-crash=2,pm-downtime=1800,vm-flap=3,flap-downtime=120,"
+            "monitor-drop=1,drop-duration=600,mig-fail=0.1,"
+            "restart-fail=0.05,latency=30"
+        )
+        assert spec == FaultSpec(
+            pm_crashes=2, pm_downtime_s=1800.0,
+            vm_flaps=3, vm_flap_downtime_s=120.0,
+            monitor_dropouts=1, monitor_dropout_s=600.0,
+            migration_failure_rate=0.1, restart_failure_rate=0.05,
+            replacement_latency_s=30.0,
+        )
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValidationError, match="bad fault spec entry"):
+            parse_fault_spec("pm-explode=1")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_fault_spec("pm-crash")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValidationError, match="bad value"):
+            parse_fault_spec("pm-crash=lots")
+
+    def test_out_of_range_value_rejected(self):
+        # The cast succeeds, but the FaultSpec validation still fires.
+        with pytest.raises(ValidationError):
+            parse_fault_spec("mig-fail=2.0")
+
+    def test_whitespace_and_empty_segments_tolerated(self):
+        spec = parse_fault_spec(" pm-crash = 1 ,, vm-flap=2 ")
+        assert spec.pm_crashes == 1
+        assert spec.vm_flaps == 2
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultEvent("pm_explode", 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultEvent("pm_crash", -1.0)
+
+
+class TestBuildSchedule:
+    def build(self, spec, seed=2018, rep=0, **kwargs):
+        kwargs.setdefault("horizon_s", HORIZON)
+        kwargs.setdefault("pm_ids", PM_IDS)
+        return build_fault_schedule(
+            spec, RngFactory(seed).spawn("faults", rep), **kwargs
+        )
+
+    def test_bit_identical_for_same_seed(self):
+        spec = FaultSpec(pm_crashes=3, vm_flaps=2, monitor_dropouts=1)
+        a = self.build(spec, n_vms=20)
+        b = self.build(spec, n_vms=20)
+        assert a == b
+        assert a.events == b.events
+
+    def test_repetitions_get_different_schedules(self):
+        spec = FaultSpec(pm_crashes=3)
+        a = self.build(spec, rep=0)
+        b = self.build(spec, rep=1)
+        assert a.events != b.events
+
+    def test_crashes_paired_with_recoveries(self):
+        schedule = self.build(FaultSpec(pm_crashes=4))
+        crashes = schedule.of_kind("pm_crash")
+        recoveries = schedule.of_kind("pm_recover")
+        assert len(crashes) == len(recoveries) == 4
+        recover_by_pm = {e.target: e.time_s for e in recoveries}
+        for crash in crashes:
+            assert recover_by_pm[crash.target] > crash.time_s
+
+    def test_crash_targets_distinct_when_possible(self):
+        schedule = self.build(FaultSpec(pm_crashes=5))
+        targets = [e.target for e in schedule.of_kind("pm_crash")]
+        assert len(set(targets)) == 5
+        assert all(t in PM_IDS for t in targets)
+
+    def test_crash_times_inside_middle_of_horizon(self):
+        schedule = self.build(FaultSpec(pm_crashes=8))
+        for event in schedule.of_kind("pm_crash"):
+            assert 0.05 * HORIZON <= event.time_s <= 0.95 * HORIZON
+
+    def test_events_sorted_by_time(self):
+        spec = FaultSpec(pm_crashes=3, vm_flaps=4, monitor_dropouts=2)
+        schedule = self.build(spec, n_vms=50)
+        times = [e.time_s for e in schedule.events]
+        assert times == sorted(times)
+
+    def test_flaps_require_vm_population(self):
+        with pytest.raises(ValidationError):
+            self.build(FaultSpec(vm_flaps=1), n_vms=0)
+
+    def test_crashes_require_pm_ids(self):
+        with pytest.raises(ValidationError):
+            self.build(FaultSpec(pm_crashes=1), pm_ids=[])
+
+    def test_describe_counts_kinds(self):
+        schedule = self.build(FaultSpec(pm_crashes=2))
+        assert "pm_crash=2" in schedule.describe()
+        assert len(schedule) == 4  # 2 crashes + 2 recoveries
+
+    def test_empty_spec_gives_empty_schedule(self):
+        schedule = self.build(FaultSpec())
+        assert len(schedule) == 0
+        assert "empty" in schedule.describe()
+
+
+class TestFaultInjector:
+    def test_for_run_none_when_inactive(self):
+        injector = FaultInjector.for_run(
+            FaultSpec(), 2018, 0, horizon_s=HORIZON, pm_ids=PM_IDS
+        )
+        assert injector is None
+
+    def test_for_run_is_policy_agnostic_and_deterministic(self):
+        # The schedule derives from (seed, repetition) only, so every
+        # policy in a repetition faces the same fault sequence.
+        spec = FaultSpec(pm_crashes=2, migration_failure_rate=0.5)
+        a = FaultInjector.for_run(spec, 2018, 1, HORIZON, PM_IDS)
+        b = FaultInjector.for_run(spec, 2018, 1, HORIZON, PM_IDS)
+        assert a.schedule == b.schedule
+        probes = [(300.0, 5), (600.0, 7), (600.0, 5), (900.0, 11)]
+        assert [a.migration_fails(t, vm) for t, vm in probes] == [
+            b.migration_fails(t, vm) for t, vm in probes
+        ]
+
+    def test_draws_are_order_independent(self):
+        spec = FaultSpec(migration_failure_rate=0.5)
+        probes = [(float(t), vm) for t in (300, 600, 900) for vm in range(5)]
+
+        def verdicts(order):
+            injector = FaultInjector.for_run(spec, 7, 0, HORIZON, PM_IDS)
+            return {
+                (t, vm): injector.migration_fails(t, vm)
+                for t, vm in order
+            }
+
+        assert verdicts(probes) == verdicts(list(reversed(probes)))
+
+    def test_zero_rate_never_fails(self):
+        injector = FaultInjector.for_run(
+            FaultSpec(pm_crashes=1), 2018, 0, HORIZON, PM_IDS
+        )
+        assert not any(
+            injector.migration_fails(float(t), 0) for t in range(0, 3600, 300)
+        )
+        assert not any(
+            injector.restart_fails(float(t), 0) for t in range(0, 3600, 300)
+        )
+
+    def test_unit_rate_always_fails(self):
+        spec = FaultSpec(
+            migration_failure_rate=1.0, restart_failure_rate=1.0
+        )
+        injector = FaultInjector.for_run(spec, 2018, 0, HORIZON, PM_IDS)
+        assert injector.migration_fails(300.0, 3)
+        assert injector.restart_fails(300.0, 3)
+
+    def test_spec_property_exposes_schedule_spec(self):
+        spec = FaultSpec(pm_crashes=1)
+        injector = FaultInjector.for_run(spec, 2018, 0, HORIZON, PM_IDS)
+        assert injector.spec == spec
+
+    def test_hand_built_schedule_accepted(self):
+        # Tests drive exact scenarios through hand-written schedules.
+        events = (
+            FaultEvent("pm_crash", 100.0, target=0),
+            FaultEvent("pm_recover", 200.0, target=0),
+        )
+        schedule = FaultSchedule(
+            spec=FaultSpec(pm_crashes=1), horizon_s=HORIZON, events=events
+        )
+        injector = FaultInjector(schedule, RngFactory(1).spawn("draws"))
+        assert injector.schedule.of_kind("pm_crash")[0].target == 0
+        assert set(FAULT_KINDS) >= {e.kind for e in events}

@@ -1,0 +1,128 @@
+"""Property-based tests: fault injection preserves system invariants.
+
+Whatever crash/recover/flap sequence strikes, the datacenter must audit
+clean against the MIP constraints (1)-(11) afterwards, the resilience
+accounting must balance, and the run must serialize through the
+checkpoint wire format without losing a bit.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.invariants import audit_simulation
+from repro.baselines import FirstFitPolicy, MinimumMigrationTimeSelector
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.machine import PhysicalMachine
+from repro.cluster.simulation import CloudSimulation, SimulationConfig
+from repro.cluster.vm import VirtualMachine
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.experiments.checkpoint import result_from_dict, result_to_dict
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule, FaultSpec
+from repro.traces.base import ConstantTrace
+from repro.util.rng import RngFactory
+
+TOY = MachineShape(groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),))
+TYPES = (
+    VMType(name="vm1", demands=((1,),)),
+    VMType(name="vm2", demands=((1, 1),)),
+    VMType(name="vm4", demands=((1, 1, 1, 1),)),
+)
+
+HORIZON = 3600.0
+N_PMS = 4
+N_VMS = 8
+
+
+@st.composite
+def fault_schedules(draw):
+    """Arbitrary (even adversarial) crash/recover/flap sequences.
+
+    Recoveries without a preceding crash and crashes of already-crashed
+    PMs are deliberately allowed — the runtime must shrug them off.
+    """
+    events = []
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        kind = draw(st.sampled_from(["pm_crash", "pm_recover", "vm_flap"]))
+        time_s = draw(st.floats(min_value=1.0, max_value=HORIZON - 1.0))
+        if kind == "vm_flap":
+            events.append(FaultEvent(
+                kind, time_s,
+                target=draw(st.integers(0, N_VMS - 1)),
+                duration_s=draw(st.floats(min_value=1.0, max_value=HORIZON)),
+            ))
+        else:
+            events.append(FaultEvent(
+                kind, time_s, target=draw(st.integers(0, N_PMS - 1))
+            ))
+    events.sort(key=lambda e: e.time_s)
+    vm_picks = draw(st.lists(
+        st.integers(0, len(TYPES) - 1), min_size=N_VMS, max_size=N_VMS
+    ))
+    return tuple(events), tuple(vm_picks)
+
+
+def run_with(events, vm_picks, seed=11):
+    datacenter = Datacenter(
+        [PhysicalMachine(i, TOY, type_name="M3") for i in range(N_PMS)]
+    )
+    schedule = FaultSchedule(
+        spec=FaultSpec(pm_crashes=1), horizon_s=HORIZON, events=events
+    )
+    injector = FaultInjector(schedule, RngFactory(seed).spawn("fault-draws"))
+    simulation = CloudSimulation(
+        datacenter,
+        FirstFitPolicy(),
+        MinimumMigrationTimeSelector(),
+        SimulationConfig(duration_s=HORIZON, monitor_interval_s=300.0),
+        faults=injector,
+    )
+    vms = [
+        VirtualMachine(i, TYPES[pick], ConstantTrace(0.3))
+        for i, pick in enumerate(vm_picks)
+    ]
+    result = simulation.run(vms)
+    return datacenter, result
+
+
+class TestFaultInvariants:
+    @given(fault_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_audit_clean_after_any_fault_schedule(self, case):
+        events, vm_picks = case
+        datacenter, result = run_with(events, vm_picks)
+
+        # C1-C11 hold on the final state, with the lost placements
+        # accounted for rather than silently tolerated.
+        audit_simulation(datacenter, result).raise_if_failed()
+
+        # The resilience ledger balances: everything displaced was
+        # either restored or charged as lost at the horizon.
+        metrics = result.resilience
+        assert metrics.vms_displaced == (
+            metrics.vms_restored + metrics.placements_lost
+        )
+        assert metrics.pm_recoveries <= metrics.pm_crashes + len(
+            [e for e in events if e.kind == "pm_recover"]
+        )
+        assert metrics.vm_downtime_s >= 0.0
+        assert all(gap >= 0.0 for gap in metrics.recovery_time_s)
+        assert metrics.audit_violations == 0
+
+        # No VM ended up hosted on a crashed PM.
+        for machine in datacenter.machines:
+            if machine.is_failed:
+                assert machine.n_vms == 0
+
+    @given(fault_schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_faulted_runs_deterministic_and_serializable(self, case):
+        events, vm_picks = case
+        _, first = run_with(events, vm_picks)
+        _, second = run_with(events, vm_picks)
+        assert first == second
+
+        # Checkpoint wire format round-trips the result bit-for-bit.
+        wire = json.loads(json.dumps(result_to_dict(first)))
+        assert result_from_dict(wire) == first

@@ -25,6 +25,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["optimize"])
 
+    def test_simulate_fault_flags(self):
+        args = build_parser().parse_args([
+            "simulate", "--faults", "pm-crash=1,mig-fail=0.1",
+            "--checkpoint", "ck.json", "--resume",
+            "--retries", "5", "--cell-timeout", "30",
+        ])
+        assert args.faults == "pm-crash=1,mig-fail=0.1"
+        assert args.checkpoint == "ck.json"
+        assert args.resume is True
+        assert args.retries == 5
+        assert args.cell_timeout == 30.0
+
+    def test_simulate_fault_flags_default_off(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.faults is None
+        assert args.checkpoint is None
+        assert args.resume is False
+
 
 class TestRankCommand:
     def test_prints_ranking(self, capsys):
@@ -174,3 +192,36 @@ class TestSimulateAuditFlag:
         )
         assert code == 0
         assert "FF" in capsys.readouterr().out
+
+
+class TestSimulateFaults:
+    def test_faulted_simulate_reports_resilience(self, capsys):
+        code = main(
+            ["simulate", "--vms", "15", "--policies", "FF",
+             "--repetitions", "1", "--faults", "pm-crash=1", "--audit"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "down_s" in out
+        assert "lost" in out
+
+    def test_bad_fault_spec_rejected(self):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError, match="bad fault spec"):
+            main(
+                ["simulate", "--vms", "10", "--policies", "FF",
+                 "--repetitions", "1", "--faults", "pm-explode=1"]
+            )
+
+    def test_checkpoint_and_resume_reproduce_output(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.json")
+        base_args = [
+            "simulate", "--vms", "15", "--policies", "FF",
+            "--repetitions", "1", "--checkpoint", ck,
+        ]
+        assert main(base_args) == 0
+        first = capsys.readouterr().out
+        assert main(base_args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second

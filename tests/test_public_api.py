@@ -21,6 +21,8 @@ PACKAGES = [
     "repro.network",
     "repro.model",
     "repro.experiments",
+    "repro.faults",
+    "repro.analysis",
     "repro.util",
 ]
 
