@@ -8,14 +8,17 @@ trajectory::
 Each entry records ops/sec for the kernels that dominate evaluation
 wall-clock — the PageRank power iteration on an EC2-scale graph, snap
 lookups against the EC2 score table, one Algorithm 2 placement decision
-over a fleet — plus end-to-end :func:`run_experiment` wall-clock at
-``workers=1`` and ``workers=cpu_count`` (with a bit-identical-results
-check between the two).  Future PRs append entries, so the file reads as
-a perf trajectory across the repo's history.
+over a fleet — plus graph-construction wall-clock on the EC2-scale
+workload (serial, parallel, and a cache reload) and end-to-end
+:func:`run_experiment` wall-clock at ``workers=1`` and
+``workers=cpu_count`` (with a bit-identical-results check between the
+two).  Future PRs append entries, so the file reads as a perf trajectory
+across the repo's history.
 
-The seed (pre-optimization) PageRank implementation is kept here verbatim
-as :func:`seed_profile_pagerank` so the speedup of the sparse kernel stays
-measurable against a fixed reference.
+The seed (pre-optimization) implementations are kept here verbatim —
+:func:`seed_profile_pagerank` for the PageRank kernel and
+:func:`seed_build_profile_graph` for graph construction — so speedups
+stay measurable against fixed references.
 """
 
 from __future__ import annotations
@@ -24,10 +27,12 @@ import argparse
 import json
 import os
 import statistics
+import tempfile
 import time
+from collections import deque
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +41,7 @@ from repro.cluster.simulation import SimulationConfig
 from repro.core.graph import ProfileGraph, SuccessorStrategy, build_profile_graph
 from repro.core.pagerank import profile_pagerank
 from repro.core.placement import PageRankVMPolicy
+from repro.core.profile import MachineShape, ResourceGroup, Usage, VMType
 from repro.core.score_table import ScoreTable, build_score_table
 from repro.experiments.config import ExperimentConfig, WorkloadSpec
 from repro.experiments.runner import run_experiment
@@ -113,6 +119,111 @@ def seed_profile_pagerank(
         if delta < epsilon:
             break
     return pr * seed_compute_bpru(graph), iterations
+
+
+def _seed_canonical_group(
+    group: ResourceGroup, usage: Sequence[int]
+) -> Tuple[int, ...]:
+    """Seed repo's per-call group canonicalization (no memoization)."""
+    values = list(usage)
+    start = 0
+    caps = group.capacities
+    while start < len(caps):
+        end = start
+        while end < len(caps) and caps[end] == caps[start]:
+            end += 1
+        values[start:end] = sorted(values[start:end])
+        start = end
+    return tuple(values)
+
+
+def _seed_balanced_group_usage(
+    group: ResourceGroup, usage: Sequence[int], chunks: Sequence[int]
+):
+    """Seed repo's ``balanced_group_placement``, reduced to the new usage
+    (the BFS only consumes ``new_usage``; assignment tuples are dropped).
+    """
+    live = sorted((c for c in chunks if c > 0), reverse=True)
+    if not live:
+        return _seed_canonical_group(group, usage)
+    if not group.anti_collocation:
+        total = sum(live)
+        if usage[0] + total > group.capacities[0]:
+            return None
+        return (usage[0] + total,)
+    if len(live) > group.n_units:
+        return None
+    order = sorted(
+        range(group.n_units),
+        key=lambda i: (usage[i] - group.capacities[i], usage[i], i),
+    )
+    new_usage = list(usage)
+    for chunk, idx in zip(live, order):
+        if usage[idx] + chunk > group.capacities[idx]:
+            return None
+        new_usage[idx] = usage[idx] + chunk
+    return _seed_canonical_group(group, new_usage)
+
+
+def _seed_balanced_usage(shape: MachineShape, usage: Usage, vm: VMType):
+    """Seed repo's ``balanced_placement``, reduced to the new usage."""
+    if len(vm.demands) != shape.n_groups:
+        return None
+    usages: List[Tuple[int, ...]] = []
+    for group, group_usage, chunk_set in zip(shape.groups, usage, vm.demands):
+        placed = _seed_balanced_group_usage(group, group_usage, chunk_set)
+        if placed is None:
+            return None
+        usages.append(placed)
+    return tuple(usages)
+
+
+def seed_build_profile_graph(
+    shape: MachineShape,
+    vm_types: Sequence[VMType],
+    node_limit: int = 1_000_000,
+) -> ProfileGraph:
+    """The seed repo's graph builder, kept verbatim as the fixed baseline
+    the interned/memoized builder's speedup is measured against: tuple
+    hashing for node lookup, per-call group canonicalization with no
+    placement memoization, and a single-process deque BFS.  Restricted to
+    the BALANCED strategy in reachable mode — the harness workload.
+    """
+    vm_types = tuple(vm_types)
+    empty = shape.empty_usage()
+    index = {empty: 0}
+    profiles: List[Usage] = [empty]
+    succ_map: Dict[int, Tuple[int, ...]] = {}
+    frontier = deque([0])
+    while frontier:
+        node = frontier.popleft()
+        seen: Dict[Usage, None] = {}
+        for vm in vm_types:
+            succ_usage = _seed_balanced_usage(shape, profiles[node], vm)
+            if succ_usage is not None:
+                seen.setdefault(succ_usage)
+        succ_ids: List[int] = []
+        for succ_usage in seen:
+            succ_id = index.get(succ_usage)
+            if succ_id is None:
+                if len(profiles) >= node_limit:
+                    raise RuntimeError(
+                        f"seed BFS exceeded node_limit={node_limit}"
+                    )
+                succ_id = len(profiles)
+                index[succ_usage] = succ_id
+                profiles.append(succ_usage)
+                frontier.append(succ_id)
+            succ_ids.append(succ_id)
+        succ_map[node] = tuple(sorted(set(succ_ids)))
+    return ProfileGraph(
+        shape=shape,
+        vm_types=vm_types,
+        strategy=SuccessorStrategy.BALANCED,
+        profiles=profiles,
+        successors=[succ_map[i] for i in range(len(profiles))],
+        _index=index,
+    )
 
 
 def ec2_scale_graph() -> ProfileGraph:
@@ -226,6 +337,89 @@ def measure_kernels(
     return metrics
 
 
+def measure_graph_build(
+    repeats: int = 3,
+    with_seed_baseline: bool = True,
+    jobs: Optional[int] = None,
+) -> Dict[str, object]:
+    """Graph-construction metrics on the EC2-scale workload.
+
+    Times the interned/memoized serial builder from cold placement memos
+    (the honest first-build cost), the process-pool builder at
+    ``jobs=cpu_count``, and a reload from the on-disk graph cache; when
+    the seed baseline is enabled, also times the seed repo's builder and
+    reports the speedup plus a node/edge identity check against it.
+    """
+    from repro.core import permutations
+    from repro.core.graph_cache import load_or_build_profile_graph
+
+    shape = ec2_pm_shape("M3")
+    metrics: Dict[str, object] = {}
+
+    def cold_serial() -> ProfileGraph:
+        permutations.clear_group_memos()
+        return build_profile_graph(
+            shape, EC2_VM_TYPES,
+            strategy=SuccessorStrategy.BALANCED, mode="reachable",
+        )
+
+    serial_wall = _best_of(cold_serial, repeats)
+    serial = cold_serial()
+    metrics["graph_build_wall_s"] = serial_wall
+    metrics["graph_build_nodes_per_s"] = serial.n_nodes / serial_wall
+
+    if with_seed_baseline:
+        seed_start = time.perf_counter()
+        seed_graph = seed_build_profile_graph(shape, EC2_VM_TYPES)
+        seed_wall = time.perf_counter() - seed_start
+        metrics["graph_build_seed_wall_s"] = seed_wall
+        metrics["graph_build_speedup_vs_seed"] = seed_wall / serial_wall
+        metrics["graph_build_matches_seed"] = (
+            seed_graph.profiles == serial.profiles
+            and seed_graph.successors == serial.successors
+        )
+
+    n_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    if n_jobs > 1:
+        def cold_parallel() -> ProfileGraph:
+            permutations.clear_group_memos()
+            return build_profile_graph(
+                shape, EC2_VM_TYPES,
+                strategy=SuccessorStrategy.BALANCED, mode="reachable",
+                jobs=n_jobs,
+            )
+
+        parallel_start = time.perf_counter()
+        parallel = cold_parallel()
+        metrics["graph_build_parallel_wall_s"] = (
+            time.perf_counter() - parallel_start
+        )
+        metrics["graph_build_parallel_jobs"] = n_jobs
+        metrics["graph_build_parallel_identical"] = (
+            parallel.profiles == serial.profiles
+            and parallel.successors == serial.successors
+        )
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        load_or_build_profile_graph(  # populate the cache
+            shape, EC2_VM_TYPES,
+            strategy=SuccessorStrategy.BALANCED, mode="reachable",
+            cache_dir=cache_dir,
+        )
+        start = time.perf_counter()
+        cached = load_or_build_profile_graph(
+            shape, EC2_VM_TYPES,
+            strategy=SuccessorStrategy.BALANCED, mode="reachable",
+            cache_dir=cache_dir,
+        )
+        metrics["graph_cache_load_wall_s"] = time.perf_counter() - start
+        metrics["graph_cache_load_identical"] = (
+            cached.profiles == serial.profiles
+            and cached.successors == serial.successors
+        )
+    return metrics
+
+
 def measure_end_to_end(
     workers_grid: Optional[List[int]] = None,
     table_cache_dir: Optional[str] = None,
@@ -293,6 +487,12 @@ def run_harness(
     entry.update(
         measure_kernels(
             graph, table,
+            repeats=1 if quick else 3,
+            with_seed_baseline=not quick,
+        )
+    )
+    entry.update(
+        measure_graph_build(
             repeats=1 if quick else 3,
             with_seed_baseline=not quick,
         )

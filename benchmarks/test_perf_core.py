@@ -14,7 +14,12 @@ import time
 import numpy as np
 import pytest
 
-from perf_harness import ec2_scale_graph, off_graph_usages, seed_profile_pagerank
+from perf_harness import (
+    ec2_scale_graph,
+    off_graph_usages,
+    seed_build_profile_graph,
+    seed_profile_pagerank,
+)
 from repro.cluster.ec2 import EC2_VM_TYPES, ec2_pm_shape
 from repro.cluster.machine import PhysicalMachine
 from repro.core.graph import SuccessorStrategy, build_profile_graph
@@ -112,6 +117,58 @@ def test_perf_ec2_pagerank_speedup_vs_seed(ec2_graph):
     print(f"\nEC2 pagerank: seed {seed_wall:.3f}s, "
           f"kernel {new_wall:.3f}s, speedup {speedup:.1f}x")
     assert speedup >= 3.0
+
+
+def test_perf_ec2_graph_build_speedup_vs_seed():
+    # Acceptance bar for the interned/memoized builder: >= 3x over the
+    # seed's tuple-hashing, memo-free BFS on the EC2-scale workload
+    # (the headline serial speedup is ~10x; 3x leaves CI headroom).
+    from repro.core import permutations
+
+    shape = ec2_pm_shape("M3")
+
+    def cold_build():
+        # Clear the placement memos so every repeat pays the honest
+        # first-build cost, not a warm-cache replay.
+        permutations.clear_group_memos()
+        return build_profile_graph(
+            shape, EC2_VM_TYPES,
+            strategy=SuccessorStrategy.BALANCED, mode="reachable",
+        )
+
+    new_wall = _median_wall(cold_build)
+    start = time.perf_counter()
+    seed_graph = seed_build_profile_graph(shape, EC2_VM_TYPES)
+    seed_wall = time.perf_counter() - start
+    new_graph = cold_build()
+    assert new_graph.profiles == seed_graph.profiles
+    assert new_graph.successors == seed_graph.successors
+    speedup = seed_wall / new_wall
+    print(f"\nEC2 graph build: seed {seed_wall:.3f}s, "
+          f"new {new_wall:.3f}s, speedup {speedup:.1f}x")
+    assert speedup >= 3.0
+
+
+def test_perf_ec2_graph_build_parallel_identical():
+    # The process-pool builder must reproduce the serial graph bit for
+    # bit at benchmark scale, not just on toy shapes.
+    from repro.core import permutations
+
+    shape = ec2_pm_shape("M3")
+    permutations.clear_group_memos()
+    serial = build_profile_graph(
+        shape, EC2_VM_TYPES,
+        strategy=SuccessorStrategy.BALANCED, mode="reachable",
+    )
+    parallel = build_profile_graph(
+        shape, EC2_VM_TYPES,
+        strategy=SuccessorStrategy.BALANCED, mode="reachable", jobs=4,
+    )
+    assert parallel.profiles == serial.profiles
+    assert parallel.successors == serial.successors
+    np.testing.assert_array_equal(
+        parallel.packed_profiles(), serial.packed_profiles()
+    )
 
 
 def test_perf_ec2_pagerank_iteration(benchmark, ec2_graph):

@@ -8,6 +8,9 @@ Commands:
 * ``figures``   — regenerate one of the paper's figures as a text table.
 * ``exact``     — solve a small random instance exactly and report
   heuristic gaps.
+* ``graph``     — build (and cache) profile graphs for EC2 PM shapes;
+  ``graph build --jobs N --graph-cache DIR`` exercises the parallel
+  frontier BFS and the on-disk graph cache directly.
 * ``lint``      — run the domain-aware static linter (PRV rules) over
   source trees.
 * ``audit``     — replay a saved artifact (score table or placements)
@@ -67,7 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--table-cache", metavar="DIR", default=None,
         help="directory for the on-disk score-table cache, shared across "
-             "runs and worker processes (default: $REPRO_TABLE_CACHE)")
+             "runs and worker processes (default: $REPRO_TABLE_CACHE); "
+             "cached profile graphs live in its graphs/ subdirectory")
+    simulate.add_argument(
+        "--graph-jobs", type=int, default=1,
+        help="worker processes for building any profile graph a score-"
+             "table miss requires; bit-identical to 1 (default)")
     simulate.add_argument(
         "--audit", action="store_true",
         help="validate every run's final placements against the MIP "
@@ -130,6 +138,34 @@ def build_parser() -> argparse.ArgumentParser:
     exact.add_argument("--vms", type=int, default=8)
     exact.add_argument("--pms", type=int, default=5)
     exact.add_argument("--seed", type=int, default=2018)
+
+    graph = sub.add_parser(
+        "graph", help="build (and cache) profile graphs"
+    )
+    graph_sub = graph.add_subparsers(dest="graph_command", required=True)
+    graph_build = graph_sub.add_parser(
+        "build", help="construct the profile graph for EC2 PM shapes"
+    )
+    graph_build.add_argument(
+        "--pm", nargs="+", default=["M3"], metavar="SHAPE",
+        help="EC2 PM shape names to build graphs for (default: M3)")
+    graph_build.add_argument(
+        "--strategy", choices=("balanced", "all"), default="balanced",
+        help="successor strategy (default: balanced, as in the EC2 "
+             "simulations)")
+    graph_build.add_argument(
+        "--mode", choices=("reachable", "full"), default="reachable")
+    graph_build.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the parallel frontier BFS; 0 means "
+             "one per CPU.  Output is bit-identical to --jobs 1")
+    graph_build.add_argument(
+        "--graph-cache", metavar="DIR", default=None,
+        help="on-disk graph cache directory: load the graph from it when "
+             "present, store the built graph into it otherwise")
+    graph_build.add_argument(
+        "--node-limit", type=int, default=1_000_000,
+        help="abort once the graph would exceed this many nodes")
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static linter (PRV rules)"
@@ -215,6 +251,7 @@ def _cmd_simulate(args) -> int:
         retry=retry,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        graph_jobs=args.graph_jobs,
     )
     header = f"{'policy':12s} {'PMs':>8s} {'kWh':>10s} {'migr':>8s} {'SLO':>8s}"
     if faults_active:
@@ -326,6 +363,41 @@ def _cmd_exact(args) -> int:
     return 0
 
 
+def _cmd_graph(args) -> int:
+    import os
+    import time
+
+    from repro.cluster.ec2 import EC2_VM_TYPES, ec2_pm_shape
+    from repro.core.graph import SuccessorStrategy
+    from repro.core.graph_cache import cache_events, load_or_build_profile_graph
+
+    strategy = {
+        "balanced": SuccessorStrategy.BALANCED,
+        "all": SuccessorStrategy.ALL_PLACEMENTS,
+    }[args.strategy]
+    jobs = args.jobs or (os.cpu_count() or 1)
+    print(f"{'shape':8s} {'nodes':>10s} {'edges':>10s} {'seconds':>9s} "
+          f"{'source':>7s}")
+    for pm_name in args.pm:
+        shape = ec2_pm_shape(pm_name)
+        before = cache_events()["hits"]
+        start = time.perf_counter()
+        built = load_or_build_profile_graph(
+            shape,
+            EC2_VM_TYPES,
+            strategy=strategy,
+            mode=args.mode,
+            node_limit=args.node_limit,
+            jobs=jobs,
+            cache_dir=args.graph_cache,
+        )
+        elapsed = time.perf_counter() - start
+        source = "cache" if cache_events()["hits"] > before else "built"
+        print(f"{pm_name:8s} {built.n_nodes:10d} {built.n_edges:10d} "
+              f"{elapsed:9.2f} {source:>7s}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import RULES, lint_paths
 
@@ -384,6 +456,7 @@ _COMMANDS = {
     "testbed": _cmd_testbed,
     "figures": _cmd_figures,
     "exact": _cmd_exact,
+    "graph": _cmd_graph,
     "lint": _cmd_lint,
     "audit": _cmd_audit,
 }

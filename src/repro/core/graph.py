@@ -19,18 +19,41 @@ Two successor strategies:
 * :attr:`SuccessorStrategy.BALANCED` — one edge per VM type via the
   deterministic least-loaded packing (scalable approximation, see
   DESIGN.md section 3.2).
+
+Construction is built on three layers (DESIGN.md section 3.9):
+
+* per-group usages are interned into small integer ids, so a machine
+  usage is a tuple of a few ints (a *combo*) and BFS dedup is combo
+  hashing instead of nested-tuple hashing;
+* group-level placement results come from the bounded memo tables in
+  :mod:`repro.core.permutations` and compose into full successors via
+  cheap id products;
+* ``build_profile_graph(..., jobs=N)`` fans each BFS level over a
+  process pool and merges worker shards deterministically — node ids,
+  successor sets and therefore every downstream score are bit-identical
+  to the serial build.
 """
 
 from __future__ import annotations
 
 import enum
-from collections import deque
+import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.core import permutations
+from repro.core.interning import UsageInterner, packed_dtype_for
 from repro.core.profile import (
     MachineShape,
     Profile,
@@ -147,6 +170,42 @@ class ProfileGraph:
 
         return self.memo("flat_profiles", build)
 
+    def packed_profiles(self) -> np.ndarray:
+        """All profiles as a packed unsigned (n_nodes, n_dimensions) matrix.
+
+        The dtype is the smallest unsigned type covering the shape's unit
+        capacities (see :func:`repro.core.interning.packed_dtype_for`), so
+        this is the compact wire/disk format used by the graph cache.
+        Row order is node-id order.
+        """
+        return self.memo(
+            "packed_profiles",
+            lambda: self.flat_profiles().astype(packed_dtype_for(self.shape)),
+        )
+
+    def successor_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The adjacency in CSR form: ``(indptr, indices)`` int64 arrays.
+
+        ``indices[indptr[i]:indptr[i + 1]]`` are node ``i``'s successor
+        ids, sorted ascending (the order of :attr:`successors`).
+        """
+
+        def build() -> Tuple[np.ndarray, np.ndarray]:
+            out_deg = np.fromiter(
+                (len(s) for s in self.successors), dtype=np.int64,
+                count=self.n_nodes,
+            )
+            indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
+            np.cumsum(out_deg, out=indptr[1:])
+            indices = np.fromiter(
+                (d for succ in self.successors for d in succ),
+                dtype=np.int64,
+                count=int(out_deg.sum()),
+            )
+            return indptr, indices
+
+        return self.memo("successor_csr", build)
+
     def total_units_array(self) -> np.ndarray:
         """Total used units per node (the topological level of each node)."""
         return self.memo(
@@ -261,23 +320,396 @@ class ProfileGraph:
         return self.memo("reverse_level_schedule", build)
 
 
-def _successor_usages(
+# A machine usage interned as one small-int id per group.
+_Combo = Tuple[int, ...]
+
+
+class _SuccessorEngine:
+    """Successor generation over per-group interned usage ids.
+
+    One engine serves one ``(shape, vm_types, strategy)`` build.  Every
+    distinct per-group usage tuple gets a dense *gid*; a machine usage is
+    then a combo of gids, and successor enumeration composes per-group
+    results by id product:
+
+    * group-level placements come from the shared bounded memos in
+      :mod:`repro.core.permutations` (hit on the first distinct state);
+    * on top of that, a per-``(vm, group)`` dict maps a parent gid
+      straight to its successor gids, so steady-state successor
+      generation touches only int-keyed dicts — no usage tuples, no
+      re-hashing of group states.
+
+    Successor order exactly reproduces the legacy builder: VM types in
+    declaration order, placements in enumeration order (last group
+    varies fastest), deduplicated on first occurrence — which is what
+    keeps node ids, and every float reduction downstream, bit-identical
+    across builder generations.
+    """
+
+    __slots__ = (
+        "shape", "vm_types", "strategy", "_groups", "_n_groups", "_memos",
+        "_lives", "_gids", "_gusages", "_balanced", "_options", "_dtype",
+        "_n_dims",
+    )
+
+    def __init__(
+        self,
+        shape: MachineShape,
+        vm_types: Sequence[VMType],
+        strategy: SuccessorStrategy,
+    ):
+        self.shape = shape
+        self.vm_types = tuple(vm_types)
+        self.strategy = strategy
+        self._groups = tuple(shape.groups)
+        self._n_groups = len(self._groups)
+        self._memos = tuple(permutations.group_memo(g) for g in self._groups)
+        self._lives = tuple(
+            tuple(permutations.live_chunks(chunks) for chunks in vm.demands)
+            for vm in self.vm_types
+        )
+        self._gids: List[Dict[Tuple[int, ...], int]] = [
+            {} for _ in self._groups
+        ]
+        self._gusages: List[List[Tuple[int, ...]]] = [[] for _ in self._groups]
+        # Per (vm, group): parent gid -> successor gid(s).  Plain
+        # int-keyed dicts; the VM's demand multiset is fixed per slot.
+        self._balanced: List[List[Dict[int, Optional[int]]]] = [
+            [{} for _ in self._groups] for _ in self.vm_types
+        ]
+        self._options: List[List[Dict[int, Tuple[int, ...]]]] = [
+            [{} for _ in self._groups] for _ in self.vm_types
+        ]
+        self._dtype = packed_dtype_for(shape)
+        self._n_dims = shape.n_dimensions
+
+    def _gid(self, g: int, usage: Tuple[int, ...]) -> int:
+        ids = self._gids[g]
+        gid = ids.get(usage)
+        if gid is None:
+            usages = self._gusages[g]
+            gid = len(usages)
+            ids[usage] = gid
+            usages.append(usage)
+        return gid
+
+    def combo_of(self, usage: Usage) -> _Combo:
+        """Intern a machine usage into its per-group id combo."""
+        return tuple(self._gid(g, u) for g, u in enumerate(usage))
+
+    def usage_of(self, combo: _Combo) -> Usage:
+        """Reconstruct the canonical usage of a combo."""
+        gusages = self._gusages
+        return tuple(gusages[g][gid] for g, gid in enumerate(combo))
+
+    def successor_combos(self, combo: _Combo) -> List[_Combo]:
+        """Distinct successor combos of ``combo``, in discovery order."""
+        seen: Dict[_Combo, None] = {}
+        groups = self._groups
+        gusages = self._gusages
+        memos = self._memos
+        if self.strategy is SuccessorStrategy.BALANCED:
+            for vi in range(len(self.vm_types)):
+                caches = self._balanced[vi]
+                lives = self._lives[vi]
+                succ: List[int] = []
+                feasible = True
+                for g, gid in enumerate(combo):
+                    cache = caches[g]
+                    if gid in cache:
+                        sgid = cache[gid]
+                    else:
+                        placed = memos[g].balanced(
+                            groups[g], gusages[g][gid], lives[g]
+                        )
+                        sgid = (
+                            None
+                            if placed is None
+                            else self._gid(g, placed.new_usage)
+                        )
+                        cache[gid] = sgid
+                    if sgid is None:
+                        feasible = False
+                        break
+                    succ.append(sgid)
+                if feasible:
+                    seen.setdefault(tuple(succ))
+            return list(seen)
+
+        for vi in range(len(self.vm_types)):
+            caches = self._options[vi]
+            lives = self._lives[vi]
+            per_group: List[Tuple[int, ...]] = []
+            feasible = True
+            for g, gid in enumerate(combo):
+                cache = caches[g]
+                opts = cache.get(gid)
+                if opts is None:
+                    placements = memos[g].enumerated(
+                        groups[g], gusages[g][gid], lives[g]
+                    )
+                    opts = tuple(
+                        self._gid(g, p.new_usage) for p in placements
+                    )
+                    cache[gid] = opts
+                if not opts:
+                    feasible = False
+                    break
+                per_group.append(opts)
+            if feasible:
+                for succ_combo in itertools.product(*per_group):
+                    seen.setdefault(succ_combo)
+        return list(seen)
+
+    def successor_usages(self, usage: Usage) -> List[Usage]:
+        """Distinct successor usages of a usage, in discovery order."""
+        return [
+            self.usage_of(c) for c in self.successor_combos(self.combo_of(usage))
+        ]
+
+    def pack_combos(self, combos: Sequence[_Combo]) -> np.ndarray:
+        """Flatten combos into a packed (len(combos), n_dims) matrix."""
+        gusages = self._gusages
+        flat = np.fromiter(
+            (
+                u
+                for combo in combos
+                for g, gid in enumerate(combo)
+                for u in gusages[g][gid]
+            ),
+            dtype=self._dtype,
+            count=len(combos) * self._n_dims,
+        )
+        return flat.reshape(len(combos), self._n_dims)
+
+
+# Per-process engine for pool workers; set once by _worker_init and
+# reused across every level the worker serves, so group memos and
+# gid->gid successor caches survive between levels.
+_WORKER_ENGINE: Optional[_SuccessorEngine] = None
+
+
+def _worker_init(
     shape: MachineShape,
-    usage: Usage,
-    vm_types: Sequence[VMType],
+    vm_types: Tuple[VMType, ...],
     strategy: SuccessorStrategy,
+) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = _SuccessorEngine(shape, vm_types, strategy)
+
+
+def _worker_expand(
+    usages: List[Usage],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand a contiguous shard of one BFS level.
+
+    Returns per-node successor counts plus all successor usages as one
+    packed matrix, rows in (node, discovery) order — the parent merge
+    walks them in shard order, which reproduces the serial id sequence.
+    """
+    engine = _WORKER_ENGINE
+    assert engine is not None, "worker pool not initialized"
+    counts = np.empty(len(usages), dtype=np.int64)
+    all_combos: List[_Combo] = []
+    for i, usage in enumerate(usages):
+        combos = engine.successor_combos(engine.combo_of(usage))
+        counts[i] = len(combos)
+        all_combos.extend(combos)
+    return counts, engine.pack_combos(all_combos)
+
+
+def _chunked(items: List[Any], n_chunks: int) -> List[List[Any]]:
+    """Split into at most ``n_chunks`` contiguous, order-preserving runs."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size, extra = divmod(len(items), n_chunks)
+    chunks: List[List[Any]] = []
+    start = 0
+    for i in range(n_chunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def _reachable_limit_error(node_limit: int) -> GraphLimitExceeded:
+    return GraphLimitExceeded(
+        f"reachable profile graph exceeded node_limit="
+        f"{node_limit}; coarsen the quantizers or use "
+        f"SuccessorStrategy.BALANCED"
+    )
+
+
+def _build_reachable_serial(
+    shape: MachineShape,
+    vm_types: Tuple[VMType, ...],
+    strategy: SuccessorStrategy,
+    node_limit: int,
+) -> ProfileGraph:
+    """FIFO BFS from the empty profile over interned combos."""
+    engine = _SuccessorEngine(shape, vm_types, strategy)
+    root = engine.combo_of(shape.empty_usage())
+    combo_ids: Dict[_Combo, int] = {root: 0}
+    combos: List[_Combo] = [root]
+    successors: List[Tuple[int, ...]] = []
+    node = 0
+    while node < len(combos):
+        succ_ids: List[int] = []
+        for succ_combo in engine.successor_combos(combos[node]):
+            succ_id = combo_ids.get(succ_combo)
+            if succ_id is None:
+                if len(combos) >= node_limit:
+                    raise _reachable_limit_error(node_limit)
+                succ_id = len(combos)
+                combo_ids[succ_combo] = succ_id
+                combos.append(succ_combo)
+            succ_ids.append(succ_id)
+        successors.append(tuple(sorted(succ_ids)))
+        node += 1
+    return ProfileGraph(
+        shape=shape,
+        vm_types=vm_types,
+        strategy=strategy,
+        profiles=[engine.usage_of(c) for c in combos],
+        successors=successors,
+    )
+
+
+def _build_reachable_parallel(
+    shape: MachineShape,
+    vm_types: Tuple[VMType, ...],
+    strategy: SuccessorStrategy,
+    node_limit: int,
+    jobs: int,
+) -> ProfileGraph:
+    """Level-synchronous BFS fanned over a process pool.
+
+    The serial FIFO processes nodes in id order, and every node of level
+    ``k`` has a smaller id than every node of level ``k + 1`` — so
+    expanding whole levels and merging shards in (shard, node,
+    discovery) order assigns exactly the serial ids.  Workers return
+    packed rows; the parent dedups them against the interner, whose row
+    order therefore *is* the node-id order.
+    """
+    interner = UsageInterner(shape)
+    root = shape.empty_usage()
+    interner.intern(root)
+    successors: List[Tuple[int, ...]] = []
+    level_usages: List[Usage] = [root]
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_worker_init,
+        initargs=(shape, vm_types, strategy),
+    ) as pool:
+        while level_usages:
+            shards = pool.map(
+                _worker_expand, _chunked(level_usages, jobs * 4)
+            )
+            next_usages: List[Usage] = []
+            for counts, packed in shards:
+                pos = 0
+                for count in counts:
+                    succ_ids: List[int] = []
+                    for row in range(pos, pos + count):
+                        succ_id = interner.lookup_packed(packed[row])
+                        if succ_id is None:
+                            if len(interner) >= node_limit:
+                                raise _reachable_limit_error(node_limit)
+                            succ_id = interner.intern_packed(packed[row])
+                            next_usages.append(interner.usage(succ_id))
+                        succ_ids.append(succ_id)
+                    successors.append(tuple(sorted(succ_ids)))
+                    pos += count
+            level_usages = next_usages
+    graph = ProfileGraph(
+        shape=shape,
+        vm_types=vm_types,
+        strategy=strategy,
+        profiles=interner.usages(),
+        successors=successors,
+    )
+    graph.memo("packed_profiles", lambda: interner.matrix().copy())
+    return graph
+
+
+def _full_profiles(
+    shape: MachineShape, node_limit: int
 ) -> List[Usage]:
-    """Distinct canonical successors of ``usage`` over all VM types."""
-    seen: Dict[Usage, None] = {}
-    for vm in vm_types:
-        if strategy is SuccessorStrategy.ALL_PLACEMENTS:
-            for placement in permutations.enumerate_placements(shape, usage, vm):
-                seen.setdefault(placement.new_usage)
-        else:
-            placement = permutations.balanced_placement(shape, usage, vm)
-            if placement is not None:
-                seen.setdefault(placement.new_usage)
-    return list(seen)
+    profiles = [p.usage for p in iter_all_profiles(shape)]
+    if len(profiles) > node_limit:
+        raise GraphLimitExceeded(
+            f"full lattice has {len(profiles)} profiles "
+            f"(> node_limit={node_limit}); use mode='reachable'"
+        )
+    return profiles
+
+
+def _build_full_serial(
+    shape: MachineShape,
+    vm_types: Tuple[VMType, ...],
+    strategy: SuccessorStrategy,
+    node_limit: int,
+) -> ProfileGraph:
+    profiles = _full_profiles(shape, node_limit)
+    engine = _SuccessorEngine(shape, vm_types, strategy)
+    combo_ids: Dict[_Combo, int] = {}
+    combos: List[_Combo] = []
+    for i, usage in enumerate(profiles):
+        combo = engine.combo_of(usage)
+        combo_ids[combo] = i
+        combos.append(combo)
+    successors = [
+        tuple(sorted(combo_ids[s] for s in engine.successor_combos(combo)))
+        for combo in combos
+    ]
+    return ProfileGraph(
+        shape=shape,
+        vm_types=vm_types,
+        strategy=strategy,
+        profiles=profiles,
+        successors=successors,
+    )
+
+
+def _build_full_parallel(
+    shape: MachineShape,
+    vm_types: Tuple[VMType, ...],
+    strategy: SuccessorStrategy,
+    node_limit: int,
+    jobs: int,
+) -> ProfileGraph:
+    profiles = _full_profiles(shape, node_limit)
+    interner = UsageInterner.from_usages(shape, profiles)
+    successors: List[Tuple[int, ...]] = []
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_worker_init,
+        initargs=(shape, vm_types, strategy),
+    ) as pool:
+        for counts, packed in pool.map(
+            _worker_expand, _chunked(profiles, jobs * 4)
+        ):
+            pos = 0
+            for count in counts:
+                succ_ids = []
+                for row in range(pos, pos + count):
+                    succ_id = interner.lookup_packed(packed[row])
+                    if succ_id is None:
+                        raise RuntimeError(
+                            "full-lattice successor missing from the "
+                            "lattice; canonicalization is inconsistent"
+                        )
+                    succ_ids.append(succ_id)
+                successors.append(tuple(sorted(succ_ids)))
+                pos += count
+    graph = ProfileGraph(
+        shape=shape,
+        vm_types=vm_types,
+        strategy=strategy,
+        profiles=profiles,
+        successors=successors,
+    )
+    graph.memo("packed_profiles", lambda: interner.matrix().copy())
+    return graph
 
 
 def build_profile_graph(
@@ -286,6 +718,7 @@ def build_profile_graph(
     strategy: SuccessorStrategy = SuccessorStrategy.ALL_PLACEMENTS,
     mode: str = "reachable",
     node_limit: int = 1_000_000,
+    jobs: int = 1,
 ) -> ProfileGraph:
     """Generate the profile graph G for a PM shape and VM type set.
 
@@ -299,6 +732,10 @@ def build_profile_graph(
         mode: ``"reachable"`` (BFS from the empty profile) or ``"full"``
             (entire canonical lattice).
         node_limit: safety bound on the number of nodes.
+        jobs: number of worker processes; ``jobs >= 2`` expands BFS levels
+            (or lattice shards) on a process pool.  The result is
+            bit-identical to ``jobs=1`` — same node ids, same successor
+            tuples — so parallelism is purely a wall-clock knob.
 
     Raises:
         GraphLimitExceeded: when more than ``node_limit`` nodes arise.
@@ -318,64 +755,17 @@ def build_profile_graph(
         )
     if mode not in ("reachable", "full"):
         raise ValidationError(f"unknown graph mode {mode!r}")
+    jobs = int(jobs)
+    require(jobs >= 1, f"jobs must be >= 1, got {jobs}")
 
     if mode == "full":
-        profiles = [p.usage for p in iter_all_profiles(shape)]
-        if len(profiles) > node_limit:
-            raise GraphLimitExceeded(
-                f"full lattice has {len(profiles)} profiles "
-                f"(> node_limit={node_limit}); use mode='reachable'"
+        if jobs > 1:
+            return _build_full_parallel(
+                shape, vm_types, strategy, node_limit, jobs
             )
-        index = {usage: i for i, usage in enumerate(profiles)}
-        successors: List[Tuple[int, ...]] = []
-        for usage in profiles:
-            succ_ids = sorted(
-                index[s]
-                for s in _successor_usages(shape, usage, vm_types, strategy)
-            )
-            successors.append(tuple(succ_ids))
-        return ProfileGraph(
-            shape=shape,
-            vm_types=vm_types,
-            strategy=strategy,
-            profiles=profiles,
-            successors=successors,
-            _index=index,
+        return _build_full_serial(shape, vm_types, strategy, node_limit)
+    if jobs > 1:
+        return _build_reachable_parallel(
+            shape, vm_types, strategy, node_limit, jobs
         )
-
-    # Reachable-set BFS from the empty profile.
-    empty = shape.empty_usage()
-    index = {empty: 0}
-    profiles = [empty]
-    succ_map: Dict[int, Tuple[int, ...]] = {}
-    frontier = deque([0])
-    while frontier:
-        node = frontier.popleft()
-        succ_ids: List[int] = []
-        for succ_usage in _successor_usages(
-            shape, profiles[node], vm_types, strategy
-        ):
-            succ_id = index.get(succ_usage)
-            if succ_id is None:
-                if len(profiles) >= node_limit:
-                    raise GraphLimitExceeded(
-                        f"reachable profile graph exceeded node_limit="
-                        f"{node_limit}; coarsen the quantizers or use "
-                        f"SuccessorStrategy.BALANCED"
-                    )
-                succ_id = len(profiles)
-                index[succ_usage] = succ_id
-                profiles.append(succ_usage)
-                frontier.append(succ_id)
-            succ_ids.append(succ_id)
-        succ_map[node] = tuple(sorted(set(succ_ids)))
-
-    successors = [succ_map[i] for i in range(len(profiles))]
-    return ProfileGraph(
-        shape=shape,
-        vm_types=vm_types,
-        strategy=strategy,
-        profiles=profiles,
-        successors=successors,
-        _index=index,
-    )
+    return _build_reachable_serial(shape, vm_types, strategy, node_limit)

@@ -23,6 +23,7 @@ substrate) get indices for free, while callers that only score profiles
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,7 @@ from repro.core.profile import MachineShape, ResourceGroup, Usage, VMType
 __all__ = [
     "GroupPlacement",
     "Placement",
+    "GroupPlacementMemo",
     "can_place_group",
     "can_place",
     "enumerate_group_placements",
@@ -41,6 +43,9 @@ __all__ = [
     "first_fit_placement",
     "apply_assignments",
     "remap_placement",
+    "live_chunks",
+    "group_memo",
+    "clear_group_memos",
 ]
 
 # A group placement assigns chunk values to concrete unit indices.
@@ -93,6 +98,115 @@ def _demand_classes(chunks: Sequence[int]) -> List[Tuple[int, int]]:
         if chunk > 0:
             counts[chunk] = counts.get(chunk, 0) + 1
     return sorted(counts.items(), reverse=True)
+
+
+def live_chunks(chunks: Sequence[int]) -> Tuple[int, ...]:
+    """The demand multiset of ``chunks``: zeros dropped, sorted ascending.
+
+    Group-placement results depend only on this multiset (demand chunks
+    of equal value are interchangeable), so it is the canonical cache key
+    component for the memoized enumerations below.
+    """
+    return tuple(sorted(c for c in chunks if c > 0))
+
+
+#: Default bound on entries per memo table (one table per group per kind).
+DEFAULT_GROUP_MEMO_ENTRIES = 131_072
+
+#: Bound on distinct groups tracked by the memo registry.
+_MAX_MEMOIZED_GROUPS = 1024
+
+
+class GroupPlacementMemo:
+    """Bounded LRU memo of group-level placement results for one group.
+
+    The profile-graph BFS revisits the same (canonical group usage,
+    demand multiset) state thousands of times across nodes and VM types;
+    both the exhaustive enumeration and the balanced packing are pure
+    functions of that pair, so their results — immutable tuples of
+    frozen :class:`GroupPlacement` — are computed once and shared.
+
+    Keys are ``(usage tuple, live-chunk multiset)``; the group signature
+    is implicit because each memo belongs to exactly one group in the
+    registry (see :func:`group_memo`).
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_enumerated", "_balanced")
+
+    def __init__(self, max_entries: int = DEFAULT_GROUP_MEMO_ENTRIES):
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self._enumerated: "OrderedDict[tuple, Tuple[GroupPlacement, ...]]" = (
+            OrderedDict()
+        )
+        self._balanced: "OrderedDict[tuple, Optional[GroupPlacement]]" = (
+            OrderedDict()
+        )
+
+    def enumerated(
+        self, group: ResourceGroup, usage: Tuple[int, ...], live: Tuple[int, ...]
+    ) -> Tuple[GroupPlacement, ...]:
+        """All canonically-distinct placements of ``live`` at ``usage``.
+
+        ``live`` must already be normalized via :func:`live_chunks`.
+        """
+        key = (usage, live)
+        cache = self._enumerated
+        result = cache.get(key)
+        if result is not None:
+            self.hits += 1
+            cache.move_to_end(key)
+            return result
+        self.misses += 1
+        result = tuple(_enumerate_group_placements_uncached(group, usage, live))
+        cache[key] = result
+        if len(cache) > self.max_entries:
+            cache.popitem(last=False)
+        return result
+
+    def balanced(
+        self, group: ResourceGroup, usage: Tuple[int, ...], live: Tuple[int, ...]
+    ) -> Optional[GroupPlacement]:
+        """The deterministic least-loaded placement, or None (memoized)."""
+        key = (usage, live)
+        cache = self._balanced
+        if key in cache:
+            self.hits += 1
+            cache.move_to_end(key)
+            return cache[key]
+        self.misses += 1
+        result = _balanced_group_placement_uncached(group, usage, live)
+        cache[key] = result
+        if len(cache) > self.max_entries:
+            cache.popitem(last=False)
+        return result
+
+
+_GROUP_MEMOS: "OrderedDict[ResourceGroup, GroupPlacementMemo]" = OrderedDict()
+
+
+def group_memo(group: ResourceGroup) -> GroupPlacementMemo:
+    """The shared memo for ``group`` (equal groups share one memo).
+
+    The registry itself is bounded: the least-recently-used group's memo
+    is dropped past :data:`_MAX_MEMOIZED_GROUPS` distinct groups, which
+    keeps property tests that generate thousands of throwaway groups
+    from accumulating caches.
+    """
+    memo = _GROUP_MEMOS.get(group)
+    if memo is None:
+        memo = _GROUP_MEMOS[group] = GroupPlacementMemo()
+        if len(_GROUP_MEMOS) > _MAX_MEMOIZED_GROUPS:
+            _GROUP_MEMOS.popitem(last=False)
+    else:
+        _GROUP_MEMOS.move_to_end(group)
+    return memo
+
+
+def clear_group_memos() -> None:
+    """Drop every memoized group-placement result (benchmarks use this)."""
+    _GROUP_MEMOS.clear()
 
 
 def apply_assignments(
@@ -196,9 +310,20 @@ def enumerate_group_placements(
     """Yield every canonically-distinct placement within one group.
 
     Each distinct resulting (canonical) group usage is yielded exactly
-    once, with one concrete assignment realizing it.
+    once, with one concrete assignment realizing it.  Results are
+    memoized per (group, usage, demand multiset) in a bounded LRU —
+    the graph BFS and Algorithm 2's candidate enumeration replay the
+    same group states constantly (see :class:`GroupPlacementMemo`).
     """
-    live = [c for c in chunks if c > 0]
+    yield from group_memo(group).enumerated(
+        group, tuple(usage), live_chunks(chunks)
+    )
+
+
+def _enumerate_group_placements_uncached(
+    group: ResourceGroup, usage: Tuple[int, ...], live: Tuple[int, ...]
+) -> Iterator[GroupPlacement]:
+    """The enumeration itself; ``live`` is a normalized demand multiset."""
     if not live:
         yield GroupPlacement(new_usage=tuple(usage), assignment=())
         return
@@ -390,9 +515,18 @@ def balanced_group_placement(
 
     Chunks (sorted descending) are matched to distinct units sorted by
     free capacity descending, which succeeds whenever any placement is
-    feasible (Hall condition).  Returns None when infeasible.
+    feasible (Hall condition).  Returns None when infeasible.  Results
+    are memoized per (group, usage, demand multiset) like
+    :func:`enumerate_group_placements`.
     """
-    live = sorted((c for c in chunks if c > 0), reverse=True)
+    return group_memo(group).balanced(group, tuple(usage), live_chunks(chunks))
+
+
+def _balanced_group_placement_uncached(
+    group: ResourceGroup, usage: Tuple[int, ...], live_asc: Tuple[int, ...]
+) -> Optional[GroupPlacement]:
+    """The packing itself; ``live_asc`` is a normalized demand multiset."""
+    live = list(reversed(live_asc))
     if not live:
         return GroupPlacement(new_usage=_canonical_group(group, usage), assignment=())
 

@@ -15,7 +15,8 @@ with nearest-profile snapping for off-graph profiles.
 from __future__ import annotations
 
 import logging
-from typing import Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -80,12 +81,26 @@ class PageRankVMPolicy(ProfileScorePolicy):
         damping: float = 0.85,
         pool_size: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        jobs: int = 1,
+        graph_cache_dir: Optional[Union[str, Path]] = None,
         **table_kwargs,
     ) -> "PageRankVMPolicy":
-        """Build score tables for every distinct shape and wrap a policy."""
+        """Build score tables for every distinct shape and wrap a policy.
+
+        ``jobs`` and ``graph_cache_dir`` reach the graph builder
+        unchanged (parallel frontier BFS / on-disk graph cache, see
+        :func:`repro.core.score_table.build_score_table`); further
+        keyword arguments are passed through as well.
+        """
         tables = {
             shape: build_score_table(
-                shape, vm_types, strategy=strategy, damping=damping, **table_kwargs
+                shape,
+                vm_types,
+                strategy=strategy,
+                damping=damping,
+                jobs=jobs,
+                graph_cache_dir=graph_cache_dir,
+                **table_kwargs,
             )
             for shape in dict.fromkeys(shapes)
         }
@@ -186,5 +201,11 @@ class PageRankVMPolicy(ProfileScorePolicy):
             return "balanced"
         return "all"
 
-    def _shape_key(self, shape: MachineShape) -> int:
-        return self._shape_ids.setdefault(shape, len(self._shape_ids))
+    def _shape_key(self, shape: MachineShape) -> Hashable:
+        # Pure read: candidate caches key on this, and select() may run
+        # under a process pool — mutating state here (the old setdefault)
+        # meant unbounded growth and divergent ids across workers.  Known
+        # shapes map to their dense table index; unknown shapes (no table;
+        # the lookup will fault and degrade) key as themselves.
+        key = self._shape_ids.get(shape)
+        return shape if key is None else key

@@ -38,7 +38,8 @@ try:  # scipy's C cityblock kernel; optional, with a NumPy fallback below.
 except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
     _cdist = None
 
-from repro.core.graph import SuccessorStrategy, build_profile_graph
+from repro.core.graph import ProfileGraph, SuccessorStrategy
+from repro.core.graph_cache import load_or_build_profile_graph
 from repro.core.pagerank import expected_final_utilization, profile_pagerank
 from repro.core.profile import MachineShape, Profile, ResourceGroup, Usage, VMType
 from repro.util.validation import ValidationError, require
@@ -334,7 +335,9 @@ def build_score_table(
     node_limit: int = 1_000_000,
     vote_direction: str = "forward",
     scoring: str = "pagerank",
-    graph=None,
+    graph: Optional[ProfileGraph] = None,
+    jobs: int = 1,
+    graph_cache_dir: Optional[Union[str, Path]] = None,
 ) -> ScoreTable:
     """Build the graph, run the chosen scoring and return the score table.
 
@@ -352,10 +355,15 @@ def build_score_table(
         graph: optionally a prebuilt :class:`ProfileGraph` for ``shape``
             and ``vm_types``; sweeps over damping/scoring reuse one
             graph this way instead of rebuilding it per variant.
+        jobs: worker processes for graph construction (ignored when
+            ``graph`` is supplied); results are bit-identical to serial.
+        graph_cache_dir: optional on-disk graph cache consulted before
+            building (see :mod:`repro.core.graph_cache`); ignored when
+            ``graph`` is supplied.
 
     Raises:
         ValidationError: for an unknown ``scoring`` or a graph built for
-            a different shape.
+            a different shape or VM type set.
     """
     if scoring not in ("pagerank", "pagerank-efu", "expected-utilization"):
         raise ValidationError(
@@ -363,13 +371,23 @@ def build_score_table(
             "or 'expected-utilization'"
         )
     if graph is None:
-        graph = build_profile_graph(
-            shape, vm_types, strategy=strategy, mode=mode, node_limit=node_limit
+        graph = load_or_build_profile_graph(
+            shape,
+            vm_types,
+            strategy=strategy,
+            mode=mode,
+            node_limit=node_limit,
+            jobs=jobs,
+            cache_dir=graph_cache_dir,
         )
     else:
         require(
             graph.shape == shape,
             "the supplied graph was built for a different shape",
+        )
+        require(
+            graph.vm_types == tuple(vm_types),
+            "the supplied graph was built for a different VM type set",
         )
         strategy = graph.strategy
     if scoring == "expected-utilization":

@@ -1,5 +1,6 @@
 """Tests for profile-graph generation."""
 
+import numpy as np
 import pytest
 
 from repro.core.graph import (
@@ -148,3 +149,67 @@ class TestGraphQueries:
     def test_profile_accessor(self, toy_graph):
         profile = toy_graph.profile(0)
         assert profile.usage == toy_graph.profiles[0]
+
+    def test_packed_profiles_match_flat(self, toy_graph):
+        packed = toy_graph.packed_profiles()
+        assert packed.dtype.kind == "u"
+        np.testing.assert_array_equal(
+            packed.astype(np.int64), toy_graph.flat_profiles()
+        )
+
+    def test_successor_csr_matches_successors(self, toy_graph):
+        indptr, indices = toy_graph.successor_csr()
+        assert indptr.shape == (toy_graph.n_nodes + 1,)
+        assert int(indptr[-1]) == toy_graph.n_edges
+        for node, succ in enumerate(toy_graph.successors):
+            got = tuple(int(s) for s in indices[indptr[node]:indptr[node + 1]])
+            assert got == succ
+
+
+class TestParallelBuild:
+    """``jobs=N`` must be bit-identical to the serial build."""
+
+    @pytest.mark.parametrize("mode", ["reachable", "full"])
+    @pytest.mark.parametrize(
+        "strategy",
+        [SuccessorStrategy.ALL_PLACEMENTS, SuccessorStrategy.BALANCED],
+    )
+    def test_identical_to_serial(self, toy_shape, toy_vm_types, strategy, mode):
+        serial = build_profile_graph(
+            toy_shape, toy_vm_types, strategy=strategy, mode=mode, jobs=1
+        )
+        parallel = build_profile_graph(
+            toy_shape, toy_vm_types, strategy=strategy, mode=mode, jobs=3
+        )
+        assert parallel.profiles == serial.profiles
+        assert parallel.successors == serial.successors
+        for got, want in zip(
+            parallel.successor_csr(), serial.successor_csr()
+        ):
+            np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(
+            parallel.packed_profiles(), serial.packed_profiles()
+        )
+
+    def test_pagerank_scores_identical(self, toy_shape, toy_vm_types):
+        from repro.core.pagerank import profile_pagerank
+
+        serial = build_profile_graph(toy_shape, toy_vm_types, mode="reachable")
+        parallel = build_profile_graph(
+            toy_shape, toy_vm_types, mode="reachable", jobs=2
+        )
+        scores_serial = profile_pagerank(serial).scores
+        scores_parallel = profile_pagerank(parallel).scores
+        # Bit-identical, not merely close: same nodes, same edge order,
+        # therefore the same float operations in the same order.
+        np.testing.assert_array_equal(scores_parallel, scores_serial)
+
+    def test_node_limit_enforced_in_parallel(self, toy_shape, toy_vm_types):
+        with pytest.raises(GraphLimitExceeded):
+            build_profile_graph(
+                toy_shape, toy_vm_types, mode="reachable", node_limit=3, jobs=2
+            )
+
+    def test_bad_jobs_rejected(self, toy_shape, toy_vm_types):
+        with pytest.raises(ValidationError):
+            build_profile_graph(toy_shape, toy_vm_types, jobs=0)

@@ -1,0 +1,183 @@
+"""Tests for repro.core.graph_cache: hit, miss and corruption paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import (
+    GraphLimitExceeded,
+    SuccessorStrategy,
+    build_profile_graph,
+)
+from repro.core.graph_cache import (
+    cache_events,
+    clear_cache_events,
+    graph_cache_key,
+    graph_cache_path,
+    load_graph,
+    load_or_build_profile_graph,
+    save_graph,
+)
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+
+
+def toy_shape() -> MachineShape:
+    return MachineShape(
+        groups=(
+            ResourceGroup(name="cpu", capacities=(4, 4), anti_collocation=True),
+            ResourceGroup(name="mem", capacities=(6,), anti_collocation=False),
+        )
+    )
+
+
+def toy_vms():
+    return (
+        VMType(name="a", demands=((1, 1), (2,))),
+        VMType(name="b", demands=((2, 0), (1,))),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _reset_events():
+    clear_cache_events()
+    yield
+    clear_cache_events()
+
+
+def assert_graphs_equal(left, right):
+    assert left.profiles == right.profiles
+    assert left.successors == right.successors
+    assert left.shape == right.shape
+    assert left.vm_types == right.vm_types
+    assert left.strategy == right.strategy
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        key1 = graph_cache_key(
+            toy_shape(), toy_vms(), SuccessorStrategy.BALANCED
+        )
+        key2 = graph_cache_key(
+            toy_shape(), toy_vms(), SuccessorStrategy.BALANCED
+        )
+        assert key1 == key2
+
+    def test_key_depends_on_vm_order(self):
+        # VM declaration order drives BFS discovery order and node ids,
+        # so reordering the catalog must be a different cache entry.
+        vms = toy_vms()
+        key_fwd = graph_cache_key(toy_shape(), vms, SuccessorStrategy.BALANCED)
+        key_rev = graph_cache_key(
+            toy_shape(), tuple(reversed(vms)), SuccessorStrategy.BALANCED
+        )
+        assert key_fwd != key_rev
+
+    def test_key_depends_on_strategy_and_mode(self):
+        base = graph_cache_key(toy_shape(), toy_vms(), SuccessorStrategy.BALANCED)
+        assert base != graph_cache_key(
+            toy_shape(), toy_vms(), SuccessorStrategy.ALL_PLACEMENTS
+        )
+        assert base != graph_cache_key(
+            toy_shape(), toy_vms(), SuccessorStrategy.BALANCED, mode="full"
+        )
+
+
+class TestRoundTrip:
+    def test_save_then_load_is_identical(self, tmp_path):
+        graph = build_profile_graph(toy_shape(), toy_vms())
+        path = tmp_path / "graph.npz"
+        save_graph(graph, path, "reachable")
+        loaded = load_graph(path, toy_shape(), toy_vms(),
+                            SuccessorStrategy.ALL_PLACEMENTS)
+        assert loaded is not None
+        assert_graphs_equal(loaded, graph)
+        assert cache_events()["hits"] == 1
+
+    def test_loaded_derived_arrays_match(self, tmp_path):
+        graph = build_profile_graph(toy_shape(), toy_vms())
+        path = tmp_path / "graph.npz"
+        save_graph(graph, path, "reachable")
+        loaded = load_graph(path, toy_shape(), toy_vms(),
+                            SuccessorStrategy.ALL_PLACEMENTS)
+        np.testing.assert_array_equal(
+            loaded.packed_profiles(), graph.packed_profiles()
+        )
+        for got, want in zip(loaded.successor_csr(), graph.successor_csr()):
+            np.testing.assert_array_equal(got, want)
+
+    def test_load_or_build_miss_then_hit(self, tmp_path):
+        g1 = load_or_build_profile_graph(
+            toy_shape(), toy_vms(), cache_dir=tmp_path
+        )
+        assert cache_events() == {"hits": 0, "misses": 1, "corrupt": 0}
+        g2 = load_or_build_profile_graph(
+            toy_shape(), toy_vms(), cache_dir=tmp_path
+        )
+        assert cache_events()["hits"] == 1
+        assert_graphs_equal(g1, g2)
+
+    def test_no_cache_dir_just_builds(self):
+        graph = load_or_build_profile_graph(toy_shape(), toy_vms())
+        assert graph.n_nodes > 0
+        assert cache_events() == {"hits": 0, "misses": 0, "corrupt": 0}
+
+
+class TestMissAndCorruption:
+    def test_missing_file_is_a_miss(self, tmp_path):
+        result = load_graph(
+            tmp_path / "absent.npz", toy_shape(), toy_vms(),
+            SuccessorStrategy.BALANCED,
+        )
+        assert result is None
+        assert cache_events() == {"hits": 0, "misses": 1, "corrupt": 0}
+
+    def test_key_mismatch_is_a_clean_miss(self, tmp_path):
+        graph = build_profile_graph(toy_shape(), toy_vms())
+        path = tmp_path / "graph.npz"
+        save_graph(graph, path, "reachable")
+        # Same file, different VM order: a different content key.
+        result = load_graph(
+            path, toy_shape(), tuple(reversed(toy_vms())),
+            SuccessorStrategy.ALL_PLACEMENTS,
+        )
+        assert result is None
+        assert cache_events() == {"hits": 0, "misses": 1, "corrupt": 0}
+
+    def test_truncated_archive_counts_corrupt_and_rebuilds(self, tmp_path):
+        graph = build_profile_graph(toy_shape(), toy_vms())
+        key = graph_cache_key(
+            toy_shape(), toy_vms(), SuccessorStrategy.ALL_PLACEMENTS
+        )
+        path = graph_cache_path(tmp_path, key)
+        save_graph(graph, path, "reachable")
+        path.write_bytes(path.read_bytes()[: 40])
+        rebuilt = load_or_build_profile_graph(
+            toy_shape(), toy_vms(), cache_dir=tmp_path
+        )
+        assert cache_events() == {"hits": 0, "misses": 1, "corrupt": 1}
+        assert_graphs_equal(rebuilt, graph)
+        # The rebuild rewrote the entry; the next load is a hit again.
+        again = load_or_build_profile_graph(
+            toy_shape(), toy_vms(), cache_dir=tmp_path
+        )
+        assert cache_events()["hits"] == 1
+        assert_graphs_equal(again, graph)
+
+    def test_garbage_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        result = load_graph(
+            path, toy_shape(), toy_vms(), SuccessorStrategy.ALL_PLACEMENTS
+        )
+        assert result is None
+        assert cache_events()["corrupt"] == 1
+
+    def test_cached_graph_respects_node_limit(self, tmp_path):
+        graph = build_profile_graph(toy_shape(), toy_vms())
+        path = tmp_path / "graph.npz"
+        save_graph(graph, path, "reachable")
+        with pytest.raises(GraphLimitExceeded):
+            load_graph(
+                path, toy_shape(), toy_vms(),
+                SuccessorStrategy.ALL_PLACEMENTS,
+                node_limit=graph.n_nodes - 1,
+            )

@@ -36,6 +36,34 @@ class TestConstruction:
     def test_name(self, policy):
         assert policy.name == "PageRankVM"
 
+    def test_for_shapes_with_jobs_and_graph_cache(
+        self, tmp_path, toy_shape, toy_vm_types
+    ):
+        cached = PageRankVMPolicy.for_shapes(
+            [toy_shape], toy_vm_types, jobs=2, graph_cache_dir=tmp_path
+        )
+        plain = PageRankVMPolicy.for_shapes([toy_shape], toy_vm_types)
+        assert dict(cached.tables[toy_shape].items()) == dict(
+            plain.tables[toy_shape].items()
+        )
+
+
+class TestShapeKey:
+    def test_known_shape_maps_to_dense_index(self, policy, toy_shape):
+        assert policy._shape_key(toy_shape) == 0
+
+    def test_unknown_shape_is_pure_lookup(self, policy, mixed_shape):
+        # The old setdefault-based key mutated the policy on the read
+        # path: unbounded growth, and divergent ids across pool workers.
+        before = dict(policy._shape_ids)
+        key = policy._shape_key(mixed_shape)
+        assert key == mixed_shape
+        assert policy._shape_ids == before
+
+    def test_unknown_shape_key_is_deterministic(self, policy, mixed_shape):
+        keys = {policy._shape_key(mixed_shape) for _ in range(5)}
+        assert len(keys) == 1
+
 
 class TestScoring:
     def test_profile_score_matches_table(self, policy, toy_shape, toy_table):

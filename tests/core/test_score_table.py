@@ -245,3 +245,51 @@ class TestBuild:
             toy_shape, toy_vm_types, strategy=SuccessorStrategy.BALANCED
         )
         assert table.strategy is SuccessorStrategy.BALANCED
+
+
+class TestPrebuiltGraph:
+    def test_prebuilt_graph_reused(self, toy_shape, toy_vm_types, toy_graph):
+        table = build_score_table(toy_shape, toy_vm_types, graph=toy_graph)
+        fresh = build_score_table(toy_shape, toy_vm_types, mode="full")
+        assert dict(table.items()) == dict(fresh.items())
+
+    def test_wrong_shape_rejected(self, toy_vm_types, toy_graph):
+        from repro.core.profile import MachineShape, ResourceGroup
+
+        other = MachineShape(
+            groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4, 4)),)
+        )
+        with pytest.raises(ValidationError):
+            build_score_table(other, toy_vm_types, graph=toy_graph)
+
+    def test_wrong_vm_types_rejected(self, toy_shape, toy_graph):
+        # A sweep passing a prebuilt graph with a different catalog must
+        # fail loudly instead of silently scoring the wrong type set.
+        from repro.core.profile import VMType
+
+        other_vms = (VMType(name="other", demands=((1, 0, 0, 0),)),)
+        with pytest.raises(ValidationError):
+            build_score_table(toy_shape, other_vms, graph=toy_graph)
+
+    def test_graph_cache_dir_roundtrip(self, tmp_path, toy_shape, toy_vm_types):
+        from repro.core.graph_cache import (
+            cache_events,
+            clear_cache_events,
+        )
+
+        clear_cache_events()
+        first = build_score_table(
+            toy_shape, toy_vm_types, graph_cache_dir=tmp_path
+        )
+        assert cache_events()["misses"] == 1
+        second = build_score_table(
+            toy_shape, toy_vm_types, graph_cache_dir=tmp_path
+        )
+        assert cache_events()["hits"] == 1
+        assert dict(first.items()) == dict(second.items())
+        clear_cache_events()
+
+    def test_jobs_produce_identical_table(self, toy_shape, toy_vm_types):
+        serial = build_score_table(toy_shape, toy_vm_types)
+        parallel = build_score_table(toy_shape, toy_vm_types, jobs=2)
+        assert dict(serial.items()) == dict(parallel.items())

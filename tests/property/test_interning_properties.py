@@ -1,0 +1,87 @@
+"""Property-based tests for usage interning round-trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interning import UsageInterner, packed_dtype_for
+from repro.core.profile import MachineShape, ResourceGroup
+
+
+@st.composite
+def shapes_and_usages(draw):
+    """A machine shape plus a batch of valid (canonical or not) usages.
+
+    Capacities span all three packed dtypes (uint8/16/32) so the
+    round-trip is exercised across every width the interner selects.
+    """
+    n_groups = draw(st.integers(min_value=1, max_value=3))
+    groups = []
+    for g in range(n_groups):
+        anti = draw(st.booleans())
+        # Non-anti-collocation groups are scalar by construction.
+        n_units = draw(st.integers(min_value=1, max_value=4)) if anti else 1
+        cap = draw(st.sampled_from([3, 8, 200, 70_000]))
+        groups.append(
+            ResourceGroup(
+                name=f"g{g}",
+                capacities=(cap,) * n_units,
+                anti_collocation=anti,
+            )
+        )
+    shape = MachineShape(groups=tuple(groups))
+    n_usages = draw(st.integers(min_value=1, max_value=12))
+    usages = []
+    for _ in range(n_usages):
+        usage = tuple(
+            tuple(
+                draw(st.integers(min_value=0, max_value=group.capacities[0]))
+                for _ in range(group.n_units)
+            )
+            for group in shape.groups
+        )
+        usages.append(usage)
+    return shape, usages
+
+
+class TestInterningRoundTrip:
+    @given(shapes_and_usages())
+    @settings(max_examples=150)
+    def test_ids_round_trip_to_usages(self, case):
+        shape, usages = case
+        interner = UsageInterner(shape)
+        ids = [interner.intern(u) for u in usages]
+        for usage, idx in zip(usages, ids):
+            assert interner.usage(idx) == usage
+            assert interner.lookup(usage) == idx
+
+    @given(shapes_and_usages())
+    @settings(max_examples=150)
+    def test_interning_is_injective(self, case):
+        shape, usages = case
+        interner = UsageInterner(shape)
+        ids = {}
+        for usage in usages:
+            idx = interner.intern(usage)
+            if usage in ids:
+                assert ids[usage] == idx
+            ids[usage] = idx
+        # Distinct usages never collide on an id.
+        assert len(set(ids.values())) == len(ids)
+        assert len(interner) == len(ids)
+
+    @given(shapes_and_usages())
+    @settings(max_examples=100)
+    def test_packed_matrix_row_order_is_id_order(self, case):
+        shape, usages = case
+        interner = UsageInterner(shape)
+        for usage in usages:
+            interner.intern(usage)
+        matrix = interner.matrix()
+        assert matrix.dtype == packed_dtype_for(shape)
+        recovered = interner.usages()
+        assert len(recovered) == len(interner) == matrix.shape[0]
+        for idx, usage in enumerate(recovered):
+            flat = [u for group in usage for u in group]
+            assert [int(v) for v in matrix[idx]] == flat
+            assert interner.lookup_packed(np.asarray(flat, matrix.dtype)) == idx

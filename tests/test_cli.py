@@ -42,6 +42,51 @@ class TestParser:
         assert args.faults is None
         assert args.checkpoint is None
         assert args.resume is False
+        assert args.graph_jobs == 1
+
+    def test_graph_build_flags(self):
+        args = build_parser().parse_args([
+            "graph", "build", "--pm", "M3", "C3", "--jobs", "4",
+            "--graph-cache", "cache-dir", "--strategy", "all",
+            "--mode", "full", "--node-limit", "5000",
+        ])
+        assert args.command == "graph"
+        assert args.graph_command == "build"
+        assert args.pm == ["M3", "C3"]
+        assert args.jobs == 4
+        assert args.graph_cache == "cache-dir"
+        assert args.strategy == "all"
+        assert args.mode == "full"
+        assert args.node_limit == 5000
+
+    def test_graph_build_defaults(self):
+        args = build_parser().parse_args(["graph", "build"])
+        assert args.pm == ["M3"]
+        assert args.jobs == 1
+        assert args.graph_cache is None
+        assert args.strategy == "balanced"
+
+    def test_graph_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph"])
+
+
+class TestGraphCommand:
+    def test_build_reports_nodes_and_source(self, tmp_path, capsys):
+        cache = str(tmp_path / "graphs")
+        assert main(["graph", "build", "--pm", "C3",
+                     "--graph-cache", cache]) == 0
+        first = capsys.readouterr().out
+        assert "C3" in first
+        assert "built" in first
+        assert main(["graph", "build", "--pm", "C3",
+                     "--graph-cache", cache]) == 0
+        second = capsys.readouterr().out
+        assert "cache" in second
+
+    def test_build_without_cache(self, capsys):
+        assert main(["graph", "build", "--pm", "C3"]) == 0
+        assert "built" in capsys.readouterr().out
 
 
 class TestRankCommand:
