@@ -12,7 +12,10 @@ over a fleet — plus graph-construction wall-clock on the EC2-scale
 workload (serial, parallel, and a cache reload) and end-to-end
 :func:`run_experiment` wall-clock at ``workers=1`` and
 ``workers=cpu_count`` (with a bit-identical-results check between the
-two).  Future PRs append entries, so the file reads as a perf trajectory
+two), and an online-serving phase — allocate plus a day-long simulate on
+the EC2 M3 workload — timed against the seed serving path (linear scans
+and the chunk-walking tick) with a decision-identity cross-check.
+Future PRs append entries, so the file reads as a perf trajectory
 across the repo's history.
 
 The seed (pre-optimization) implementations are kept here verbatim —
@@ -30,6 +33,7 @@ import statistics
 import tempfile
 import time
 from collections import deque
+from contextlib import contextmanager
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -420,6 +424,210 @@ def measure_graph_build(
     return metrics
 
 
+def seed_actual_cpu_utilization(self, time_s: float, burst="core") -> float:
+    """The seed repo's per-tick utilization, kept verbatim as the fixed
+    baseline for the online-serving phase: walks every allocation's
+    per-chunk assignments on every call instead of reusing the cached
+    per-allocation ceiling terms.
+    """
+    from repro.util.validation import ValidationError
+
+    capacities = self._shape.groups[self._cpu_group].capacities
+    demand = 0.0
+    numeric = isinstance(burst, (int, float)) and not isinstance(burst, bool)
+    if not numeric and burst not in ("core", "request"):
+        raise ValidationError(
+            f"unknown burst model {burst!r}; use 'core', 'request' or a "
+            "positive factor"
+        )
+    if numeric and burst <= 0:
+        raise ValidationError(f"burst factor must be positive, got {burst}")
+    for allocation in self._allocations.values():
+        fraction = allocation.vm.cpu_utilization_at(time_s)
+        if fraction <= 0.0:
+            continue
+        for idx, chunk in allocation.assignments[self._cpu_group]:
+            if numeric:
+                ceiling = min(chunk * burst, capacities[idx])
+            elif burst == "core":
+                ceiling = capacities[idx]
+            else:
+                ceiling = chunk
+            demand += fraction * ceiling
+    return demand / self._cpu_capacity
+
+
+def _seed_used_machines(self):
+    """Seed ``Datacenter.used_machines``: a full O(n) inventory scan."""
+    return [m for m in self._machines if m.is_used]
+
+
+def _seed_healthy_machines(self):
+    """Seed ``Datacenter.healthy_machines``: a full O(n) inventory scan."""
+    return [m for m in self._machines if not m.is_failed]
+
+
+def _seed_pms_used(self):
+    """Seed ``Datacenter.pms_used``: counts by scanning the inventory."""
+    return sum(1 for m in self._machines if m.is_used)
+
+
+@contextmanager
+def seed_serving_path():
+    """Swap the seed per-tick / per-scan implementations back in.
+
+    Inside the context, ``PhysicalMachine.actual_cpu_utilization`` walks
+    chunks per call and the datacenter inventory queries are O(n) scans —
+    the pre-index serving path.  Combined with ``fast_path=False`` (the
+    verbatim sequential tick and list-based policy scan) this reproduces
+    the seed's end-to-end behavior for honest baseline timing.
+    """
+    from repro.cluster.datacenter import Datacenter
+    from repro.cluster.machine import PhysicalMachine
+
+    saved = (
+        PhysicalMachine.actual_cpu_utilization,
+        Datacenter.used_machines,
+        Datacenter.healthy_machines,
+        Datacenter.pms_used,
+    )
+    PhysicalMachine.actual_cpu_utilization = seed_actual_cpu_utilization
+    Datacenter.used_machines = _seed_used_machines
+    Datacenter.healthy_machines = _seed_healthy_machines
+    Datacenter.pms_used = property(_seed_pms_used)
+    try:
+        yield
+    finally:
+        (
+            PhysicalMachine.actual_cpu_utilization,
+            Datacenter.used_machines,
+            Datacenter.healthy_machines,
+            Datacenter.pms_used,
+        ) = saved
+
+
+def online_serving_workload(n_vms: int, seed: int = 0):
+    """Deterministic request batch: large M3 VM types, step-function traces.
+
+    The big M3 instances (memory-bound: 4 and 2 per PM) spread the
+    request over hundreds of used PMs — the wide-fleet regime where the
+    seed's per-decision linear scan is the dominating serving cost.
+    """
+    from repro.cluster.ec2 import ec2_vm_type
+    from repro.cluster.vm import VirtualMachine
+    from repro.traces.base import ArrayTrace
+
+    vm_types = (ec2_vm_type("m3.xlarge"), ec2_vm_type("m3.2xlarge"))
+    rng = np.random.default_rng(seed)
+    vms = []
+    for i in range(n_vms):
+        vm_type = vm_types[int(rng.integers(len(vm_types)))]
+        samples = rng.uniform(0.05, 0.55, size=16)
+        vms.append(VirtualMachine(i, vm_type, ArrayTrace(samples, 300.0)))
+    return vms
+
+
+def run_online_serving(
+    table: ScoreTable,
+    n_pms: int,
+    n_vms: int,
+    duration_s: float,
+    fast_path: bool,
+    workload_seed: int = 0,
+    faults=None,
+):
+    """One allocate-plus-simulate run; returns the SimulationResult."""
+    from repro.baselines import MinimumMigrationTimeSelector
+    from repro.cluster.datacenter import Datacenter
+    from repro.cluster.machine import PhysicalMachine
+    from repro.cluster.simulation import CloudSimulation
+
+    shape = table.shape
+    datacenter = Datacenter(
+        [PhysicalMachine(i, shape, type_name="M3") for i in range(n_pms)]
+    )
+    simulation = CloudSimulation(
+        datacenter,
+        PageRankVMPolicy({shape: table}),
+        MinimumMigrationTimeSelector(),
+        SimulationConfig(duration_s=duration_s, monitor_interval_s=300.0),
+        faults=faults,
+        fast_path=fast_path,
+    )
+    return simulation.run(online_serving_workload(n_vms, seed=workload_seed))
+
+
+#: SimulationResult counters compared exactly between the two paths.
+_SERVING_EXACT = (
+    "n_vms", "unplaced_vms", "pms_used_initial", "pms_used_peak",
+    "pms_used_final", "migrations", "failed_migrations", "overload_events",
+    "consolidations",
+)
+
+
+def measure_online_serving(
+    repeats: int = 3, quick: bool = False, table: Optional[ScoreTable] = None
+) -> Dict[str, object]:
+    """Online-serving phase: allocate + simulate on the EC2 M3 workload.
+
+    Times the indexed/vectorized serving path (``fast_path=True``)
+    against the seed baseline — ``fast_path=False`` under
+    :func:`seed_serving_path`, i.e. the verbatim pre-optimization code —
+    and cross-checks that both report identical decision counters
+    (identical placements, migrations and overload handling; energy/SLO
+    agree up to float summation order).
+    """
+    if table is None:
+        table = build_score_table(
+            ec2_pm_shape("M3"), EC2_VM_TYPES,
+            strategy=SuccessorStrategy.BALANCED,
+        )
+    n_pms = 400 if quick else 480
+    n_vms = 900 if quick else 1200
+    duration_s = 21_600.0 if quick else 86_400.0
+
+    def fast_run():
+        return run_online_serving(
+            table, n_pms, n_vms, duration_s, fast_path=True
+        )
+
+    def seed_run():
+        with seed_serving_path():
+            return run_online_serving(
+                table, n_pms, n_vms, duration_s, fast_path=False
+            )
+
+    fast_result = fast_run()  # warm the policy-independent caches once
+    fast_wall = _best_of(fast_run, repeats)
+    seed_start = time.perf_counter()
+    seed_result = seed_run()
+    seed_wall = time.perf_counter() - seed_start
+
+    identical = all(
+        getattr(fast_result, field) == getattr(seed_result, field)
+        for field in _SERVING_EXACT
+    )
+    tolerably_close = (
+        abs(fast_result.energy_kwh - seed_result.energy_kwh)
+        <= 1e-9 * max(1.0, abs(seed_result.energy_kwh))
+        and abs(fast_result.slo_violation_rate - seed_result.slo_violation_rate)
+        <= 1e-9
+    )
+    return {
+        "online_serving_n_pms": n_pms,
+        "online_serving_n_vms": n_vms,
+        "online_serving_duration_s": duration_s,
+        "online_serving_wall_s": fast_wall,
+        "online_serving_seed_wall_s": seed_wall,
+        "online_serving_speedup_vs_seed": seed_wall / fast_wall,
+        "online_serving_results_identical": identical,
+        "online_serving_float_metrics_close": tolerably_close,
+        "online_serving_pms_used_final": fast_result.pms_used_final,
+        "online_serving_migrations": fast_result.migrations,
+        "online_serving_overload_events": fast_result.overload_events,
+    }
+
+
 def measure_end_to_end(
     workers_grid: Optional[List[int]] = None,
     table_cache_dir: Optional[str] = None,
@@ -495,6 +703,11 @@ def run_harness(
         measure_graph_build(
             repeats=1 if quick else 3,
             with_seed_baseline=not quick,
+        )
+    )
+    entry.update(
+        measure_online_serving(
+            repeats=1 if quick else 3, quick=quick, table=table
         )
     )
     entry.update(measure_end_to_end(table_cache_dir=table_cache_dir))

@@ -228,3 +228,65 @@ def test_perf_ec2_placement_decision(benchmark, ec2_table):
 
     decision = benchmark(lambda: policy.select(vm, machines))
     assert decision is not None
+
+
+# ----------------------------------------------------------------------
+# Online serving path (allocate + day-long simulate on the M3 workload)
+# ----------------------------------------------------------------------
+def test_perf_online_serving_speedup_vs_seed(ec2_table):
+    # Acceptance bar for the usage-class index + vectorized tick: >= 3x
+    # end-to-end over the seed serving path (linear per-decision scans,
+    # chunk-walking monitor tick) on the EC2 M3 simulate workload.  The
+    # headline speedup is ~10x at this scale; 3x leaves CI headroom.
+    from perf_harness import measure_online_serving
+
+    metrics = measure_online_serving(repeats=3, quick=True, table=ec2_table)
+    speedup = metrics["online_serving_speedup_vs_seed"]
+    print(f"\nonline serving: seed {metrics['online_serving_seed_wall_s']:.3f}s, "
+          f"fast {metrics['online_serving_wall_s']:.3f}s, "
+          f"speedup {speedup:.1f}x")
+    # The fast path must not change behavior, only wall-clock.
+    assert metrics["online_serving_results_identical"]
+    assert metrics["online_serving_float_metrics_close"]
+    assert speedup >= 3.0
+
+
+def test_perf_online_serving_identical_under_faults(ec2_table):
+    # EC2-scale bit-identity of the indexed path vs the plain scan
+    # (both unpatched), including PMs crashing and recovering mid-run.
+    from perf_harness import run_online_serving
+    from repro.faults import FaultEvent, FaultInjector, FaultSchedule, FaultSpec
+    from repro.util.rng import RngFactory
+
+    def injector():
+        schedule = FaultSchedule(
+            spec=FaultSpec(pm_crashes=2),
+            horizon_s=21_600.0,
+            events=(
+                FaultEvent("pm_crash", 3_000.0, target=0),
+                FaultEvent("pm_recover", 9_000.0, target=0),
+                FaultEvent("pm_crash", 6_000.0, target=7),
+                FaultEvent("pm_recover", 15_000.0, target=7),
+            ),
+        )
+        return FaultInjector(schedule, RngFactory(5).spawn("fault-draws", 0))
+
+    fast = run_online_serving(
+        ec2_table, 160, 400, 21_600.0, fast_path=True, faults=injector()
+    )
+    scan = run_online_serving(
+        ec2_table, 160, 400, 21_600.0, fast_path=False, faults=injector()
+    )
+    for field in (
+        "n_vms", "unplaced_vms", "pms_used_initial", "pms_used_peak",
+        "pms_used_final", "migrations", "failed_migrations",
+        "overload_events",
+    ):
+        assert getattr(fast, field) == getattr(scan, field), field
+    assert fast.resilience.pm_crashes == scan.resilience.pm_crashes == 2
+    assert fast.resilience.vms_displaced == scan.resilience.vms_displaced
+    assert fast.resilience.vms_restored == scan.resilience.vms_restored
+    assert fast.energy_kwh == pytest.approx(scan.energy_kwh, rel=1e-12)
+    assert fast.slo_violation_rate == pytest.approx(
+        scan.slo_violation_rate, rel=1e-12
+    )

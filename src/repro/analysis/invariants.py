@@ -87,6 +87,7 @@ CONSTRAINTS: Dict[str, str] = {
     "T2": "score-table profile invalid for its shape",
     "T3": "score-table score non-finite or negative",
     "T4": "score-table score disagrees with recomputation",
+    "I1": "usage-class index consistent with a fresh scan of the fleet",
 }
 
 
@@ -367,7 +368,10 @@ def audit_datacenter(
     machines' *committed usage* bookkeeping against the sum of their
     allocation records (capacity conservation per resource dimension)
     and the datacenter's VM-location index against the machines that
-    actually host each VM (the x/y/z linkage (2)/(7)).
+    actually host each VM (the x/y/z linkage (2)/(7)).  When the
+    datacenter maintains a usage-class index (the online serving path),
+    the index is additionally compared against a fresh scan of the
+    fleet (I1): a stale class, state or ordering entry is reported.
 
     Args:
         expected_vm_ids: when given, assignment totality (1) requires
@@ -448,6 +452,13 @@ def audit_datacenter(
             violations.append(Violation(
                 constraint="C1",
                 message=f"unexpected hosted VMs: {extra[:10]}",
+            ))
+    index = getattr(datacenter, "usage_index", None)
+    if index is not None:
+        for problem in index.check_consistency():
+            violations.append(Violation(
+                constraint="I1",
+                message=f"usage-class index stale: {problem}",
             ))
     return AuditReport(
         violations=violations,

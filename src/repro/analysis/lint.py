@@ -31,6 +31,11 @@ PRV009    wall-clock read (``time.time``/``monotonic``/``datetime.now``
           :class:`~repro.cluster.events.EventLoop` clock or an injected
           ``time_s``; wall time breaks bit-identical replay and
           checkpoint resume
+PRV010    full-inventory read (``datacenter.machines``) inside a
+          ``repro/cluster`` monitor-tick / serving-path function — the
+          usage-class index maintains ``pms_used`` / ``used_machines``
+          / ``healthy_machines`` precisely so the tick path never
+          rediscovers fleet state with an O(n_machines) scan
 ========  =============================================================
 
 Suppression: append ``# prv: disable=PRV002`` (comma-separate several
@@ -126,6 +131,14 @@ RULES: Tuple[Rule, ...] = (
         summary="wall-clock read or sleep inside simulation/fault code",
         hint="use the EventLoop clock or the injected time_s; wall time "
              "breaks determinism and checkpoint resume",
+    ),
+    Rule(
+        code="PRV010",
+        name="machine-scan-in-tick-path",
+        summary="O(n_machines) inventory scan inside a cluster tick-path "
+                "function",
+        hint="serve from the maintained usage-class index instead "
+             "(indexed_machines() / used_machines() / healthy_machines())",
     ),
 )
 
@@ -223,6 +236,19 @@ MUTATING_METHODS: Set[str] = {
 #: Names that syntactically denote a profile graph or score table.
 IMMUTABLE_VALUE_NAME = re.compile(r"(^|_)(graph|table|tables)$")
 
+#: Functions on the ``repro/cluster`` monitor-tick / online-serving path
+#: where a full-inventory read (PRV010) would reintroduce the per-tick
+#: O(n_machines) cost the usage-class index removed.
+TICK_PATH_FUNCS: Set[str] = {
+    "_on_tick", "_tick_vectorized", "_tick_scan", "_relieve",
+    "_consolidate_underloaded", "_destination_candidates", "_healthy",
+    "_replace_pending", "snapshot", "snapshot_frame", "overloaded",
+}
+
+#: Identifiers that syntactically denote the datacenter object whose
+#: ``machines`` property materializes the full inventory.
+DATACENTER_NAMES: Set[str] = {"dc", "_dc", "datacenter", "_datacenter"}
+
 #: Modules exempt from PRV007 (no public surface by design).
 ALL_EXEMPT_MODULES: Tuple[str, ...] = ("__main__.py",)
 
@@ -292,6 +318,9 @@ class _Visitor(ast.NodeVisitor):
         self._is_hot_path = _matches(path, HOT_PATH_MODULES)
         self._may_mutate = _matches(path, IMMUTABLE_DEFINING_MODULES)
         self._is_sim_scope = _in_scope(path, DETERMINISM_SCOPES)
+        self._is_cluster_scope = _in_scope(path, ("repro/cluster/",))
+        # enclosing-function stack for PRV010
+        self._func_stack: List[str] = []
 
     # -- helpers -------------------------------------------------------
     def _report(self, node: ast.AST, code: str, message: str) -> None:
@@ -670,11 +699,40 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._func_stack.append(node.name)
         self.generic_visit(node)
+        self._func_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._func_stack.append(node.name)
         self.generic_visit(node)
+        self._func_stack.pop()
+
+    # -- inventory scans: PRV010 ---------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self._is_cluster_scope
+            and isinstance(node.ctx, ast.Load)
+            and node.attr in ("machines", "_machines")
+            and any(name in TICK_PATH_FUNCS for name in self._func_stack)
+            and self._names_datacenter(node.value)
+        ):
+            self._report(
+                node, "PRV010",
+                f"tick-path read of .{node.attr} materializes the full "
+                "PM inventory every tick",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _names_datacenter(node: ast.AST) -> bool:
+        """Does this expression syntactically denote the datacenter?"""
+        if isinstance(node, ast.Name):
+            return node.id in DATACENTER_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in DATACENTER_NAMES
+        return False
 
     # -- exception handling: PRV006 ------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:

@@ -15,11 +15,12 @@ to the number of dimensions, hence ties are broken by raw unit totals.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.permutations import first_fit_placement
+from repro.core.permutations import can_place, first_fit_placement
 from repro.core.policy import MachineView, PlacementDecision, PlacementPolicy
-from repro.core.profile import MachineShape, VMType
+from repro.core.profile import MachineShape, Usage, VMType
+from repro.core.usage_index import IndexedMachines
 
 __all__ = ["FFDSumPolicy"]
 
@@ -62,6 +63,44 @@ class FFDSumPolicy(PlacementPolicy):
         self, vm: VMType, unused: Sequence[MachineView]
     ) -> Optional[PlacementDecision]:
         for machine in sorted(unused, key=lambda m: -_pm_size(m.shape)):
+            placement = first_fit_placement(machine.shape, machine.usage, vm)
+            if placement is not None:
+                return PlacementDecision(pm_id=machine.pm_id, placement=placement)
+        return None
+
+    def _select_among_used_classes(
+        self, vm: VMType, view: IndexedMachines
+    ) -> Optional[PlacementDecision]:
+        # Stable sort on -size keeps inventory order within equal sizes,
+        # matching the legacy scan's ordering; the per-class Hall check
+        # then skips infeasible classes wholesale (first-fit itself is
+        # not class-invariant — see FirstFitPolicy).
+        ordered = sorted(view.used_items(), key=lambda it: -_pm_size(it[0].shape))
+        feasible: Dict[Tuple[MachineShape, Usage], bool] = {}
+        for machine, canonical in ordered:
+            shape = machine.shape
+            key = (shape, canonical)
+            ok = feasible.get(key)
+            if ok is None:
+                ok = feasible[key] = can_place(shape, canonical, vm)
+            if not ok:
+                continue
+            placement = first_fit_placement(shape, machine.usage, vm)
+            if placement is not None:
+                return PlacementDecision(pm_id=machine.pm_id, placement=placement)
+        return None
+
+    def _select_among_unused_classes(
+        self, vm: VMType, view: IndexedMachines
+    ) -> Optional[PlacementDecision]:
+        # Shape classes arrive in representative order; the stable sort
+        # on -size reproduces the legacy (-size, position) preference,
+        # and zero usage lets the representative decide per class.
+        classes = sorted(
+            view.unused_classes(), key=lambda cls: -_pm_size(cls.shape)
+        )
+        for cls in classes:
+            machine = cls.representative
             placement = first_fit_placement(machine.shape, machine.usage, vm)
             if placement is not None:
                 return PlacementDecision(pm_id=machine.pm_id, placement=placement)

@@ -10,17 +10,29 @@ capacity exactly the way the paper criticizes.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.permutations import first_fit_placement
+from repro.core.permutations import can_place, first_fit_placement
 from repro.core.policy import MachineView, PlacementDecision, PlacementPolicy
-from repro.core.profile import VMType
+from repro.core.profile import MachineShape, Usage, VMType
+from repro.core.usage_index import IndexedMachines
 
 __all__ = ["FirstFitPolicy"]
 
 
 class FirstFitPolicy(PlacementPolicy):
-    """First PM with sufficient resources wins."""
+    """First PM with sufficient resources wins.
+
+    The indexed fast path uses the usage-class structure as a
+    *feasibility prefilter*: the Hall condition (:func:`can_place`)
+    depends only on the canonical usage, so one check per distinct class
+    safely skips every member of an infeasible class.  The first-fit
+    unit assignment itself is **not** class-invariant (chunks land on
+    the lowest-index unit with room, which depends on the real unit
+    order), so feasible classes still scan members in inventory order —
+    bit-identical to the linear scan, just without re-checking hopeless
+    machines.
+    """
 
     name = "FF"
 
@@ -37,6 +49,35 @@ class FirstFitPolicy(PlacementPolicy):
         self, vm: VMType, unused: Sequence[MachineView]
     ) -> Optional[PlacementDecision]:
         for machine in unused:
+            placement = first_fit_placement(machine.shape, machine.usage, vm)
+            if placement is not None:
+                return PlacementDecision(pm_id=machine.pm_id, placement=placement)
+        return None
+
+    def _select_among_used_classes(
+        self, vm: VMType, view: IndexedMachines
+    ) -> Optional[PlacementDecision]:
+        feasible: Dict[Tuple[MachineShape, Usage], bool] = {}
+        for machine, canonical in view.used_items():
+            shape = machine.shape
+            key = (shape, canonical)
+            ok = feasible.get(key)
+            if ok is None:
+                ok = feasible[key] = can_place(shape, canonical, vm)
+            if not ok:
+                continue
+            placement = first_fit_placement(shape, machine.usage, vm)
+            if placement is not None:
+                return PlacementDecision(pm_id=machine.pm_id, placement=placement)
+        return None
+
+    def _select_among_unused_classes(
+        self, vm: VMType, view: IndexedMachines
+    ) -> Optional[PlacementDecision]:
+        # Zero usage makes first-fit fully shape-determined, so the
+        # representative decides for its whole class.
+        for cls in view.unused_classes():
+            machine = cls.representative
             placement = first_fit_placement(machine.shape, machine.usage, vm)
             if placement is not None:
                 return PlacementDecision(pm_id=machine.pm_id, placement=placement)

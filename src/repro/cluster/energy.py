@@ -53,6 +53,11 @@ class PowerModel:
         u = min(max(utilization, 0.0), 1.0)
         return float(np.interp(u, self._points, self._watts))
 
+    def power_many(self, utilizations) -> np.ndarray:
+        """Watts drawn at many utilizations (one vectorized interp)."""
+        u = np.clip(np.asarray(utilizations, dtype=float), 0.0, 1.0)
+        return np.interp(u, self._points, self._watts)
+
     @property
     def idle_watts(self) -> float:
         """Power at zero utilization (a powered-on idle PM)."""
@@ -106,6 +111,17 @@ class EnergyMeter:
         """Add ``dt_s`` seconds of draw at ``utilization`` for one PM."""
         require(dt_s >= 0, f"dt must be non-negative, got {dt_s}")
         self._joules += model.power(utilization) * dt_s
+
+    def accumulate_many(self, model: PowerModel, utilizations, dt_s: float) -> None:
+        """Add ``dt_s`` seconds of draw for many PMs sharing one model.
+
+        One vectorized power evaluation and one summation; equal to
+        repeated :meth:`accumulate` calls up to float summation order.
+        """
+        require(dt_s >= 0, f"dt must be non-negative, got {dt_s}")
+        watts = model.power_many(utilizations)
+        if watts.size:
+            self._joules += float(watts.sum()) * dt_s
 
     @property
     def total_joules(self) -> float:

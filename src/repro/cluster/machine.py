@@ -47,7 +47,7 @@ class PhysicalMachine:
 
     __slots__ = (
         "_pm_id", "_shape", "_type_name", "_usage", "_allocations",
-        "_cpu_group", "_cpu_capacity", "_failed",
+        "_cpu_group", "_cpu_capacity", "_failed", "_demand_terms_cache",
     )
 
     def __init__(self, pm_id: int, shape: MachineShape, type_name: str = "PM"):
@@ -61,6 +61,9 @@ class PhysicalMachine:
         self._cpu_group = cpu_group_index(shape)
         self._cpu_capacity = shape.groups[self._cpu_group].total_capacity
         self._failed = False
+        # burst model -> ((vm, per-chunk ceilings), ...) in allocation
+        # order; rebuilt lazily after any place/remove.
+        self._demand_terms_cache: Dict[object, tuple] = {}
 
     # ------------------------------------------------------------------
     # MachineView protocol
@@ -189,6 +192,7 @@ class PhysicalMachine:
             placed_at=time_s,
         )
         self._allocations[vm.vm_id] = allocation
+        self._demand_terms_cache.clear()
         return allocation
 
     def remove(self, vm_id: int) -> Allocation:
@@ -207,6 +211,7 @@ class PhysicalMachine:
                         f"VM#{vm_id}; allocation records are corrupt"
                     )
         del self._allocations[vm_id]
+        self._demand_terms_cache.clear()
         return allocation
 
     # ------------------------------------------------------------------
@@ -245,8 +250,31 @@ class PhysicalMachine:
         Raises:
             ValidationError: for an unknown burst model.
         """
-        capacities = self._shape.groups[self._cpu_group].capacities
         demand = 0.0
+        for vm, ceilings in self._cpu_demand_terms(burst):
+            fraction = vm.cpu_utilization_at(time_s)
+            if fraction <= 0.0:
+                continue
+            for ceiling in ceilings:
+                demand += fraction * ceiling
+        return demand / self._cpu_capacity
+
+    def _cpu_demand_terms(self, burst) -> tuple:
+        """Cached ``(vm, per-chunk CPU ceilings)`` pairs in allocation order.
+
+        The ceilings depend only on the burst model and the committed
+        assignments, so they are computed once per (burst, allocation
+        set) instead of on every monitor tick; the demand fold in
+        :meth:`actual_cpu_utilization` then accumulates in the exact
+        same per-chunk order as the original walk, keeping utilization
+        values bit-identical.
+
+        Raises:
+            ValidationError: for an unknown burst model.
+        """
+        terms = self._demand_terms_cache.get(burst)
+        if terms is not None:
+            return terms
         numeric = isinstance(burst, (int, float)) and not isinstance(burst, bool)
         if not numeric and burst not in ("core", "request"):
             raise ValidationError(
@@ -255,19 +283,28 @@ class PhysicalMachine:
             )
         if numeric and burst <= 0:
             raise ValidationError(f"burst factor must be positive, got {burst}")
+        capacities = self._shape.groups[self._cpu_group].capacities
+        built = []
         for allocation in self._allocations.values():
-            fraction = allocation.vm.cpu_utilization_at(time_s)
-            if fraction <= 0.0:
-                continue
-            for idx, chunk in allocation.assignments[self._cpu_group]:
-                if numeric:
-                    ceiling = min(chunk * burst, capacities[idx])
-                elif burst == "core":
-                    ceiling = capacities[idx]
-                else:
-                    ceiling = chunk
-                demand += fraction * ceiling
-        return demand / self._cpu_capacity
+            if numeric:
+                ceilings = tuple(
+                    min(chunk * burst, capacities[idx])
+                    for idx, chunk in allocation.assignments[self._cpu_group]
+                )
+            elif burst == "core":
+                ceilings = tuple(
+                    capacities[idx]
+                    for idx, chunk in allocation.assignments[self._cpu_group]
+                )
+            else:
+                ceilings = tuple(
+                    chunk
+                    for idx, chunk in allocation.assignments[self._cpu_group]
+                )
+            built.append((allocation.vm, ceilings))
+        terms = tuple(built)
+        self._demand_terms_cache[burst] = terms
+        return terms
 
     def __repr__(self) -> str:
         return (

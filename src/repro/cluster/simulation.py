@@ -17,7 +17,9 @@ One simulation run:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.cluster.datacenter import Datacenter
 from repro.cluster.energy import EnergyMeter, PowerModel, power_model_for
@@ -28,6 +30,7 @@ from repro.cluster.slo import SLOTracker
 from repro.cluster.vm import VirtualMachine
 from repro.core.permutations import balanced_placement
 from repro.core.policy import PlacementDecision, PlacementPolicy
+from repro.core.usage_index import IndexedMachines
 from repro.faults.metrics import ResilienceMetrics
 from repro.faults.schedule import FaultEvent, FaultInjector
 from repro.util.validation import require
@@ -143,6 +146,14 @@ class CloudSimulation:
             (anti-collocation still enforced by the machines), and the
             run's :class:`~repro.faults.metrics.ResilienceMetrics` are
             attached to the result.
+        fast_path: serve placement requests through the datacenter's
+            usage-class index and run the vectorized monitor tick
+            (default).  False keeps the original machine-by-machine
+            loop — the seed baseline the perf harness times against and
+            the oracle the bit-identity tests compare with.  Placement
+            decisions, migrations and overload counts are identical
+            either way; energy/SLO totals agree up to float summation
+            order.
     """
 
     def __init__(
@@ -153,6 +164,7 @@ class CloudSimulation:
         config: SimulationConfig = SimulationConfig(),
         power_models: Optional[dict] = None,
         faults: Optional[FaultInjector] = None,
+        fast_path: bool = True,
     ):
         self._dc = datacenter
         self._policy = policy
@@ -171,6 +183,7 @@ class CloudSimulation:
         self._peak_pms = 0
         self._consolidations = 0
         self._faults = faults
+        self._fast_path = fast_path
         self._resilience = ResilienceMetrics() if faults is not None else None
         self._pending: List[_PendingVM] = []
         self._monitor_down = False
@@ -242,6 +255,44 @@ class CloudSimulation:
             # or SLO accounting, and overloads go unnoticed this tick.
             self._resilience.monitor_dropped_ticks += 1
             return
+        if self._fast_path:
+            self._tick_vectorized(time_s, dt_s)
+        else:
+            self._tick_scan(time_s, dt_s)
+        if self._config.underload_threshold is not None:
+            self._consolidate_underloaded(time_s)
+        self._peak_pms = max(self._peak_pms, self._dc.pms_used)
+
+    def _tick_vectorized(self, time_s: float, dt_s: float) -> None:
+        """One monitoring tick as array ops over the healthy fleet.
+
+        Utilization comes from the same per-PM demand fold as the scan
+        path (cached ceilings make it cheap), so overload detection —
+        and with it every migration decision — is bit-identical; SLO
+        and energy integrate via the batched tracker/meter forms.
+        """
+        frame = self._monitor.snapshot_frame(self._healthy(), time_s)
+        self._slo.record_many(frame.utilization, dt_s, frame.active)
+        clamped = np.minimum(frame.utilization, 1.0)
+        by_type: Dict[str, List[int]] = {}
+        for i in np.flatnonzero(frame.active):
+            by_type.setdefault(frame.machines[i].type_name, []).append(int(i))
+        for indices in by_type.values():
+            self._energy.accumulate_many(
+                self._power_model(frame.machines[indices[0]]),
+                clamped[indices],
+                dt_s,
+            )
+        for i in self._monitor.overloaded_indices(frame):
+            self._overload_events += 1
+            self._relieve(frame.machines[int(i)], time_s)
+
+    def _tick_scan(self, time_s: float, dt_s: float) -> None:
+        """The seed machine-by-machine monitoring loop, kept verbatim.
+
+        Serves as the perf harness baseline and as the oracle the
+        vectorized tick is asserted bit-identical against.
+        """
         snapshots = self._monitor.snapshot(self._healthy(), time_s)
         for snap in snapshots:
             self._slo.record(snap.cpu_utilization, dt_s, active=snap.active)
@@ -254,9 +305,6 @@ class CloudSimulation:
         for snap in self._monitor.overloaded(snapshots):
             self._overload_events += 1
             self._relieve(snap.machine, time_s)
-        if self._config.underload_threshold is not None:
-            self._consolidate_underloaded(time_s)
-        self._peak_pms = max(self._peak_pms, self._dc.pms_used)
 
     def _relieve(self, machine: PhysicalMachine, time_s: float) -> None:
         """Migrate VMs off an overloaded PM until it drops below threshold."""
@@ -300,9 +348,8 @@ class CloudSimulation:
         candidates = sorted(
             (
                 m
-                for m in self._dc.machines
-                if m.is_used
-                and m.actual_cpu_utilization(time_s, burst) < threshold
+                for m in self._dc.used_machines()
+                if m.actual_cpu_utilization(time_s, burst) < threshold
             ),
             key=lambda m: m.actual_cpu_utilization(time_s, burst),
         )
@@ -348,7 +395,7 @@ class CloudSimulation:
 
     def _destination_candidates(
         self, source: PhysicalMachine, time_s: float
-    ) -> List[PhysicalMachine]:
+    ) -> Sequence[PhysicalMachine]:
         """Migration destinations: every PM but the source.
 
         Per the paper, "the destination PM ... is then selected based on
@@ -358,15 +405,24 @@ class CloudSimulation:
         migrations, which is exactly the churn the evaluation measures.
         Crashed PMs are never candidates.
         """
-        return [m for m in self._healthy() if m.pm_id != source.pm_id]
+        pool = self._healthy()
+        if isinstance(pool, IndexedMachines):
+            return pool.excluding(source.pm_id)
+        return [m for m in pool if m.pm_id != source.pm_id]
 
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
-    def _healthy(self) -> List[PhysicalMachine]:
-        """The candidate pool policies see: every non-crashed PM."""
+    def _healthy(self) -> Sequence[PhysicalMachine]:
+        """The candidate pool policies see: every non-crashed PM.
+
+        The fast path hands out the datacenter's live class-structured
+        view; the scan path returns the same machines as plain lists.
+        """
+        if self._fast_path:
+            return self._dc.indexed_machines()
         if self._faults is None:
-            return self._dc.machines
+            return self._dc.machines  # prv: disable=PRV010 -- seed baseline path, kept verbatim for bit-identity benchmarking
         return self._dc.healthy_machines()
 
     def _install_faults(self, loop: EventLoop) -> None:

@@ -9,6 +9,8 @@ ratio.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.util.validation import require
 
 __all__ = ["SLOTracker"]
@@ -45,6 +47,26 @@ class SLOTracker:
         self._active_seconds += dt_s
         if cpu_utilization >= self._threshold - 1e-12:
             self._violation_seconds += dt_s
+
+    def record_many(self, cpu_utilizations, dt_s: float, active) -> None:
+        """Vectorized :meth:`record`: one call covers a monitor frame.
+
+        Counts active and violating hosts with array ops and adds
+        ``count * dt_s`` once per bucket.  Equivalent to the sequential
+        form up to float summation order (exactly equal for the common
+        case of a dt that is an integer number of seconds).
+        """
+        require(dt_s >= 0, f"dt must be non-negative, got {dt_s}")
+        utilization = np.asarray(cpu_utilizations, dtype=float)
+        active = np.asarray(active, dtype=bool)
+        n_active = int(np.count_nonzero(active))
+        if n_active == 0:
+            return
+        self._active_seconds += n_active * dt_s
+        violating = active & (utilization >= self._threshold - 1e-12)
+        n_violating = int(np.count_nonzero(violating))
+        if n_violating:
+            self._violation_seconds += n_violating * dt_s
 
     @property
     def active_seconds(self) -> float:

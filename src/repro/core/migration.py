@@ -85,12 +85,17 @@ class PageRankMigrationSelector:
         table = self._tables.get(shape)
         if table is None:
             raise KeyError(f"no score table for shape {shape!r}")
-        scored: List[Tuple[float, AllocationView]] = []
-        for allocation in allocations:
-            residual = shape.canonicalize(
-                usage_after_removal(usage, allocation.assignments)
-            )
-            scored.append((table.score_or_snap(residual), allocation))
+        # One batched lookup: residual-profile misses share a single
+        # snap distance pass instead of paying one lookup per hosted VM.
+        residuals = [
+            shape.canonicalize(usage_after_removal(usage, a.assignments))
+            for a in allocations
+        ]
+        scores = table.score_or_snap_many(residuals)
+        scored: List[Tuple[float, AllocationView]] = [
+            (float(score), allocation)
+            for score, allocation in zip(scores, allocations)
+        ]
         scored.sort(key=lambda pair: -pair[0])
         return scored
 

@@ -19,11 +19,12 @@ winning machine.
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
     Any,
-    Dict,
     List,
+    NamedTuple,
     Optional,
     Protocol,
     Sequence,
@@ -41,6 +42,7 @@ from repro.core.permutations import (
     remap_placement,
 )
 from repro.core.profile import MachineShape, Usage, VMType
+from repro.core.usage_index import IndexedMachines
 from repro.util.validation import require
 
 __all__ = [
@@ -48,6 +50,8 @@ __all__ = [
     "PlacementDecision",
     "PlacementPolicy",
     "ProfileScorePolicy",
+    "CandidateCacheInfo",
+    "DEFAULT_CANDIDATE_CACHE_SIZE",
 ]
 
 
@@ -135,8 +139,18 @@ class PlacementPolicy(abc.ABC):
     ) -> Optional[PlacementDecision]:
         """Place ``vm`` following Algorithm 2's used-then-unused scan.
 
+        When ``machines`` is an :class:`~repro.core.usage_index.
+        IndexedMachines` view the class-based fast path serves the
+        request (same decision, one evaluation per distinct class);
+        plain sequences take the original linear scan.
+
         Returns None when no PM in the system can host the VM.
         """
+        if isinstance(machines, IndexedMachines):
+            decision = self._select_among_used_classes(vm, machines)
+            if decision is not None:
+                return decision
+            return self._select_among_unused_classes(vm, machines)
         used = [m for m in machines if m.is_used]
         unused = [m for m in machines if not m.is_used]
         decision = self._select_among_used(vm, used)
@@ -144,10 +158,33 @@ class PlacementPolicy(abc.ABC):
             return decision
         return self._select_among_unused(vm, unused)
 
+    # ------------------------------------------------------------------
+    # Class-based fast path (usage-class index)
+    # ------------------------------------------------------------------
+    def _select_among_used_classes(
+        self, vm: VMType, view: IndexedMachines
+    ) -> Optional[PlacementDecision]:
+        """Used-PM choice over an indexed view.
+
+        The base implementation materializes the used list and defers to
+        :meth:`_select_among_used`, so subclasses that only know the
+        linear scan stay correct; index-aware policies override with a
+        per-class evaluation.
+        """
+        return self._select_among_used(vm, view.used_list())
+
+    def _select_among_unused_classes(
+        self, vm: VMType, view: IndexedMachines
+    ) -> Optional[PlacementDecision]:
+        """Unused-PM fallback over an indexed view (see above)."""
+        return self._select_among_unused(vm, view.unused_list())
+
     def select_excluding(
         self, vm: VMType, machines: Sequence[MachineView], excluded_pm: int
     ) -> Optional[PlacementDecision]:
         """Variant of :meth:`select` that skips one PM (migration source)."""
+        if isinstance(machines, IndexedMachines):
+            return self.select(vm, machines.excluding(excluded_pm))
         return self.select(vm, [m for m in machines if m.pm_id != excluded_pm])
 
     @staticmethod
@@ -163,6 +200,23 @@ class PlacementPolicy(abc.ABC):
 # None when infeasible.  The placement's assignments index the *canonical*
 # unit order; realization remaps them to the selected machine's real units.
 _Candidate = Optional[Tuple[Any, Usage, Placement]]
+
+#: Sentinel distinguishing "not cached" from a cached infeasible (None).
+_CACHE_MISS = object()
+
+#: Default bound of the best-candidate memo; same discipline (and size)
+#: as the ScoreTable snap cache, sized for the distinct profiles a long
+#: dynamic run visits.
+DEFAULT_CANDIDATE_CACHE_SIZE = 65_536
+
+
+class CandidateCacheInfo(NamedTuple):
+    """Best-candidate memo statistics (functools.lru_cache convention)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
 
 
 class ProfileScorePolicy(PlacementPolicy):
@@ -180,18 +234,32 @@ class ProfileScorePolicy(PlacementPolicy):
         rng: generator for pool sampling; defaults to a fixed-seed
             generator so runs are reproducible unless a seeded stream is
             injected.
+        candidate_cache_size: bound of the best-candidate memo.  Long
+            dynamic runs visit an unbounded stream of profiles, so the
+            memo follows the same LRU discipline as the ScoreTable snap
+            cache instead of growing without limit.
     """
 
     def __init__(
         self,
         pool_size: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        candidate_cache_size: int = DEFAULT_CANDIDATE_CACHE_SIZE,
     ):
         if pool_size is not None:
             require(pool_size >= 1, f"pool_size must be >= 1, got {pool_size}")
+        require(
+            candidate_cache_size >= 1,
+            f"candidate_cache_size must be >= 1, got {candidate_cache_size}",
+        )
         self._pool_size = pool_size
         self._rng = rng if rng is not None else np.random.default_rng(0)
-        self._cache: Dict[Tuple[Any, Usage, str], _Candidate] = {}
+        self._cache: "OrderedDict[Tuple[Any, Usage, str], _Candidate]" = (
+            OrderedDict()
+        )
+        self._cache_size = candidate_cache_size
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @abc.abstractmethod
     def profile_score(self, shape: MachineShape, usage: Usage) -> Any:
@@ -219,6 +287,24 @@ class ProfileScorePolicy(PlacementPolicy):
     def invalidate_cache(self) -> None:
         """Drop cached candidates (call if score definitions change)."""
         self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def cache_info(self) -> CandidateCacheInfo:
+        """Hit/miss/occupancy statistics of the best-candidate memo."""
+        return CandidateCacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            maxsize=self._cache_size,
+            currsize=len(self._cache),
+        )
+
+    def _cache_store(self, key: Tuple[Any, Usage, str], value: _Candidate) -> None:
+        """Insert with LRU eviction past the configured bound."""
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Candidate scoring
@@ -258,15 +344,28 @@ class ProfileScorePolicy(PlacementPolicy):
         states share one evaluation.  Returns None when the VM does not
         fit.
         """
-        canonical = shape.canonicalize(usage)
+        return self._best_for_canonical(shape, shape.canonicalize(usage), vm)
+
+    def _best_for_canonical(
+        self, shape: MachineShape, canonical: Usage, vm: VMType
+    ) -> _Candidate:
+        """:meth:`best_candidate` for an already-canonical usage.
+
+        The indexed fast path maintains canonical forms, so it skips the
+        per-machine canonicalization the legacy scan pays.
+        """
         key = (self._shape_key(shape), canonical, vm.name)
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache.get(key, _CACHE_MISS)
+        if cached is not _CACHE_MISS:
+            self._cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self._cache_misses += 1
         candidates = self._candidates(shape, canonical, vm)
         best: _Candidate = None
         if candidates:
             best = max(candidates, key=lambda c: c[0])
-        self._cache[key] = best
+        self._cache_store(key, best)
         return best
 
     def _realize(
@@ -346,3 +445,99 @@ class ProfileScorePolicy(PlacementPolicy):
             score, target, placement = candidate
             return self._realize(machine, vm, target, score, placement)
         return None
+
+    # ------------------------------------------------------------------
+    # Class-based fast path
+    # ------------------------------------------------------------------
+    def _select_among_used_classes(
+        self, vm: VMType, view: IndexedMachines
+    ) -> Optional[PlacementDecision]:
+        """One evaluation per distinct used class, batched scoring.
+
+        Machines in a class share their canonical usage and therefore
+        their best candidate; classes are visited in representative
+        order with a strict ``>`` comparison, which reproduces the
+        linear scan's first-maximum winner (lowest pm_id on ties).
+        """
+        if self._pool_size is not None:
+            # Pool sampling draws machine indices from the RNG stream;
+            # the class path would consume it differently, so 2-choice
+            # runs keep the legacy scan bit-for-bit.
+            return self._select_among_used(vm, view.used_list())
+        classes = view.used_classes()
+        self._warm_class_candidates(vm, classes)
+        best_cls: Optional[Any] = None
+        best: _Candidate = None
+        for cls in classes:
+            candidate = self._best_for_canonical(cls.shape, cls.usage, vm)
+            if candidate is None:
+                continue
+            if best is None or candidate[0] > best[0]:
+                best, best_cls = candidate, cls
+        if best_cls is None:
+            return None
+        score, target, placement = best
+        return self._realize(
+            best_cls.representative, vm, target, score, placement
+        )
+
+    def _select_among_unused_classes(
+        self, vm: VMType, view: IndexedMachines
+    ) -> Optional[PlacementDecision]:
+        # Unused machines carry zero usage: feasibility and the chosen
+        # accommodation depend on the shape alone, so the first feasible
+        # shape class (by representative position) is the scan's winner.
+        for cls in view.unused_classes():
+            candidate = self._best_for_canonical(cls.shape, cls.usage, vm)
+            if candidate is None:
+                continue
+            score, target, placement = candidate
+            return self._realize(
+                cls.representative, vm, target, score, placement
+            )
+        return None
+
+    def _warm_class_candidates(self, vm: VMType, classes: Sequence[Any]) -> None:
+        """Resolve uncached classes with one batched scoring pass per shape.
+
+        Only the "all" candidate mode benefits: its per-class cost is an
+        enumeration plus many score lookups, which
+        :meth:`profile_scores` can resolve for every uncached class of a
+        shape in a single call.  Balanced mode scores one usage per
+        class and stays on the per-class path.
+        """
+        by_shape: "OrderedDict[MachineShape, List[Usage]]" = OrderedDict()
+        for cls in classes:
+            key = (self._shape_key(cls.shape), cls.usage, vm.name)
+            if key in self._cache:
+                continue
+            by_shape.setdefault(cls.shape, []).append(cls.usage)
+        for shape, usages in by_shape.items():
+            if self.candidate_mode(shape) != "all":
+                continue
+            spans: List[Tuple[Usage, List[Placement]]] = []
+            batched: List[Usage] = []
+            for usage in usages:
+                placements = list(
+                    permutations.enumerate_placements(shape, usage, vm)
+                )
+                spans.append((usage, placements))
+                batched.extend(placed.new_usage for placed in placements)
+            scores = self.profile_scores(shape, batched) if batched else []
+            offset = 0
+            for usage, placements in spans:
+                n = len(placements)
+                best: _Candidate = None
+                if n:
+                    # max() keeps the first maximum, matching the
+                    # unbatched _candidates + max tie-break exactly.
+                    best_i = max(
+                        range(n), key=lambda i: scores[offset + i]
+                    )
+                    placed = placements[best_i]
+                    best = (scores[offset + best_i], placed.new_usage, placed)
+                offset += n
+                self._cache_misses += 1
+                self._cache_store(
+                    (self._shape_key(shape), usage, vm.name), best
+                )

@@ -1,0 +1,376 @@
+"""Incremental usage-class index over a fixed machine inventory.
+
+The paper's key observation (Section V.B) is that PMs at the same
+*canonical* usage are interchangeable: Algorithm 2 scores profiles, not
+machines.  This module maintains that equivalence structure online so the
+serving path can evaluate each distinct ``(shape, canonical usage)``
+class once per request instead of rediscovering it machine by machine.
+
+The index partitions the inventory into three states:
+
+* **used** — hosts at least one VM and is not crashed; grouped into
+  classes keyed by ``(shape, canonical usage)``.
+* **unused** — empty and healthy; usage is identically zero, so the
+  class is the shape alone.
+* **failed** — crashed; invisible to every listing until repaired.
+
+Each class carries a deterministic *representative*: the member with the
+lowest inventory position (for the standard ascending-pm_id construction
+that is the lowest ``pm_id``).  Because a linear scan with a strict
+``score > best`` comparison keeps the *first* machine achieving the
+maximum, choosing among class representatives in position order
+reproduces the scan's winner exactly — the determinism argument in
+DESIGN.md section 3.10.
+
+:class:`IndexedMachines` is the read-only view policies receive: it is a
+``Sequence`` of the healthy machines (so list-based code keeps working
+unchanged) that additionally exposes the class structure and a cheap
+single-PM exclusion used for migration-destination selection.
+
+The index is owned and driven by :class:`repro.cluster.datacenter.
+Datacenter`, which calls :meth:`UsageClassIndex.refresh` after every
+mutation; :meth:`UsageClassIndex.check_consistency` rebuilds from a
+fresh scan and reports any divergence (surfaced by the constraint
+auditor as check "I1").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.profile import MachineShape, Usage
+from repro.util.validation import require
+
+__all__ = ["UsageClass", "UsageClassIndex", "IndexedMachines"]
+
+# Machine states tracked per inventory position.
+_NEW = "new"          # pre-initialization sentinel
+_USED = "used"
+_UNUSED = "unused"
+_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class UsageClass:
+    """One equivalence class of interchangeable machines.
+
+    ``usage`` is the canonical usage shared by every member (identically
+    zero for unused classes); ``representative`` is the member with the
+    lowest inventory position and ``size`` the member count (after any
+    view-level exclusion).
+    """
+
+    shape: MachineShape
+    usage: Usage
+    representative: Any
+    size: int
+
+
+def _discard_sorted(values: List[int], pos: int) -> None:
+    """Remove ``pos`` from a sorted position list (it must be present)."""
+    i = bisect_left(values, pos)
+    if i >= len(values) or values[i] != pos:
+        raise ValueError(f"position {pos} missing from index list")
+    del values[i]
+
+
+class UsageClassIndex:
+    """Maintained partition of a machine inventory into usage classes.
+
+    Args:
+        machines: the full, fixed inventory.  Anything exposing
+            ``pm_id``, ``shape``, ``usage``, ``is_used`` and
+            ``is_failed`` qualifies.
+    """
+
+    def __init__(self, machines: Sequence[Any]):
+        self._machines = list(machines)
+        self._pos: Dict[int, int] = {
+            m.pm_id: i for i, m in enumerate(self._machines)
+        }
+        require(
+            len(self._pos) == len(self._machines),
+            "usage index needs unique pm_ids",
+        )
+        n = len(self._machines)
+        self._state: List[str] = [_NEW] * n
+        self._canon: List[Optional[Usage]] = [None] * n
+        self._healthy: List[int] = []
+        self._used: List[int] = []
+        self._unused: List[int] = []
+        self._classes: Dict[Tuple[MachineShape, Usage], List[int]] = {}
+        self._unused_by_shape: Dict[MachineShape, List[int]] = {}
+        for machine in self._machines:
+            self.refresh(machine.pm_id)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def refresh(self, pm_id: int) -> None:
+        """Re-derive one machine's class membership from its live state.
+
+        Called by the datacenter after every mutation touching the PM
+        (place, evict, crash, repair).  Cost is O(log n) bisects plus
+        one canonicalization.
+
+        Raises:
+            KeyError: for ids outside the indexed inventory.
+        """
+        pos = self._pos.get(pm_id)
+        if pos is None:
+            raise KeyError(f"no PM with id {pm_id} in the usage index")
+        machine = self._machines[pos]
+        self._leave(pos)
+        if machine.is_failed:
+            self._state[pos] = _FAILED
+            self._canon[pos] = None
+            return
+        shape = machine.shape
+        canonical = shape.canonicalize(machine.usage)
+        self._canon[pos] = canonical
+        insort(self._healthy, pos)
+        if machine.is_used:
+            self._state[pos] = _USED
+            insort(self._used, pos)
+            members = self._classes.get((shape, canonical))
+            if members is None:
+                self._classes[(shape, canonical)] = [pos]
+            else:
+                insort(members, pos)
+        else:
+            self._state[pos] = _UNUSED
+            insort(self._unused, pos)
+            members = self._unused_by_shape.get(shape)
+            if members is None:
+                self._unused_by_shape[shape] = [pos]
+            else:
+                insort(members, pos)
+
+    def _leave(self, pos: int) -> None:
+        """Remove a position from whatever structures its old state used."""
+        state = self._state[pos]
+        if state in (_NEW, _FAILED):
+            return
+        _discard_sorted(self._healthy, pos)
+        machine = self._machines[pos]
+        if state == _USED:
+            _discard_sorted(self._used, pos)
+            key = (machine.shape, self._canon[pos])
+            members = self._classes[key]
+            _discard_sorted(members, pos)
+            if not members:
+                del self._classes[key]
+        else:
+            _discard_sorted(self._unused, pos)
+            members = self._unused_by_shape[machine.shape]
+            _discard_sorted(members, pos)
+            if not members:
+                del self._unused_by_shape[machine.shape]
+
+    # ------------------------------------------------------------------
+    # Maintained lookups
+    # ------------------------------------------------------------------
+    @property
+    def n_used(self) -> int:
+        """Number of healthy PMs currently hosting VMs (O(1))."""
+        return len(self._used)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct used classes (observability)."""
+        return len(self._classes)
+
+    def used_machines(self) -> List[Any]:
+        """Used healthy machines in inventory order (O(used))."""
+        return [self._machines[p] for p in self._used]
+
+    def healthy_machines(self) -> List[Any]:
+        """Non-crashed machines in inventory order (O(healthy))."""
+        return [self._machines[p] for p in self._healthy]
+
+    def canonical_usage(self, pm_id: int) -> Optional[Usage]:
+        """The maintained canonical usage of a healthy PM (None if failed)."""
+        return self._canon[self._pos[pm_id]]
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> List[str]:
+        """Compare the maintained state against a fresh scan.
+
+        Returns a list of human-readable discrepancies (empty when the
+        index matches reality).  The constraint auditor runs this as
+        check "I1" so drift caused by out-of-band machine mutation is
+        caught rather than silently served.
+        """
+        fresh = UsageClassIndex(self._machines)
+        problems: List[str] = []
+        for label, mine, theirs in (
+            ("state", self._state, fresh._state),
+            ("canonical usage", self._canon, fresh._canon),
+            ("healthy set", self._healthy, fresh._healthy),
+            ("used set", self._used, fresh._used),
+            ("unused set", self._unused, fresh._unused),
+            ("used classes", self._classes, fresh._classes),
+            ("unused shape classes", self._unused_by_shape,
+             fresh._unused_by_shape),
+        ):
+            if mine != theirs:
+                problems.append(
+                    f"index {label} diverged from a fresh scan: "
+                    f"maintained {mine!r} != scanned {theirs!r}"
+                )
+        return problems
+
+
+class IndexedMachines(Sequence):
+    """Class-structured live view of the healthy machines.
+
+    Behaves as a ``Sequence`` of healthy machines in inventory order, so
+    policies unaware of the index fall back to the plain linear scan;
+    index-aware policies use the class listings instead.  ``excluding``
+    produces a view that hides one PM (the migration source) — the only
+    filtering the serving path ever needs.
+    """
+
+    __slots__ = ("_index", "_excluded")
+
+    def __init__(self, index: UsageClassIndex, excluded_pm: Optional[int] = None):
+        self._index = index
+        self._excluded = excluded_pm
+
+    @property
+    def index(self) -> UsageClassIndex:
+        """The backing index (shared, live)."""
+        return self._index
+
+    @property
+    def excluded_pm(self) -> Optional[int]:
+        """The PM this view hides, or None."""
+        return self._excluded
+
+    def excluding(self, pm_id: int) -> "IndexedMachines":
+        """A view over the same index hiding ``pm_id``.
+
+        Views carry at most one exclusion (all the serving path needs:
+        the migration source); excluding again replaces the previous PM.
+        """
+        return IndexedMachines(self._index, pm_id)
+
+    def _excluded_pos(self) -> int:
+        if self._excluded is None:
+            return -1
+        return self._index._pos.get(self._excluded, -1)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol (healthy machines, inventory order)
+    # ------------------------------------------------------------------
+    def _positions(self) -> List[int]:
+        ex = self._excluded_pos()
+        if ex < 0:
+            return self._index._healthy
+        return [p for p in self._index._healthy if p != ex]
+
+    def __len__(self) -> int:
+        return len(self._positions())
+
+    def __getitem__(self, item):
+        positions = self._positions()
+        if isinstance(item, slice):
+            return [self._index._machines[p] for p in positions[item]]
+        return self._index._machines[positions[item]]
+
+    def __iter__(self) -> Iterator[Any]:
+        machines = self._index._machines
+        ex = self._excluded_pos()
+        for p in self._index._healthy:
+            if p != ex:
+                yield machines[p]
+
+    # ------------------------------------------------------------------
+    # Class listings
+    # ------------------------------------------------------------------
+    def used_list(self) -> List[Any]:
+        """Used machines in inventory order (the legacy scan's input)."""
+        machines = self._index._machines
+        ex = self._excluded_pos()
+        return [machines[p] for p in self._index._used if p != ex]
+
+    def unused_list(self) -> List[Any]:
+        """Unused healthy machines in inventory order."""
+        machines = self._index._machines
+        ex = self._excluded_pos()
+        return [machines[p] for p in self._index._unused if p != ex]
+
+    def used_items(self) -> Iterator[Tuple[Any, Usage]]:
+        """Used ``(machine, canonical usage)`` pairs in inventory order.
+
+        The maintained canonical form saves the per-machine
+        canonicalization the legacy scan pays on every decision.
+        """
+        index = self._index
+        machines = index._machines
+        ex = self._excluded_pos()
+        for p in index._used:
+            if p != ex:
+                yield machines[p], index._canon[p]
+
+    def _class_rows(
+        self, groups: Dict[Any, List[int]]
+    ) -> List[Tuple[int, Any, int]]:
+        """(representative position, key, size) rows, lowest rep first."""
+        ex = self._excluded_pos()
+        rows: List[Tuple[int, Any, int]] = []
+        for key, members in groups.items():
+            size = len(members)
+            rep = members[0]
+            if ex >= 0:
+                i = bisect_left(members, ex)
+                if i < size and members[i] == ex:
+                    size -= 1
+                    if size == 0:
+                        continue
+                    if rep == ex:
+                        rep = members[1]
+            rows.append((rep, key, size))
+        rows.sort(key=lambda row: row[0])
+        return rows
+
+    def used_classes(self) -> List[UsageClass]:
+        """Distinct used classes ordered by representative position.
+
+        Machines within a class are interchangeable for any policy that
+        scores the canonical profile; scanning representatives in this
+        order with a strict ``>`` comparison reproduces the linear
+        scan's first-maximum winner.
+        """
+        machines = self._index._machines
+        return [
+            UsageClass(shape, usage, machines[rep], size)
+            for rep, (shape, usage), size in self._class_rows(
+                self._index._classes
+            )
+        ]
+
+    def unused_classes(self) -> List[UsageClass]:
+        """Distinct unused shape classes ordered by representative position.
+
+        Empty healthy machines carry identically zero usage, so the
+        shape alone determines feasibility and the resulting placement.
+        """
+        index = self._index
+        machines = index._machines
+        return [
+            UsageClass(shape, index._canon[rep], machines[rep], size)
+            for rep, shape, size in self._class_rows(index._unused_by_shape)
+        ]

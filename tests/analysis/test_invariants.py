@@ -85,7 +85,7 @@ class TestViolationAndReport:
     def test_constraints_catalog_documents_all_ids(self):
         expected = {
             "C1", "C2", "C3", "C4", "C5", "C6", "C8", "C9", "C10", "C11",
-            "T1", "T2", "T3", "T4",
+            "T1", "T2", "T3", "T4", "I1",
         }
         assert set(CONSTRAINTS) == expected
 
@@ -260,8 +260,11 @@ class TestAuditDatacenter:
         place(datacenter, 0, vm2)
         datacenter.machine(0)._usage[0][0] += 1  # bit-flip the bookkeeping
         report = audit_datacenter(datacenter)
-        assert report.constraint_ids() == ("C2",)
+        # The corrupted usage breaks conservation (C2) and makes the
+        # usage-class index stale relative to a fresh scan (I1).
+        assert report.constraint_ids() == ("C2", "I1")
         assert "conservation" in str(report.by_constraint("C2")[0])
+        assert "index stale" in str(report.by_constraint("I1")[0])
 
     def test_duplicate_hosting_is_c1(self, toy_shape, vm2):
         datacenter = toy_datacenter(toy_shape)

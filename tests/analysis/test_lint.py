@@ -1,4 +1,4 @@
-"""Tests for the domain-aware static linter (PRV001-PRV009)."""
+"""Tests for the domain-aware static linter (PRV001-PRV010)."""
 
 import textwrap
 from pathlib import Path
@@ -22,10 +22,12 @@ def codes(source, path="repro/somewhere/module.py"):
 
 
 class TestRuleTable:
-    def test_nine_rules_with_unique_codes(self):
-        assert len(RULES) == 9
-        assert len(RULES_BY_CODE) == 9
-        assert sorted(RULES_BY_CODE) == [f"PRV00{i}" for i in range(1, 10)]
+    def test_ten_rules_with_unique_codes(self):
+        assert len(RULES) == 10
+        assert len(RULES_BY_CODE) == 10
+        assert sorted(RULES_BY_CODE) == (
+            [f"PRV00{i}" for i in range(1, 10)] + ["PRV010"]
+        )
 
     def test_every_rule_has_a_hint(self):
         for rule in RULES:
@@ -337,6 +339,88 @@ class TestSuppression:
             "ok = x == 1.0\n"
         )
         assert codes(source) == ["PRV002"]
+
+
+class TestMachineScanInTickPath:
+    SIM = "src/repro/cluster/simulation.py"
+
+    def test_full_inventory_read_in_tick_flagged(self):
+        source = """\
+        __all__ = []
+        class Sim:
+            def _on_tick(self, time_s, dt_s):
+                for machine in self._dc.machines:
+                    machine.ping()
+        """
+        assert codes(source, self.SIM) == ["PRV010"]
+
+    def test_private_inventory_attribute_flagged(self):
+        source = """\
+        __all__ = []
+        class Sim:
+            def _healthy(self):
+                return [m for m in self.datacenter._machines]
+        """
+        assert codes(source, self.SIM) == ["PRV010"]
+
+    def test_nested_helper_inside_tick_flagged(self):
+        source = """\
+        __all__ = []
+        class Sim:
+            def _on_tick(self, time_s, dt_s):
+                def count():
+                    return len(self._dc.machines)
+                return count()
+        """
+        assert codes(source, self.SIM) == ["PRV010"]
+
+    def test_index_backed_accessors_clean(self):
+        source = """\
+        __all__ = []
+        class Sim:
+            def _on_tick(self, time_s, dt_s):
+                for machine in self._dc.used_machines():
+                    machine.ping()
+                return self._dc.indexed_machines()
+        """
+        assert codes(source, self.SIM) == []
+
+    def test_non_datacenter_base_clean(self):
+        source = """\
+        __all__ = []
+        class Sim:
+            def _tick_vectorized(self, frame, dt_s):
+                return frame.machines[0]
+        """
+        assert codes(source, self.SIM) == []
+
+    def test_outside_tick_path_clean(self):
+        source = """\
+        __all__ = []
+        class Sim:
+            def summarize(self):
+                return len(self._dc.machines)
+        """
+        assert codes(source, self.SIM) == []
+
+    def test_outside_cluster_package_clean(self):
+        source = """\
+        __all__ = []
+        class Runner:
+            def _on_tick(self, time_s, dt_s):
+                return len(self._dc.machines)
+        """
+        assert codes(source, "src/repro/experiments/runner.py") == []
+
+    def test_suppression_honored(self):
+        source = (
+            "__all__ = []\n"
+            "class Sim:\n"
+            "    def _on_tick(self, time_s, dt_s):\n"
+            "        return self._dc.machines  "
+            "# prv: disable=PRV010 -- baseline path kept for benchmarks\n"
+        )
+        assert codes(source, self.SIM) == []
 
 
 class TestPaths:
