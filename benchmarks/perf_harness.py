@@ -49,8 +49,9 @@ from repro.core.profile import MachineShape, ResourceGroup, Usage, VMType
 from repro.core.score_table import ScoreTable, build_score_table
 from repro.experiments.config import ExperimentConfig, WorkloadSpec
 from repro.experiments.runner import run_experiment
+from repro.util import benchfile
 
-BENCH_FORMAT = "repro.bench_perf.v1"
+BENCH_FORMAT = benchfile.BENCH_FORMAT
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 #: Metrics compared between the serial and parallel runs.
@@ -677,6 +678,27 @@ def measure_end_to_end(
     }
 
 
+def measure_scale_sweep(
+    table: ScoreTable, quick: bool = False
+) -> Dict[str, object]:
+    """Scale-sweep phase: the columnar path at 480 → 100k PMs.
+
+    Quick mode stops at 5k PMs with a 2h horizon and twins both points
+    against the object path (the CI identity gate); the full sweep runs
+    the {480, 5k, 50k, 100k} ladder over a 24h day, measuring the
+    object baseline up to 50k PMs and extrapolating it at 100k.
+    """
+    from repro.experiments.sweep import run_sweep
+
+    points = (480, 5_000) if quick else (480, 5_000, 50_000, 100_000)
+    return run_sweep(
+        points,
+        table=table,
+        quick=quick,
+        object_max_pms=5_000 if quick else 50_000,
+    )
+
+
 def run_harness(
     quick: bool = False, table_cache_dir: Optional[str] = None
 ) -> Dict[str, object]:
@@ -711,19 +733,18 @@ def run_harness(
         )
     )
     entry.update(measure_end_to_end(table_cache_dir=table_cache_dir))
+    entry.update(measure_scale_sweep(table, quick=quick))
     return entry
 
 
 def append_entry(entry: Dict[str, object], out: Path = DEFAULT_OUT) -> None:
-    """Append an entry to the trajectory file, creating it if missing."""
-    if out.exists():
-        payload = json.loads(out.read_text())
-        if payload.get("format") != BENCH_FORMAT:
-            raise ValueError(f"unrecognized bench format in {out}")
-    else:
-        payload = {"format": BENCH_FORMAT, "entries": []}
-    payload["entries"].append(entry)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    """Append an entry to the trajectory file, creating it if missing.
+
+    Delegates to :mod:`repro.util.benchfile`: the write happens under a
+    file lock (concurrent CI jobs append, they don't clobber), the
+    existing payload is schema-validated, and the rewrite is atomic.
+    """
+    benchfile.append_entry(entry, out)
 
 
 def main(argv=None) -> int:

@@ -88,6 +88,7 @@ CONSTRAINTS: Dict[str, str] = {
     "T3": "score-table score non-finite or negative",
     "T4": "score-table score disagrees with recomputation",
     "I1": "usage-class index consistent with a fresh scan of the fleet",
+    "I2": "columnar SoA state consistent with the allocation records",
 }
 
 
@@ -372,6 +373,9 @@ def audit_datacenter(
     datacenter maintains a usage-class index (the online serving path),
     the index is additionally compared against a fresh scan of the
     fleet (I1): a stale class, state or ordering entry is reported.
+    Columnar (SoA) datacenters expose ``check_columns``, audited here as
+    I2: usage/count/canonical columns and the CSR demand terms must
+    match the allocation records exactly.
 
     Args:
         expected_vm_ids: when given, assignment totality (1) requires
@@ -459,6 +463,13 @@ def audit_datacenter(
             violations.append(Violation(
                 constraint="I1",
                 message=f"usage-class index stale: {problem}",
+            ))
+    check_columns = getattr(datacenter, "check_columns", None)
+    if check_columns is not None:
+        for problem in check_columns():
+            violations.append(Violation(
+                constraint="I2",
+                message=f"columnar state diverged: {problem}",
             ))
     return AuditReport(
         violations=violations,

@@ -11,6 +11,9 @@ Commands:
 * ``graph``     — build (and cache) profile graphs for EC2 PM shapes;
   ``graph build --jobs N --graph-cache DIR`` exercises the parallel
   frontier BFS and the on-disk graph cache directly.
+* ``bench``     — performance measurements outside the full harness;
+  ``bench sweep --pms N`` runs the columnar scale sweep (allocate +
+  simulate at N PMs, optionally twinned against the object path).
 * ``lint``      — run the domain-aware static linter (PRV rules) over
   source trees.
 * ``audit``     — replay a saved artifact (score table or placements)
@@ -166,6 +169,45 @@ def build_parser() -> argparse.ArgumentParser:
     graph_build.add_argument(
         "--node-limit", type=int, default=1_000_000,
         help="abort once the graph would exceed this many nodes")
+
+    bench = sub.add_parser(
+        "bench", help="performance measurements outside the full harness"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_sweep = bench_sub.add_parser(
+        "sweep",
+        help="columnar scale sweep: allocate + simulate at each --pms size",
+    )
+    bench_sweep.add_argument(
+        "--pms", type=int, nargs="+", metavar="N",
+        default=[480, 5_000, 50_000, 100_000],
+        help="datacenter sizes to measure (default: 480 5000 50000 100000)")
+    bench_sweep.add_argument(
+        "--quick", action="store_true",
+        help="simulate a 2h horizon instead of the paper's 24h day")
+    bench_sweep.add_argument(
+        "--check-identity", action="store_true",
+        help="twin every point against the object path and assert "
+             "identical decisions (sets --object-max-pms to the largest "
+             "size unless given)")
+    bench_sweep.add_argument(
+        "--object-max-pms", type=int, default=0, metavar="N",
+        help="largest size at which the object-path baseline runs; "
+             "larger points extrapolate its wall time (default: 0, off)")
+    bench_sweep.add_argument(
+        "--scan-anchor-pms", type=int, default=480, metavar="N",
+        help="measure the pre-index scan path at N and 2N PMs and "
+             "extrapolate it quadratically to every point (default: "
+             "480; 0 disables the scan baseline)")
+    bench_sweep.add_argument(
+        "--shard-size", type=int, default=4_096,
+        help="rows per columnar shard (default: 4096)")
+    bench_sweep.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="append the sweep entry to this BENCH trajectory file")
+    bench_sweep.add_argument(
+        "--table-cache", metavar="DIR", default=None,
+        help="profile-graph disk cache for the M3 score-table build")
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static linter (PRV rules)"
@@ -398,6 +440,38 @@ def _cmd_graph(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    from repro.experiments.sweep import run_sweep
+    from repro.util import benchfile
+
+    object_max_pms = args.object_max_pms
+    if args.check_identity and object_max_pms == 0:
+        object_max_pms = max(args.pms)
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "phase": "scale_sweep",
+        "quick": args.quick,
+    }
+    entry.update(run_sweep(
+        args.pms,
+        quick=args.quick,
+        shard_size=args.shard_size,
+        object_max_pms=object_max_pms,
+        scan_anchor_pms=args.scan_anchor_pms,
+        table_cache_dir=args.table_cache,
+    ))
+    if args.out is not None:
+        benchfile.append_entry(entry, Path(args.out))
+    print(json.dumps(entry, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import RULES, lint_paths
 
@@ -457,6 +531,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "exact": _cmd_exact,
     "graph": _cmd_graph,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
     "audit": _cmd_audit,
 }

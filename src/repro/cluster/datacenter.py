@@ -22,7 +22,7 @@ from repro.core.policy import PlacementDecision
 from repro.core.usage_index import IndexedMachines, UsageClassIndex
 from repro.util.validation import ValidationError, require
 
-__all__ = ["Datacenter"]
+__all__ = ["Datacenter", "restore_placement"]
 
 
 class Datacenter:
@@ -189,7 +189,7 @@ class Datacenter:
             source = self._by_id[old.pm_id]
             source.place(
                 old.vm,
-                _as_placement(source, old),
+                restore_placement(source, old),
                 old.placed_at,
             )
             self._vm_location[vm_id] = old.pm_id
@@ -197,8 +197,12 @@ class Datacenter:
             raise
 
 
-def _as_placement(machine: PhysicalMachine, allocation: Allocation):
-    """Rebuild a Placement applying an allocation's recorded assignments."""
+def restore_placement(machine, allocation: Allocation):
+    """Rebuild a Placement applying an allocation's recorded assignments.
+
+    ``machine`` is anything exposing ``usage`` (a ``PhysicalMachine`` or
+    a columnar view); used by both substrates' migration rollback.
+    """
     from repro.core.permutations import Placement
 
     usage = [list(group) for group in machine.usage]

@@ -25,6 +25,7 @@ __all__ = [
     "ec2_vm_type",
     "ec2_pm_shape",
     "build_ec2_datacenter",
+    "build_ec2_soa_datacenter",
 ]
 
 CPU_QUANTUM_GHZ = 0.1
@@ -133,3 +134,28 @@ def build_ec2_datacenter(counts: Mapping[str, int]) -> Datacenter:
             machines.append(PhysicalMachine(pm_id, shape, type_name=name))
             pm_id += 1
     return Datacenter(machines)
+
+
+def build_ec2_soa_datacenter(counts: Mapping[str, int], shard_size: int = 4096):
+    """A columnar (struct-of-arrays) datacenter of Table II machines.
+
+    Same inventory and pm_id assignment as :func:`build_ec2_datacenter`,
+    backed by :class:`repro.core.soa.SoADatacenter` — the substrate used
+    by the scale sweep (100k PMs / 1M VMs).
+
+    Args:
+        counts: PM type name -> how many.
+        shard_size: rows per columnar shard.
+    """
+    from repro.core.soa import SoADatacenter
+
+    require(len(counts) > 0, "counts must not be empty")
+    specs: List[Tuple[int, MachineShape, str]] = []
+    pm_id = 0
+    for name, count in counts.items():
+        require(count >= 0, f"count for {name!r} must be non-negative")
+        shape = ec2_pm_shape(name)
+        for _ in range(count):
+            specs.append((pm_id, shape, name))
+            pm_id += 1
+    return SoADatacenter(specs, shard_size=shard_size)

@@ -243,9 +243,12 @@ class CloudSimulation:
         )
 
     def _power_model(self, machine: PhysicalMachine) -> PowerModel:
+        return self._power_model_named(machine.type_name)
+
+    def _power_model_named(self, type_name: str) -> PowerModel:
         if self._power_models is not None:
-            return self._power_models[machine.type_name]
-        return power_model_for(machine.type_name)
+            return self._power_models[type_name]
+        return power_model_for(type_name)
 
     def _on_tick(self, time_s: float, dt_s: float) -> None:
         if self._pending:
@@ -255,7 +258,9 @@ class CloudSimulation:
             # or SLO accounting, and overloads go unnoticed this tick.
             self._resilience.monitor_dropped_ticks += 1
             return
-        if self._fast_path:
+        if self._fast_path and hasattr(self._dc, "monitor_arrays"):
+            self._tick_columnar(time_s, dt_s)
+        elif self._fast_path:
             self._tick_vectorized(time_s, dt_s)
         else:
             self._tick_scan(time_s, dt_s)
@@ -286,6 +291,39 @@ class CloudSimulation:
         for i in self._monitor.overloaded_indices(frame):
             self._overload_events += 1
             self._relieve(frame.machines[int(i)], time_s)
+
+    def _tick_columnar(self, time_s: float, dt_s: float) -> None:
+        """One monitoring tick straight off the SoA datacenter's columns.
+
+        ``monitor_arrays`` reduces per-PM demand with the shard-level
+        bincount fold — the same left-to-right summation as the
+        per-machine walk, so overload detection and every downstream
+        migration decision stay bit-identical to both other tick forms.
+        Energy integrates per PM type in first-active-occurrence order,
+        matching the vectorized tick's dict-insertion grouping.
+        """
+        burst = self._config.burst_model
+        positions, utilization, active, type_ids = self._dc.monitor_arrays(
+            time_s, burst
+        )
+        self._slo.record_many(utilization, dt_s, active)
+        clamped = np.minimum(utilization, 1.0)
+        active_rows = np.flatnonzero(active)
+        if active_rows.size:
+            type_of = type_ids[active_rows]
+            uniq, first_seen = np.unique(type_of, return_index=True)
+            names = self._dc.type_names
+            for type_id in uniq[np.argsort(first_seen)]:
+                rows = active_rows[type_of == type_id]
+                self._energy.accumulate_many(
+                    self._power_model_named(names[int(type_id)]),
+                    clamped[rows],
+                    dt_s,
+                )
+        threshold = self._monitor.overload_threshold
+        for i in np.flatnonzero(active & (utilization > threshold)):
+            self._overload_events += 1
+            self._relieve(self._dc.machine_at(int(positions[int(i)])), time_s)
 
     def _tick_scan(self, time_s: float, dt_s: float) -> None:
         """The seed machine-by-machine monitoring loop, kept verbatim.

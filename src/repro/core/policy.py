@@ -204,6 +204,23 @@ _Candidate = Optional[Tuple[Any, Usage, Placement]]
 #: Sentinel distinguishing "not cached" from a cached infeasible (None).
 _CACHE_MISS = object()
 
+#: Class-table size below which the vector ranking runs as a plain loop
+#: (identical winner): with few distinct classes the per-call numpy
+#: overhead exceeds the whole scan.
+_VECTOR_MIN_CLASSES = 64
+
+
+class _ClassKeyRow(NamedTuple):
+    """A (shape, canonical usage) class key shaped like a UsedClass row.
+
+    The vector selection path feeds these to
+    :meth:`ProfileScorePolicy._warm_class_candidates`, which only reads
+    ``shape`` and ``usage``.
+    """
+
+    shape: MachineShape
+    usage: Usage
+
 #: Default bound of the best-candidate memo; same discipline (and size)
 #: as the ScoreTable snap cache, sized for the distinct profiles a long
 #: dynamic run visits.
@@ -240,6 +257,12 @@ class ProfileScorePolicy(PlacementPolicy):
             cache instead of growing without limit.
     """
 
+    #: Subclasses whose :meth:`profile_score` returns a plain float may
+    #: set this True to rank used classes with one masked argmax over the
+    #: class-id table (columnar substrate only).  Policies with tuple
+    #: scores (CompVM) keep the per-class loop.
+    vector_class_scores: bool = False
+
     def __init__(
         self,
         pool_size: Optional[int] = None,
@@ -260,6 +283,10 @@ class ProfileScorePolicy(PlacementPolicy):
         self._cache_size = candidate_cache_size
         self._cache_hits = 0
         self._cache_misses = 0
+        # (id(index), epoch) of the last indexed view served, plus the
+        # per-VM-type class-id score vectors built against it.
+        self._index_token: Optional[Tuple[int, int]] = None
+        self._class_score_vecs: dict = {}
 
     @abc.abstractmethod
     def profile_score(self, shape: MachineShape, usage: Usage) -> Any:
@@ -289,6 +316,32 @@ class ProfileScorePolicy(PlacementPolicy):
         self._cache.clear()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._class_score_vecs.clear()
+
+    def _observe_index(self, view: IndexedMachines) -> None:
+        """Track the serving index's identity and bulk-rebuild epoch.
+
+        The best-candidate memo keys on class *content*, so it survives
+        any incremental index churn — but a bulk rebuild
+        (``UsageClassIndex.rebuild``) re-derives index state out from
+        under every memoized structure and re-interns class ids.
+        Invalidating here, exactly when the epoch moves, is equivalent
+        to keying every memo entry on the epoch: no entry written under
+        an older epoch can ever be served under a newer one.  A
+        *different* index (a fresh run) only resets the id-addressed
+        score vectors; the content-addressed memo stays valid.
+        """
+        index = view.index
+        token = (id(index), getattr(index, "epoch", 0))
+        if self._index_token == token:
+            return
+        rebuilt_underneath = (
+            self._index_token is not None and self._index_token[0] == token[0]
+        )
+        self._index_token = token
+        self._class_score_vecs.clear()
+        if rebuilt_underneath:
+            self.invalidate_cache()
 
     def cache_info(self) -> CandidateCacheInfo:
         """Hit/miss/occupancy statistics of the best-candidate memo."""
@@ -459,11 +512,16 @@ class ProfileScorePolicy(PlacementPolicy):
         order with a strict ``>`` comparison, which reproduces the
         linear scan's first-maximum winner (lowest pm_id on ties).
         """
+        self._observe_index(view)
         if self._pool_size is not None:
             # Pool sampling draws machine indices from the RNG stream;
             # the class path would consume it differently, so 2-choice
             # runs keep the legacy scan bit-for-bit.
             return self._select_among_used(vm, view.used_list())
+        if self.vector_class_scores:
+            table = getattr(view, "class_table", None)
+            if table is not None:
+                return self._select_among_used_vector(vm, view, table)
         classes = view.used_classes()
         self._warm_class_candidates(vm, classes)
         best_cls: Optional[Any] = None
@@ -480,6 +538,134 @@ class ProfileScorePolicy(PlacementPolicy):
         return self._realize(
             best_cls.representative, vm, target, score, placement
         )
+
+    def _select_among_used_vector(
+        self, vm: VMType, view: IndexedMachines, table: Any
+    ) -> Optional[PlacementDecision]:
+        """Rank every used class with one masked argmax over the table.
+
+        The per-VM-type score vector is indexed by class id: NaN marks
+        an id never evaluated for this VM type, -inf a cached
+        infeasibility.  Ids are content-addressed, so a score stays
+        valid while its class empties and refills; vectors die with the
+        index epoch (see :meth:`_observe_index`).
+
+        Equivalence with the per-class loop: that loop visits classes in
+        ascending representative order keeping the first strict maximum,
+        i.e. the minimum-representative class among those achieving the
+        exact maximal score — precisely ``argmin(rep)`` over the argmax
+        ties below.
+        """
+        n = table.n_classes
+        if n == 0:
+            return None
+        vec = self._class_score_vecs.get(vm.name)
+        if vec is None or vec.size < n:
+            grown = np.full(max(64, 2 * n), np.nan, dtype=np.float64)
+            if vec is not None:
+                grown[: vec.size] = vec
+            vec = self._class_score_vecs[vm.name] = grown
+        scores = vec[:n]
+        if n <= _VECTOR_MIN_CLASSES:
+            # Below ~dozens of classes the array ops cost more than they
+            # save; a plain loop computes the identical winner.
+            return self._select_among_used_small(vm, view, table, scores)
+        rep = table.rep
+        size = table.size
+        index = view.index
+        excluded = view._excluded_pos()
+        if excluded >= 0:
+            excluded_cid = int(index.class_ids[excluded])
+            if excluded_cid >= 0:
+                rep = rep.copy()
+                size = size.copy()
+                size[excluded_cid] -= 1
+                members = index._classes[table.keys[excluded_cid]]
+                if size[excluded_cid] > 0 and members[0] == excluded:
+                    rep[excluded_cid] = members[1]
+        active = size > 0
+        unknown = np.flatnonzero(active & np.isnan(scores))
+        if unknown.size:
+            rows = [_ClassKeyRow(*table.keys[int(c)]) for c in unknown]
+            self._warm_class_candidates(vm, rows)
+            for c, row in zip(unknown, rows):
+                candidate = self._best_for_canonical(row.shape, row.usage, vm)
+                scores[int(c)] = (
+                    float(candidate[0]) if candidate is not None else -np.inf
+                )
+        masked = np.where(active, scores, -np.inf)
+        best = float(masked.max())
+        if best == -np.inf:  # prv: disable=PRV002 -- -inf sentinel test, not a capacity comparison
+            return None
+        tied = np.flatnonzero(masked == best)  # prv: disable=PRV002 -- exact-score tie set; floats are identical by construction
+        winner = int(tied[np.argmin(rep[tied])])
+        shape, usage = table.keys[winner]
+        candidate = self._best_for_canonical(shape, usage, vm)
+        if candidate is None:  # pragma: no cover - winner came from a feasible score
+            return None
+        score, target, placement = candidate
+        return self._realize(
+            index._machines[int(rep[winner])], vm, target, score, placement
+        )
+
+    def _select_among_used_small(
+        self, vm: VMType, view: IndexedMachines, table: Any, scores: Any
+    ) -> Optional[PlacementDecision]:
+        """The vector ranking's low-class-count twin (identical winner).
+
+        Same score-vector memo, same max-score / min-representative
+        choice — written as a plain loop because at a handful of classes
+        per-call numpy overhead dominates the serving latency.
+        """
+        index = view.index
+        excluded = view._excluded_pos()
+        excluded_cid = -1
+        if excluded >= 0:
+            excluded_cid = int(index.class_ids[excluded])
+        rep = table.rep
+        size = table.size
+        scores_list = scores.tolist()
+        best_score = None
+        best_rep = -1
+        for cid in range(table.n_classes):
+            class_size = int(size[cid])
+            class_rep = int(rep[cid])
+            if cid == excluded_cid:
+                class_size -= 1
+                if class_size > 0:
+                    members = index._classes[table.keys[cid]]
+                    if members[0] == excluded:
+                        class_rep = members[1]
+            if class_size <= 0:
+                continue
+            score = scores_list[cid]
+            if score != score:  # prv: disable=PRV002 -- NaN self-test (never-evaluated sentinel), not a capacity comparison
+                shape, usage = table.keys[cid]
+                candidate = self._best_for_canonical(shape, usage, vm)
+                score = (
+                    float(candidate[0]) if candidate is not None
+                    else -float("inf")
+                )
+                scores[cid] = scores_list[cid] = score
+            if score == -float("inf"):  # prv: disable=PRV002 -- -inf sentinel test, not a capacity comparison
+                continue
+            if (
+                best_score is None
+                or score > best_score
+                or (score == best_score and class_rep < best_rep)  # prv: disable=PRV002 -- exact-score tie; floats are identical by construction
+            ):
+                best_score, best_rep = score, class_rep
+        if best_score is None:
+            return None
+        machine = index._machines[best_rep]
+        shape = machine.shape
+        candidate = self._best_for_canonical(
+            shape, index._canon[best_rep], vm
+        )
+        if candidate is None:  # pragma: no cover - winner came from a feasible score
+            return None
+        score, target, placement = candidate
+        return self._realize(machine, vm, target, score, placement)
 
     def _select_among_unused_classes(
         self, vm: VMType, view: IndexedMachines

@@ -1,0 +1,676 @@
+"""Columnar datacenter: the object-path API served from shard columns.
+
+:class:`SoADatacenter` is a drop-in replacement for
+:class:`~repro.cluster.datacenter.Datacenter`: same constructor
+invariants, same mutation methods, same error types and messages, same
+rollback semantics on failed migrations.  The difference is storage —
+all machine state lives in :class:`~repro.core.soa.columns.ShardColumns`
+arrays — and two additional capabilities the simulation and auditor
+discover by duck typing:
+
+* :meth:`monitor_arrays` — one monitor tick's utilization/active/type
+  columns for the healthy fleet, reduced shard by shard (the columnar
+  tick in :class:`~repro.cluster.simulation.CloudSimulation` consumes
+  this instead of building a ``MonitorFrame`` from n Python calls);
+* :meth:`check_columns` — the auditor's "I2" check: every column is
+  re-derived from the allocation records and compared.
+
+:class:`SoAMachineView` is the ``__slots__``-backed proxy satisfying the
+``PhysicalMachine`` API (the policy ``MachineView`` protocol plus the
+monitor/selector surface) over one row of the columns.  Views are cheap,
+stable (one per PM, created eagerly) and writable only through the
+datacenter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.datacenter import restore_placement
+from repro.cluster.vm import VirtualMachine
+from repro.core.permutations import Placement, can_place
+from repro.core.policy import PlacementDecision
+from repro.core.profile import MachineShape, Usage, VMType
+from repro.core.soa.columns import (
+    DEFAULT_SHARD_SIZE,
+    ShapeInfo,
+    ShardColumns,
+    TraceColumns,
+    chunk_ceilings,
+    validate_burst,
+)
+from repro.core.soa.index import SoAIndexedMachines, SoAUsageClassIndex
+from repro.util.validation import ValidationError, require
+
+__all__ = ["SoAMachineView", "SoADatacenter"]
+
+
+class SoAMachineView:
+    """Read-mostly ``PhysicalMachine`` facade over one column row."""
+
+    __slots__ = ("_dc", "_pos")
+
+    def __init__(self, dc: "SoADatacenter", pos: int):
+        self._dc = dc
+        self._pos = pos
+
+    # ------------------------------------------------------------------
+    # MachineView protocol
+    # ------------------------------------------------------------------
+    @property
+    def pm_id(self) -> int:
+        """Stable PM identifier."""
+        return self._dc._pm_ids[self._pos]
+
+    @property
+    def shape(self) -> MachineShape:
+        """Capacity shape."""
+        return self._dc._info_of_pos(self._pos).shape
+
+    @property
+    def usage(self) -> Usage:
+        """Committed usage, real unit order (snapshot tuple, cached).
+
+        Materializing the tuple from the row costs ~7us and the policy
+        reads it several times per decision; the cache entry lives until
+        the row's usage column next mutates.
+        """
+        cached = self._dc._usage_cache[self._pos]
+        if cached is None:
+            shard, row = self._dc._shard_of(self._pos)
+            cached = self._dc._info_of_pos(self._pos).usage_tuple(
+                shard.usage[row]
+            )
+            self._dc._usage_cache[self._pos] = cached
+        return cached
+
+    @property
+    def is_used(self) -> bool:
+        """True when at least one VM is hosted."""
+        shard, row = self._dc._shard_of(self._pos)
+        return shard.alloc_count[row] > 0
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    @property
+    def type_name(self) -> str:
+        """PM type label (keys the power model)."""
+        shard, row = self._dc._shard_of(self._pos)
+        return self._dc.type_names[shard.type_id[row]]
+
+    @property
+    def allocations(self) -> List[Allocation]:
+        """Allocation records of the hosted VMs (insertion order)."""
+        shard, row = self._dc._shard_of(self._pos)
+        return list(shard.allocs[row].values())
+
+    @property
+    def n_vms(self) -> int:
+        """Number of hosted VMs."""
+        shard, row = self._dc._shard_of(self._pos)
+        return len(shard.allocs[row])
+
+    def hosts(self, vm_id: int) -> bool:
+        """True when the PM hosts the given VM."""
+        shard, row = self._dc._shard_of(self._pos)
+        return vm_id in shard.allocs[row]
+
+    def allocation_of(self, vm_id: int) -> Allocation:
+        """The allocation record of a hosted VM (KeyError otherwise)."""
+        shard, row = self._dc._shard_of(self._pos)
+        allocation = shard.allocs[row].get(vm_id)
+        if allocation is None:
+            raise KeyError(f"PM#{self.pm_id} does not host VM#{vm_id}")
+        return allocation
+
+    # ------------------------------------------------------------------
+    # Failure state
+    # ------------------------------------------------------------------
+    @property
+    def is_failed(self) -> bool:
+        """True while the PM is crashed."""
+        shard, row = self._dc._shard_of(self._pos)
+        return bool(shard.failed[row])
+
+    # ------------------------------------------------------------------
+    # Utilization
+    # ------------------------------------------------------------------
+    def can_host(self, vm_type: VMType) -> bool:
+        """Feasibility of hosting a VM of the given type right now."""
+        if self.is_failed:
+            return False
+        return can_place(self.shape, self.usage, vm_type)
+
+    def committed_utilization(self) -> float:
+        """Mean per-dimension committed (requested) utilization."""
+        return self.shape.utilization(self.usage)
+
+    def committed_cpu_utilization(self) -> float:
+        """Committed CPU utilization (requested CPU / CPU capacity)."""
+        info = self._dc._info_of_pos(self._pos)
+        shard, row = self._dc._shard_of(self._pos)
+        lo = info.offsets[info.cpu_group]
+        hi = info.offsets[info.cpu_group + 1]
+        return int(shard.usage[row, lo:hi].sum()) / info.cpu_capacity
+
+    def actual_cpu_utilization(self, time_s: float, burst: Any = "core") -> float:
+        """Trace-driven CPU utilization at a time (object-path fold).
+
+        Same left-fold over the same terms in the same order as
+        ``PhysicalMachine.actual_cpu_utilization`` — the relief loop
+        recomputes mid-tick utilizations through this, so it must agree
+        bitwise with both the object path and the shard reduction.
+        """
+        info = self._dc._info_of_pos(self._pos)
+        shard, row = self._dc._shard_of(self._pos)
+        demand = 0.0
+        for allocation in shard.allocs[row].values():
+            fraction = allocation.vm.cpu_utilization_at(time_s)
+            if fraction <= 0.0:
+                continue
+            for ceiling in chunk_ceilings(
+                allocation.assignments[info.cpu_group],
+                info.cpu_capacities,
+                burst,
+            ):
+                demand += fraction * ceiling
+        return demand / info.cpu_capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"SoAMachineView(id={self.pm_id}, type={self.type_name!r}, "
+            f"vms={self.n_vms}, committed={self.committed_utilization():.2f})"
+        )
+
+
+class SoADatacenter:
+    """Sharded struct-of-arrays datacenter with the ``Datacenter`` API.
+
+    Args:
+        specs: per-PM ``(pm_id, shape, type_name)`` rows in inventory
+            order.
+        shard_size: PMs per shard (the last shard may be smaller).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Tuple[int, MachineShape, str]],
+        shard_size: int = DEFAULT_SHARD_SIZE,
+    ):
+        specs = list(specs)
+        require(len(specs) > 0, "a datacenter needs at least one PM")
+        require(shard_size >= 1, f"shard_size must be >= 1, got {shard_size}")
+        ids = [pm_id for pm_id, _, _ in specs]
+        require(len(set(ids)) == len(ids), f"duplicate PM ids: {ids!r}")
+
+        self._shard_size = shard_size
+        self._pm_ids: List[int] = ids
+        self._pos_of: Dict[int, int] = {pm_id: i for i, pm_id in enumerate(ids)}
+
+        # Intern shapes and type names into dense ids.
+        self._shape_ids: Dict[MachineShape, int] = {}
+        self._infos: List[ShapeInfo] = []
+        self.type_names: List[str] = []
+        type_ids: Dict[str, int] = {}
+        shape_col = np.empty(len(specs), dtype=np.int32)
+        type_col = np.empty(len(specs), dtype=np.int32)
+        for i, (_, shape, type_name) in enumerate(specs):
+            shape_id = self._shape_ids.get(shape)
+            if shape_id is None:
+                shape_id = len(self._infos)
+                self._shape_ids[shape] = shape_id
+                self._infos.append(ShapeInfo(shape, shape_id))
+            shape_col[i] = shape_id
+            type_id = type_ids.get(type_name)
+            if type_id is None:
+                type_id = len(self.type_names)
+                type_ids[type_name] = type_id
+                self.type_names.append(type_name)
+            type_col[i] = type_id
+        max_dims = max(info.n_dims for info in self._infos)
+
+        n = len(specs)
+        self._shards: List[ShardColumns] = []
+        for base in range(0, n, shard_size):
+            shard = ShardColumns(base, min(shard_size, n - base), max_dims)
+            shard.shape_id[:] = shape_col[base:base + shard.n]
+            shard.type_id[:] = type_col[base:base + shard.n]
+            shard.cpu_capacity[:] = [
+                float(self._infos[sid].cpu_capacity)
+                for sid in shard.shape_id
+            ]
+            self._shards.append(shard)
+
+        self._traces = TraceColumns()
+        self._vm_location: Dict[int, int] = {}
+        self._views: List[SoAMachineView] = [
+            SoAMachineView(self, pos) for pos in range(n)
+        ]
+        self._usage_cache: List[Optional[Usage]] = [None] * n
+        self._index = SoAUsageClassIndex(self._views)
+        self._view = SoAIndexedMachines(self._index)
+
+    @classmethod
+    def from_machines(
+        cls, machines: Sequence[Any], shard_size: int = DEFAULT_SHARD_SIZE
+    ) -> "SoADatacenter":
+        """Build from empty ``PhysicalMachine``-like specs (tests, twins)."""
+        return cls(
+            [(m.pm_id, m.shape, m.type_name) for m in machines],
+            shard_size=shard_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Internal addressing
+    # ------------------------------------------------------------------
+    def _shard_of(self, pos: int) -> Tuple[ShardColumns, int]:
+        shard = self._shards[pos // self._shard_size]
+        return shard, pos - shard.base
+
+    def _info_of_pos(self, pos: int) -> ShapeInfo:
+        shard, row = self._shard_of(pos)
+        return self._infos[shard.shape_id[row]]
+
+    @property
+    def shards(self) -> List[ShardColumns]:
+        """The shard columns (read-only use: benchmarks, the auditor)."""
+        return list(self._shards)
+
+    @property
+    def trace_columns(self) -> TraceColumns:
+        """The VM trace registry feeding the per-tick fraction column."""
+        return self._traces
+
+    # ------------------------------------------------------------------
+    # Inventory (Datacenter API)
+    # ------------------------------------------------------------------
+    @property
+    def machines(self) -> List[SoAMachineView]:
+        """All PMs in inventory order."""
+        return list(self._views)
+
+    def machine(self, pm_id: int) -> SoAMachineView:
+        """PM view by id (KeyError for unknown ids)."""
+        pos = self._pos_of.get(pm_id)
+        if pos is None:
+            raise KeyError(f"no PM with id {pm_id}")
+        return self._views[pos]
+
+    def machine_at(self, pos: int) -> SoAMachineView:
+        """PM view by inventory position (the tick's addressing)."""
+        return self._views[pos]
+
+    @property
+    def n_machines(self) -> int:
+        """Total PM count."""
+        return len(self._views)
+
+    def used_machines(self) -> List[SoAMachineView]:
+        """PMs currently hosting at least one VM (maintained, O(used))."""
+        return self._index.used_machines()
+
+    def healthy_machines(self) -> List[SoAMachineView]:
+        """PMs not currently crashed — the candidate pool under faults."""
+        return self._index.healthy_machines()
+
+    @property
+    def usage_index(self) -> SoAUsageClassIndex:
+        """The maintained usage-class index (audited by check I1)."""
+        return self._index
+
+    def indexed_machines(self) -> SoAIndexedMachines:
+        """Live class-structured view of the healthy machines."""
+        return self._view
+
+    @property
+    def pms_used(self) -> int:
+        """Number of PMs currently hosting VMs (maintained, O(1))."""
+        return self._index.n_used
+
+    @property
+    def n_vms(self) -> int:
+        """Number of VMs currently placed."""
+        return len(self._vm_location)
+
+    def locate(self, vm_id: int) -> Optional[int]:
+        """PM id hosting a VM, or None when unplaced."""
+        return self._vm_location.get(vm_id)
+
+    # ------------------------------------------------------------------
+    # Row mutation primitives
+    # ------------------------------------------------------------------
+    def _machine_place(
+        self, pos: int, vm: VirtualMachine, placement: Placement, time_s: float
+    ) -> Allocation:
+        """``PhysicalMachine.place`` semantics against the columns."""
+        shard, row = self._shard_of(pos)
+        pm_id = self._pm_ids[pos]
+        if shard.failed[row]:
+            raise ValidationError(
+                f"PM#{pm_id} is crashed and cannot accept VM#{vm.vm_id}"
+            )
+        row_allocs = shard.allocs[row]
+        if vm.vm_id in row_allocs:
+            raise ValidationError(
+                f"VM#{vm.vm_id} is already placed on PM#{pm_id}"
+            )
+        info = self._infos[shard.shape_id[row]]
+        usage_row = shard.usage[row]
+        # Validate before mutating so failures leave the row unchanged.
+        for g, (group, group_assign) in enumerate(
+            zip(info.shape.groups, placement.assignments)
+        ):
+            offset = info.offsets[g]
+            taken = set()
+            for idx, chunk in group_assign:
+                if idx in taken and group.anti_collocation:
+                    raise ValidationError(
+                        f"anti-collocation violated: two chunks on unit "
+                        f"{idx} of group {group.name!r}"
+                    )
+                taken.add(idx)
+                if usage_row[offset + idx] + chunk > group.capacities[idx]:
+                    raise ValidationError(
+                        f"capacity exceeded on unit {idx} of group "
+                        f"{group.name!r}: {int(usage_row[offset + idx])}+"
+                        f"{chunk} > {group.capacities[idx]}"
+                    )
+        for g, group_assign in enumerate(placement.assignments):
+            offset = info.offsets[g]
+            for idx, chunk in group_assign:
+                usage_row[offset + idx] += chunk
+        self._usage_cache[pos] = None
+        allocation = Allocation(
+            vm=vm, pm_id=pm_id, assignments=placement.assignments,
+            placed_at=time_s,
+        )
+        row_allocs[vm.vm_id] = allocation
+        shard.alloc_count[row] += 1
+        slot = self._traces.register(vm.vm_id, vm.trace)
+        for burst, csr in shard.csr.items():
+            csr.append(
+                row,
+                vm.vm_id,
+                slot,
+                chunk_ceilings(
+                    allocation.assignments[info.cpu_group],
+                    info.cpu_capacities,
+                    burst,
+                ),
+            )
+        return allocation
+
+    def _machine_remove(self, pos: int, vm_id: int) -> Allocation:
+        """``PhysicalMachine.remove`` semantics against the columns."""
+        shard, row = self._shard_of(pos)
+        pm_id = self._pm_ids[pos]
+        allocation = shard.allocs[row].get(vm_id)
+        if allocation is None:
+            raise KeyError(f"PM#{pm_id} does not host VM#{vm_id}")
+        info = self._infos[shard.shape_id[row]]
+        usage_row = shard.usage[row]
+        for g, group_assign in enumerate(allocation.assignments):
+            offset = info.offsets[g]
+            for idx, chunk in group_assign:
+                usage_row[offset + idx] -= chunk
+                if usage_row[offset + idx] < 0:
+                    raise ValidationError(
+                        f"negative usage on PM#{pm_id} after removing "
+                        f"VM#{vm_id}; allocation records are corrupt"
+                    )
+        self._usage_cache[pos] = None
+        del shard.allocs[row][vm_id]
+        shard.alloc_count[row] -= 1
+        for csr in shard.csr.values():
+            csr.remove(row, vm_id)
+        return allocation
+
+    def _refresh(self, pm_id: int) -> None:
+        """Index refresh plus the canonical-usage column sync."""
+        self._index.refresh(pm_id)
+        pos = self._pos_of[pm_id]
+        shard, row = self._shard_of(pos)
+        canonical = self._index.canonical_usage(pm_id)
+        if canonical is None:
+            shard.canon[row, :] = 0
+        else:
+            info = self._infos[shard.shape_id[row]]
+            flat = [u for group in canonical for u in group]
+            shard.canon[row, : len(flat)] = flat
+
+    # ------------------------------------------------------------------
+    # Mutation (Datacenter API)
+    # ------------------------------------------------------------------
+    def apply(
+        self, vm: VirtualMachine, decision: PlacementDecision, time_s: float = 0.0
+    ) -> Allocation:
+        """Apply a policy's placement decision (see ``Datacenter.apply``)."""
+        if vm.vm_id in self._vm_location:
+            raise ValidationError(
+                f"VM#{vm.vm_id} is already placed on "
+                f"PM#{self._vm_location[vm.vm_id]}"
+            )
+        pos = self._pos_of.get(decision.pm_id)
+        if pos is None:
+            raise KeyError(f"no PM with id {decision.pm_id}")
+        allocation = self._machine_place(pos, vm, decision.placement, time_s)
+        self._vm_location[vm.vm_id] = decision.pm_id
+        self._refresh(decision.pm_id)
+        return allocation
+
+    def evict(self, vm_id: int) -> Allocation:
+        """Remove a VM from its current PM (KeyError when unplaced)."""
+        pm_id = self._vm_location.get(vm_id)
+        if pm_id is None:
+            raise KeyError(f"VM#{vm_id} is not placed")
+        allocation = self._machine_remove(self._pos_of[pm_id], vm_id)
+        del self._vm_location[vm_id]
+        self._refresh(pm_id)
+        return allocation
+
+    def crash_machine(self, pm_id: int) -> List[Allocation]:
+        """Fail a PM, evicting every hosted VM (see ``Datacenter``)."""
+        view = self.machine(pm_id)
+        if view.is_failed:
+            raise ValidationError(f"PM#{pm_id} is already crashed")
+        shard, row = self._shard_of(self._pos_of[pm_id])
+        shard.failed[row] = True
+        self._refresh(pm_id)
+        return [self.evict(a.vm_id) for a in view.allocations]
+
+    def repair_machine(self, pm_id: int) -> None:
+        """Bring a crashed PM back into the candidate pool (empty)."""
+        view = self.machine(pm_id)
+        if not view.is_failed:
+            raise ValidationError(f"PM#{pm_id} is not crashed")
+        shard, row = self._shard_of(self._pos_of[pm_id])
+        shard.failed[row] = False
+        self._refresh(pm_id)
+
+    def migrate(
+        self, vm_id: int, decision: PlacementDecision, time_s: float = 0.0
+    ) -> Allocation:
+        """Move a placed VM (same rollback semantics as ``Datacenter``)."""
+        old = self.evict(vm_id)
+        try:
+            return self.apply(old.vm, decision, time_s)
+        except (ValidationError, KeyError):
+            source_pos = self._pos_of[old.pm_id]
+            self._machine_place(
+                source_pos,
+                old.vm,
+                restore_placement(self._views[source_pos], old),
+                old.placed_at,
+            )
+            self._vm_location[vm_id] = old.pm_id
+            self._refresh(old.pm_id)
+            raise
+
+    # ------------------------------------------------------------------
+    # Columnar tick
+    # ------------------------------------------------------------------
+    def monitor_arrays(
+        self, time_s: float, burst: Any = "core"
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One tick's ``(positions, utilization, active, type_ids)``.
+
+        Rows cover the healthy fleet in inventory order — the same
+        machines, in the same order, as ``monitor.snapshot_frame`` over
+        the indexed view — with utilization reduced per shard via the
+        bincount fold (bit-identical to the per-machine walk).
+        """
+        validate_burst(burst)
+        fractions = self._traces.fractions(time_s)
+        positions: List[np.ndarray] = []
+        utilization: List[np.ndarray] = []
+        active: List[np.ndarray] = []
+        type_ids: List[np.ndarray] = []
+        for shard in self._shards:
+            if burst not in shard.csr:
+                shard.build_csr(
+                    burst, self._infos,
+                    {vm_id: self._traces.slot(vm_id)
+                     for row_allocs in shard.allocs for vm_id in row_allocs},
+                )
+            demand = shard.demand(burst, fractions)
+            util = demand / shard.cpu_capacity
+            healthy = np.flatnonzero(~shard.failed)
+            positions.append(shard.base + healthy)
+            utilization.append(util[healthy])
+            active.append(shard.alloc_count[healthy] > 0)
+            type_ids.append(shard.type_id[healthy])
+        return (
+            np.concatenate(positions),
+            np.concatenate(utilization),
+            np.concatenate(active),
+            np.concatenate(type_ids),
+        )
+
+    # ------------------------------------------------------------------
+    # Bulk rebuild + consistency
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Re-derive every column from the allocation records.
+
+        The bulk-reload seam (checkpoint restore, defragmentation):
+        usage/canonical/count columns are recomputed, CSRs dropped (they
+        rebuild lazily on the next tick), and the usage-class index is
+        rebuilt — which re-interns class ids and bumps the index epoch
+        so memoized per-id consumers invalidate.
+        """
+        self._usage_cache = [None] * len(self._views)
+        for shard in self._shards:
+            shard.usage[:] = 0
+            shard.csr.clear()
+            for row in range(shard.n):
+                shard.alloc_count[row] = len(shard.allocs[row])
+                info = self._infos[shard.shape_id[row]]
+                usage_row = shard.usage[row]
+                for allocation in shard.allocs[row].values():
+                    for g, group_assign in enumerate(allocation.assignments):
+                        offset = info.offsets[g]
+                        for idx, chunk in group_assign:
+                            usage_row[offset + idx] += chunk
+        self._index.rebuild()
+        for pm_id in self._pm_ids:
+            pos = self._pos_of[pm_id]
+            shard, row = self._shard_of(pos)
+            canonical = self._index.canonical_usage(pm_id)
+            if canonical is None:
+                shard.canon[row, :] = 0
+            else:
+                flat = [u for group in canonical for u in group]
+                shard.canon[row, : len(flat)] = flat
+
+    def check_columns(self) -> List[str]:
+        """Re-derive expected column state from the allocation records.
+
+        Returns human-readable discrepancies (empty when consistent);
+        the constraint auditor surfaces them as check "I2".
+        """
+        problems: List[str] = []
+        seen_vms: Dict[int, int] = {}
+        for shard in self._shards:
+            for row in range(shard.n):
+                pos = shard.base + row
+                pm_id = self._pm_ids[pos]
+                info = self._infos[shard.shape_id[row]]
+                row_allocs = shard.allocs[row]
+                if shard.failed[row] and row_allocs:
+                    problems.append(
+                        f"crashed PM#{pm_id} still carries "
+                        f"{len(row_allocs)} allocation records"
+                    )
+                if int(shard.alloc_count[row]) != len(row_allocs):
+                    problems.append(
+                        f"alloc_count[{pm_id}] = "
+                        f"{int(shard.alloc_count[row])} != "
+                        f"{len(row_allocs)} records"
+                    )
+                expected = np.zeros(shard.usage.shape[1], dtype=np.int64)
+                for vm_id, allocation in row_allocs.items():
+                    seen_vms[vm_id] = pm_id
+                    for g, group_assign in enumerate(allocation.assignments):
+                        offset = info.offsets[g]
+                        for idx, chunk in group_assign:
+                            expected[offset + idx] += chunk
+                if not np.array_equal(expected, shard.usage[row]):
+                    problems.append(
+                        f"usage column of PM#{pm_id} diverged from its "
+                        f"allocation records: {shard.usage[row].tolist()} "
+                        f"!= {expected.tolist()}"
+                    )
+                view = self._views[pos]
+                if shard.failed[row]:
+                    expected_canon = np.zeros_like(expected)
+                else:
+                    canonical = info.shape.canonicalize(view.usage)
+                    flat = [u for group in canonical for u in group]
+                    expected_canon = np.zeros_like(expected)
+                    expected_canon[: len(flat)] = flat
+                if not np.array_equal(expected_canon, shard.canon[row]):
+                    problems.append(
+                        f"canonical column of PM#{pm_id} stale: "
+                        f"{shard.canon[row].tolist()} != "
+                        f"{expected_canon.tolist()}"
+                    )
+                for burst, csr in shard.csr.items():
+                    for vm_id, allocation in row_allocs.items():
+                        span = csr.spans.get((row, vm_id))
+                        if span is None:
+                            problems.append(
+                                f"CSR[{burst!r}] misses VM#{vm_id} on "
+                                f"PM#{pm_id}"
+                            )
+                            continue
+                        start, k = span
+                        want = chunk_ceilings(
+                            allocation.assignments[info.cpu_group],
+                            info.cpu_capacities,
+                            burst,
+                        )
+                        got = tuple(csr.ceilings[start:start + k])
+                        if got != want or not np.all(
+                            csr.rows[start:start + k] == row
+                        ):
+                            problems.append(
+                                f"CSR[{burst!r}] terms of VM#{vm_id} on "
+                                f"PM#{pm_id} diverged: {got} != {want}"
+                            )
+        for vm_id, pm_id in seen_vms.items():
+            if self._vm_location.get(vm_id) != pm_id:
+                problems.append(
+                    f"VM#{vm_id} recorded on PM#{pm_id} but located at "
+                    f"{self._vm_location.get(vm_id)!r}"
+                )
+        for vm_id, pm_id in self._vm_location.items():
+            if seen_vms.get(vm_id) != pm_id:
+                problems.append(
+                    f"VM#{vm_id} located at PM#{pm_id} without a matching "
+                    f"allocation record"
+                )
+        return problems

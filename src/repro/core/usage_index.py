@@ -102,6 +102,16 @@ class UsageClassIndex:
             len(self._pos) == len(self._machines),
             "usage index needs unique pm_ids",
         )
+        #: Bulk-rebuild generation counter.  Incremental refreshes leave
+        #: it untouched; :meth:`rebuild` bumps it so consumers that memoize
+        #: against index-internal identifiers (class ids, per-class score
+        #: vectors, the candidate memo) know their entries predate the
+        #: rebuild and must be dropped.
+        self.epoch = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        """(Re-)derive every maintained structure from a fresh scan."""
         n = len(self._machines)
         self._state: List[str] = [_NEW] * n
         self._canon: List[Optional[Usage]] = [None] * n
@@ -112,6 +122,19 @@ class UsageClassIndex:
         self._unused_by_shape: Dict[MachineShape, List[int]] = {}
         for machine in self._machines:
             self.refresh(machine.pm_id)
+
+    def rebuild(self) -> None:
+        """Re-derive the whole index in place and bump the epoch.
+
+        The bulk-reload seam: after out-of-band machine mutation (a
+        checkpoint restore, a columnar array rebuild) the incremental
+        structures are untrusted, so everything is rescanned.  The
+        object identity of the index is preserved — only the epoch
+        moves — which is what lets consumers distinguish "same index,
+        state rebuilt underneath me" from "a different index".
+        """
+        self._reset()
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -258,6 +281,11 @@ class IndexedMachines(Sequence):
     def excluded_pm(self) -> Optional[int]:
         """The PM this view hides, or None."""
         return self._excluded
+
+    @property
+    def epoch(self) -> int:
+        """The backing index's bulk-rebuild generation counter."""
+        return self._index.epoch
 
     def excluding(self, pm_id: int) -> "IndexedMachines":
         """A view over the same index hiding ``pm_id``.

@@ -10,6 +10,8 @@
   aggregates the paper's percentile statistics.
 * :mod:`repro.experiments.report` — renders figure-shaped text tables.
 * :mod:`repro.experiments.figures` — one entry point per paper figure.
+* :mod:`repro.experiments.sweep` — the columnar scale sweep (allocate +
+  simulate from 480 to 100k PMs, with object/scan baselines).
 """
 
 from repro.experiments.config import (
@@ -30,6 +32,7 @@ from repro.experiments.runner import (
     run_single,
 )
 from repro.experiments.report import format_series
+from repro.experiments.sweep import SWEEP_POINTS, run_point, run_sweep
 from repro.experiments.figures import (
     FigureResult,
     simulation_suite,
@@ -68,4 +71,7 @@ __all__ = [
     "testbed_suite",
     "figure4_testbed",
     "figure8_testbed_slo",
+    "SWEEP_POINTS",
+    "run_point",
+    "run_sweep",
 ]

@@ -1,0 +1,267 @@
+"""Scale sweep: allocate + simulate the M3 fleet from 480 to 100k PMs.
+
+The sweep measures the columnar (struct-of-arrays) serving path at
+datacenter sizes the object path cannot reach, on the same workload
+family as the perf harness's online-serving phase: a 50/50 mix of
+m3.xlarge / m3.2xlarge VMs with 16-sample step traces.  Trace levels
+are drawn from U(0.05, 0.48) — calmer than the 480-PM phase — so
+overload churn (Python-bound in both substrates) does not dominate the
+wall clock at 100k PMs while migrations still happen.
+
+At sizes where the object path is affordable the sweep optionally runs
+it as a twin on the same workload and asserts the decision counters
+match exactly — the same identity contract the fast-path tests enforce.
+
+Two baselines are recorded, both transparently:
+
+* **object fast path** (``fast_path=True`` on the object datacenter) —
+  measured wherever it is twinned, extrapolated linearly beyond that.
+  This is the strongest baseline: PR 5's indexed serving path.
+* **scan path** (``fast_path=False``: per-machine monitor walk, linear
+  candidate scans) — the pre-index substrate the paper's headline
+  numbers compare against.  It is measured at two small anchor sizes
+  (n and 2n) and extrapolated with the exact quadratic through them,
+  ``w(x) = a*x + b*x**2`` — the scan path's per-decision cost grows
+  with fleet size, so its wall clock is superlinear; a linear
+  extrapolation would understate the baseline (and so the speedup),
+  while the quadratic models the measured growth.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.ec2 import EC2_VM_TYPES, ec2_pm_shape, ec2_vm_type
+from repro.cluster.simulation import CloudSimulation, SimulationConfig
+from repro.cluster.vm import VirtualMachine
+from repro.core.graph import SuccessorStrategy
+from repro.core.placement import PageRankVMPolicy
+from repro.core.score_table import ScoreTable, build_score_table
+from repro.traces.base import ArrayTrace
+from repro.util.validation import require
+
+__all__ = [
+    "SWEEP_POINTS",
+    "sweep_table",
+    "sweep_workload",
+    "measure_scan_anchor",
+    "run_point",
+    "run_sweep",
+]
+
+#: The default sweep sizes (n_pms): the paper's scale, then 10x and 100x+.
+SWEEP_POINTS: Tuple[int, ...] = (480, 5_000, 50_000, 100_000)
+
+#: VMs per PM: fills the M3 fleet to its memory-bound packing density.
+VMS_PER_PM = 2.5
+
+#: Decision counters compared exactly between the two substrates.
+_EXACT_FIELDS = (
+    "n_vms", "unplaced_vms", "pms_used_initial", "pms_used_peak",
+    "pms_used_final", "migrations", "failed_migrations", "overload_events",
+    "consolidations",
+)
+
+
+def sweep_table(
+    table_cache_dir: Optional[str] = None, jobs: int = 1
+) -> ScoreTable:
+    """The M3 score table the sweep serves from (harness-identical)."""
+    return build_score_table(
+        ec2_pm_shape("M3"), EC2_VM_TYPES,
+        strategy=SuccessorStrategy.BALANCED,
+        jobs=jobs,
+        graph_cache_dir=table_cache_dir,
+    )
+
+
+def sweep_workload(n_vms: int, seed: int = 0) -> List[VirtualMachine]:
+    """The sweep request batch: m3.xlarge/m3.2xlarge with calm traces."""
+    vm_types = (ec2_vm_type("m3.xlarge"), ec2_vm_type("m3.2xlarge"))
+    rng = np.random.default_rng(seed)
+    vms = []
+    for i in range(n_vms):
+        vm_type = vm_types[int(rng.integers(len(vm_types)))]
+        samples = rng.uniform(0.05, 0.48, size=16)
+        vms.append(VirtualMachine(i, vm_type, ArrayTrace(samples, 300.0)))
+    return vms
+
+
+def _simulate(
+    datacenter, table: ScoreTable, vms, duration_s: float,
+    fast_path: bool = True,
+):
+    """One allocate + simulate run on an already-built datacenter."""
+    from repro.baselines import MinimumMigrationTimeSelector
+
+    simulation = CloudSimulation(
+        datacenter,
+        PageRankVMPolicy({table.shape: table}),
+        MinimumMigrationTimeSelector(),
+        SimulationConfig(duration_s=duration_s, monitor_interval_s=300.0),
+        fast_path=fast_path,
+    )
+    return simulation.run(vms)
+
+
+def measure_scan_anchor(
+    table: ScoreTable, n_pms: int, duration_s: float, workload_seed: int = 0
+) -> float:
+    """Wall time of the scan path (``fast_path=False``) at one size."""
+    from repro.cluster.ec2 import build_ec2_datacenter
+
+    vms = sweep_workload(int(n_pms * VMS_PER_PM), seed=workload_seed)
+    start = time.perf_counter()
+    datacenter = build_ec2_datacenter({"M3": n_pms})
+    _simulate(datacenter, table, vms, duration_s, fast_path=False)
+    return time.perf_counter() - start
+
+
+def run_point(
+    table: ScoreTable,
+    n_pms: int,
+    duration_s: float = 86_400.0,
+    shard_size: int = 4_096,
+    workload_seed: int = 0,
+    check_identity: bool = False,
+) -> Dict[str, object]:
+    """Measure one sweep point; optionally twin it against the object path.
+
+    Returns a dict with the SoA wall time and decision counters; with
+    ``check_identity`` the object path runs on the same workload and the
+    entry gains its wall time plus an ``identical`` verdict (exact
+    counters, energy/SLO to 1e-9 relative).
+
+    Raises:
+        AssertionError: when ``check_identity`` finds a divergence —
+            a sweep whose substrates disagree measures nothing.
+    """
+    require(n_pms > 0, f"n_pms must be positive, got {n_pms}")
+    from repro.cluster.ec2 import build_ec2_datacenter, build_ec2_soa_datacenter
+
+    n_vms = int(n_pms * VMS_PER_PM)
+    vms = sweep_workload(n_vms, seed=workload_seed)
+
+    start = time.perf_counter()
+    soa_dc = build_ec2_soa_datacenter({"M3": n_pms}, shard_size=shard_size)
+    soa_result = _simulate(soa_dc, table, vms, duration_s)
+    soa_wall = time.perf_counter() - start
+
+    point: Dict[str, object] = {
+        "n_pms": n_pms,
+        "n_vms": n_vms,
+        "duration_s": duration_s,
+        "shard_size": shard_size,
+        "soa_wall_s": soa_wall,
+        "pms_used": soa_result.pms_used_final,
+        "unplaced_vms": soa_result.unplaced_vms,
+        "migrations": soa_result.migrations,
+        "overload_events": soa_result.overload_events,
+        "energy_kwh": soa_result.energy_kwh,
+    }
+    if check_identity:
+        start = time.perf_counter()
+        object_dc = build_ec2_datacenter({"M3": n_pms})
+        object_result = _simulate(object_dc, table, vms, duration_s)
+        point["object_wall_s"] = time.perf_counter() - start
+        mismatches = [
+            (field, getattr(object_result, field), getattr(soa_result, field))
+            for field in _EXACT_FIELDS
+            if getattr(object_result, field) != getattr(soa_result, field)
+        ]
+        close = (
+            abs(object_result.energy_kwh - soa_result.energy_kwh)
+            <= 1e-9 * max(1.0, abs(object_result.energy_kwh))
+            and abs(object_result.slo_violation_rate
+                    - soa_result.slo_violation_rate) <= 1e-9
+        )
+        point["identical"] = not mismatches and close
+        assert point["identical"], (
+            f"object/SoA divergence at {n_pms} PMs: "
+            f"counters {mismatches}, energy/slo close={close}"
+        )
+    return point
+
+
+def run_sweep(
+    points: Sequence[int] = SWEEP_POINTS,
+    table: Optional[ScoreTable] = None,
+    quick: bool = False,
+    shard_size: int = 4_096,
+    object_max_pms: int = 0,
+    scan_anchor_pms: int = 480,
+    table_cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the scale sweep and summarize it as one BENCH-ready mapping.
+
+    Args:
+        points: datacenter sizes (n_pms) to measure, ascending.
+        table: prebuilt M3 score table; built once here when omitted.
+        quick: 2h simulated horizon instead of the paper's 24h day.
+        shard_size: rows per columnar shard.
+        object_max_pms: every point up to this size is twinned against
+            the object fast path — its wall time recorded and the
+            outcomes asserted identical (0 disables twinning).  Points
+            beyond it extrapolate the object wall linearly from the
+            largest measured baseline — a conservative floor, since the
+            object path's per-tick and per-decision costs grow
+            super-linearly with fleet size.
+        scan_anchor_pms: the scan path (``fast_path=False``) is measured
+            at this size and twice it, and every point gains a
+            ``scan_wall_extrapolated_s`` from the exact quadratic
+            through the two anchors (0 disables the scan baseline).
+    """
+    if table is None:
+        table = sweep_table(table_cache_dir)
+    duration_s = 7_200.0 if quick else 86_400.0
+    sweep: List[Dict[str, object]] = []
+    for n_pms in sorted(points):
+        sweep.append(run_point(
+            table, n_pms,
+            duration_s=duration_s,
+            shard_size=shard_size,
+            check_identity=0 < n_pms <= object_max_pms,
+        ))
+    measured = [p for p in sweep if "object_wall_s" in p]
+    if measured:
+        anchor = measured[-1]
+        for point in sweep:
+            if "object_wall_s" not in point:
+                scale = point["n_pms"] / anchor["n_pms"]
+                point["object_wall_extrapolated_s"] = (
+                    anchor["object_wall_s"] * scale
+                )
+            baseline = point.get(
+                "object_wall_s", point.get("object_wall_extrapolated_s")
+            )
+            point["speedup_vs_object"] = baseline / point["soa_wall_s"]
+    summary: Dict[str, object] = {
+        "scale_sweep_points": sweep,
+        "scale_sweep_duration_s": duration_s,
+        "scale_sweep_shard_size": shard_size,
+    }
+    if scan_anchor_pms > 0:
+        w1 = measure_scan_anchor(table, scan_anchor_pms, duration_s)
+        w2 = measure_scan_anchor(table, 2 * scan_anchor_pms, duration_s)
+        # Exact quadratic through (1, w1) and (2, w2) in units of the
+        # anchor size: w(x) = a*x + b*x**2 with w(0) = 0.  The guard
+        # keeps the fit monotone if noise makes w2 < 2*w1.
+        b = max(0.0, (w2 - 2.0 * w1) / 2.0)
+        a = w1 - b
+        summary["scale_sweep_scan_anchors"] = [
+            {"n_pms": scan_anchor_pms, "scan_wall_s": w1},
+            {"n_pms": 2 * scan_anchor_pms, "scan_wall_s": w2},
+        ]
+        summary["scale_sweep_scan_fit"] = {
+            "base_pms": scan_anchor_pms, "a": a, "b": b,
+        }
+        for point in sweep:
+            x = point["n_pms"] / scan_anchor_pms
+            point["scan_wall_extrapolated_s"] = a * x + b * x * x
+            point["speedup_vs_scan_extrapolated"] = (
+                point["scan_wall_extrapolated_s"] / point["soa_wall_s"]
+            )
+    return summary

@@ -66,6 +66,11 @@ class ArrayTrace:
         return self._interval
 
     @property
+    def cycle(self) -> bool:
+        """Whether the trace repeats after its last sample."""
+        return self._cycle
+
+    @property
     def duration_s(self) -> float:
         """Total covered duration before cycling/holding."""
         return self._samples.size * self._interval

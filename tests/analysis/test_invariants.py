@@ -85,7 +85,7 @@ class TestViolationAndReport:
     def test_constraints_catalog_documents_all_ids(self):
         expected = {
             "C1", "C2", "C3", "C4", "C5", "C6", "C8", "C9", "C10", "C11",
-            "T1", "T2", "T3", "T4", "I1",
+            "T1", "T2", "T3", "T4", "I1", "I2",
         }
         assert set(CONSTRAINTS) == expected
 
