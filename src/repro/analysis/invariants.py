@@ -169,7 +169,7 @@ class AuditError(ValidationError):
         report: the failing :class:`AuditReport`.
     """
 
-    def __init__(self, report: AuditReport):
+    def __init__(self, report: AuditReport) -> None:
         self.report = report
         lines = [report.summary()]
         lines += [f"  {v}" for v in report.violations[:20]]

@@ -36,12 +36,36 @@ PRV010    full-inventory read (``datacenter.machines``) inside a
           usage-class index maintains ``pms_used`` / ``used_machines``
           / ``healthy_machines`` precisely so the tick path never
           rediscovers fleet state with an O(n_machines) scan
+PRV011    mutation of an indexed structure (``UsageClassIndex`` /
+          ``SoAClassTable`` / ``ShardColumns``) outside its epoch-keyed
+          maintenance path — memoized consumers keep serving stale
+          class ids and score vectors (dataflow rule, see
+          :mod:`repro.analysis.dataflow`)
+PRV012    RNG stream escape — a generator from
+          ``RngFactory.generator(*labels)`` stored on an attribute,
+          bound at module scope, captured by a closure or passed to a
+          non-RNG parameter leaks draws across keyed streams (dataflow
+          rule)
+PRV013    accumulation-order hazard — a float reduction over an
+          unordered or completion-ordered iteration feeding a reported
+          metric makes the last ULPs depend on hash seeds (dataflow
+          rule)
+PRV000    unused suppression — a ``# prv: disable=`` comment whose
+          rule never fires on that line (reported so suppressions
+          cannot rot; ``--strict-suppressions`` makes it fatal in CI)
 ========  =============================================================
+
+PRV011–PRV013 are *dataflow* rules: they consult a cross-module symbol
+table (:func:`repro.analysis.dataflow.build_symbol_table`) built over
+every linted file, so ``lint_paths`` sees types defined in one module
+and mutated in another.
 
 Suppression: append ``# prv: disable=PRV002`` (comma-separate several
 codes; anything after ``--`` is a free-form justification) to the
 flagged line.  Module-level findings (PRV007) anchor at line 1, class
-findings (PRV008) at the ``class`` statement.
+findings (PRV008) at the ``class`` statement.  A suppression whose rule
+does not fire on its line is itself reported (PRV000, which cannot be
+suppressed).
 """
 
 from __future__ import annotations
@@ -54,14 +78,24 @@ from io import StringIO
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.analysis.dataflow import (
+    SymbolTable,
+    build_symbol_table,
+    dataflow_findings,
+)
+
 __all__ = [
     "Rule",
     "Finding",
     "RULES",
+    "UNUSED_SUPPRESSION",
     "lint_source",
     "lint_paths",
     "iter_python_files",
 ]
+
+#: Code of the unused-suppression pseudo-rule.  Never suppressible.
+UNUSED_SUPPRESSION = "PRV000"
 
 
 @dataclass(frozen=True)
@@ -139,6 +173,39 @@ RULES: Tuple[Rule, ...] = (
                 "function",
         hint="serve from the maintained usage-class index instead "
              "(indexed_machines() / used_machines() / healthy_machines())",
+    ),
+    Rule(
+        code="PRV011",
+        name="unindexed-mutation",
+        summary="mutation of an indexed structure outside its "
+                "epoch-keyed maintenance path",
+        hint="mutate through the owning datacenter/index, or call "
+             "refresh()/rebuild() so the epoch advances and memoized "
+             "consumers invalidate",
+    ),
+    Rule(
+        code="PRV012",
+        name="rng-stream-escape",
+        summary="keyed RNG generator escapes its draw site",
+        hint="draw the generator where it is consumed (rng-named "
+             "parameter or local); derive child streams with "
+             "RngFactory.spawn()/child_seed() instead of sharing one",
+    ),
+    Rule(
+        code="PRV013",
+        name="accumulation-order-hazard",
+        summary="float reduction over an unordered iteration feeding "
+                "a reported metric",
+        hint="sort the stream before folding, or use math.fsum for an "
+             "order-insensitive sum",
+    ),
+    Rule(
+        code=UNUSED_SUPPRESSION,
+        name="unused-suppression",
+        summary="# prv: disable= comment whose rule never fires on "
+                "that line",
+        hint="delete the stale suppression (or fix the code it was "
+             "hiding)",
     ),
 )
 
@@ -301,7 +368,7 @@ def _suppressions(source: str) -> Dict[int, Set[str]]:
 class _Visitor(ast.NodeVisitor):
     """Single-pass rule evaluation over one module's AST."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = path
         self.findings: List[Finding] = []
         # import-name bookkeeping for PRV001
@@ -808,19 +875,64 @@ def _module_findings(tree: ast.Module, path: str) -> List[Finding]:
     )]
 
 
-def lint_source(
-    source: str, path: str = "<string>"
+def _stale_suppressions(
+    disabled: Dict[int, Set[str]], raw: Sequence[Finding], path: str
 ) -> List[Finding]:
-    """Lint one module's source text; returns unsuppressed findings."""
+    """PRV000 findings for ``# prv: disable=`` comments that hide
+    nothing: the named rule never fires on that line (or the code is
+    unknown)."""
+    fired = {(f.line, f.code) for f in raw}
+    stale: List[Finding] = []
+    for line in sorted(disabled):
+        for code in sorted(disabled[line]):
+            if code == UNUSED_SUPPRESSION:
+                message = (
+                    f"{UNUSED_SUPPRESSION} (unused-suppression) cannot "
+                    "be suppressed"
+                )
+            elif code not in RULES_BY_CODE:
+                message = f"suppression names unknown rule {code}"
+            elif (line, code) in fired:
+                continue
+            else:
+                message = (
+                    f"suppressed rule {code} "
+                    f"({RULES_BY_CODE[code].name}) never fires on this "
+                    "line"
+                )
+            stale.append(Finding(
+                path=path, line=line, col=0,
+                code=UNUSED_SUPPRESSION, message=message,
+            ))
+    return stale
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    table: Optional[SymbolTable] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings.
+
+    ``table`` supplies cross-module type facts for the dataflow rules
+    (PRV011–PRV013); without one, a single-file table is built from
+    ``source`` alone, so only locally-visible types participate.
+    """
     tree = ast.parse(source, filename=path)
     visitor = _Visitor(path)
     visitor.visit(tree)
-    findings = visitor.findings + _module_findings(tree, path)
+    flow = [
+        Finding(path=path, line=f.line, col=f.col,
+                code=f.code, message=f.message)
+        for f in dataflow_findings(source, path, table)
+    ]
+    raw = visitor.findings + flow + _module_findings(tree, path)
     disabled = _suppressions(source)
     kept = [
-        f for f in findings
+        f for f in raw
         if f.code not in disabled.get(f.line, set())
     ]
+    kept.extend(_stale_suppressions(disabled, raw, path))
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return kept
 
@@ -838,8 +950,17 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
 
 
 def lint_paths(paths: Sequence[Union[str, Path]]) -> List[Finding]:
-    """Lint every ``.py`` file under the given files/directories."""
+    """Lint every ``.py`` file under the given files/directories.
+
+    Builds one cross-module symbol table over the whole file set first,
+    so the dataflow rules see types defined in one module and used in
+    another.
+    """
+    sources = [
+        (str(file), file.read_text()) for file in iter_python_files(paths)
+    ]
+    table = build_symbol_table(sources)
     findings: List[Finding] = []
-    for file in iter_python_files(paths):
-        findings.extend(lint_source(file.read_text(), str(file)))
+    for path, source in sources:
+        findings.extend(lint_source(source, path, table))
     return findings

@@ -1,0 +1,123 @@
+"""Machine-readable renderers for ``repro lint`` findings.
+
+Two formats:
+
+* :func:`render_json` — a plain JSON array, one object per finding,
+  for scripting (``jq '.[] | select(.code == "PRV012")'``).
+* :func:`render_sarif` — SARIF 2.1.0, the interchange format GitHub
+  code scanning ingests (``github/codeql-action/upload-sarif``), so
+  lint findings appear as PR annotations on the offending lines.
+
+Severity mapping: every real rule is ``error`` (the lint job fails on
+any finding); the unused-suppression pseudo-rule PRV000 is ``note``
+unless ``--strict-suppressions`` promotes it to a failure — the SARIF
+level stays ``note`` either way so annotations distinguish rot from
+hazards.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.lint import Finding, RULES, UNUSED_SUPPRESSION
+
+__all__ = ["SARIF_VERSION", "render_json", "render_sarif"]
+
+#: The SARIF schema version emitted (the one GitHub code scanning
+#: accepts).
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """One JSON object per finding, stable key order, sorted findings."""
+    payload = [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "code": f.code,
+            "rule": f.rule.name,
+            "message": f.message,
+            "hint": f.rule.hint,
+        }
+        for f in sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.code)
+        )
+    ]
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _sarif_rules() -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {
+                "level": (
+                    "note" if rule.code == UNUSED_SUPPRESSION else "error"
+                ),
+            },
+        }
+        for rule in RULES
+    ]
+
+
+def _sarif_result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.code,
+        "level": (
+            "note" if finding.code == UNUSED_SUPPRESSION else "error"
+        ),
+        "message": {
+            "text": f"{finding.message} (hint: {finding.rule.hint})",
+        },
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; AST cols are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            },
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """A single-run SARIF 2.1.0 log of the given findings."""
+    log = {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _sarif_rules(),
+                    },
+                },
+                "results": [
+                    _sarif_result(f)
+                    for f in sorted(
+                        findings,
+                        key=lambda f: (f.path, f.line, f.col, f.code),
+                    )
+                ],
+            },
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"

@@ -15,7 +15,13 @@ Commands:
   ``bench sweep --pms N`` runs the columnar scale sweep (allocate +
   simulate at N PMs, optionally twinned against the object path).
 * ``lint``      — run the domain-aware static linter (PRV rules) over
-  source trees.
+  source trees; ``--format json|sarif`` emits machine-readable output
+  and ``--strict-suppressions`` fails on stale ``# prv: disable``
+  comments.
+* ``sanitize``  — lockstep twin-execution divergence sanitizer;
+  ``sanitize run --twin soa`` drives the object and struct-of-arrays
+  substrates from one seed and bisects to the first diverging event
+  on mismatch.
 * ``audit``     — replay a saved artifact (score table or placements)
   against the MIP constraints (1)-(11).
 
@@ -216,6 +222,55 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint (default: src)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and exit")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="finding output format (default: text); sarif emits SARIF "
+             "2.1.0 for GitHub code-scanning annotations")
+    lint.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the formatted findings to FILE instead of stdout")
+    lint.add_argument(
+        "--strict-suppressions", action="store_true",
+        help="fail (exit 1) when a '# prv: disable=' comment names a "
+             "rule that never fires on its line")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="lockstep twin-execution divergence sanitizer",
+    )
+    sanitize_sub = sanitize.add_subparsers(
+        dest="sanitize_command", required=True
+    )
+    sanitize_run = sanitize_sub.add_parser(
+        "run",
+        help="run a twin pair from one seed and compare decision streams",
+    )
+    sanitize_run.add_argument(
+        "--twin", choices=("soa", "tick", "rank"), default="soa",
+        help="twin pair: soa (object vs struct-of-arrays), tick (scan "
+             "vs vectorized monitor tick), rank (class-scoring loop vs "
+             "vector ranking); default: soa")
+    sanitize_run.add_argument(
+        "--pms", type=int, default=480, metavar="N",
+        help="M3 fleet size (default: 480, the paper's scale)")
+    sanitize_run.add_argument(
+        "--quick", action="store_true",
+        help="simulate a 2h horizon instead of the paper's 24h day")
+    sanitize_run.add_argument("--seed", type=int, default=0)
+    sanitize_run.add_argument(
+        "--shard-size", type=int, default=4_096,
+        help="rows per columnar shard on the SoA legs (default: 4096)")
+    sanitize_run.add_argument(
+        "--max-ulps", type=int, default=None, metavar="N",
+        help="float-stream tolerance override in units-in-the-last-"
+             "place (default: the twin's documented bound)")
+    sanitize_run.add_argument(
+        "--dump", metavar="FILE", default=None,
+        help="write the full JSON report (including any divergence and "
+             "its reproducing op prefix) to FILE")
+    sanitize_run.add_argument(
+        "--table-cache", metavar="DIR", default=None,
+        help="profile-graph disk cache for the M3 score-table build")
 
     audit = sub.add_parser(
         "audit", help="audit a saved artifact against constraints (1)-(11)"
@@ -473,7 +528,10 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis.lint import RULES, lint_paths
+    from pathlib import Path
+
+    from repro.analysis.lint import RULES, UNUSED_SUPPRESSION, lint_paths
+    from repro.analysis.sarif import render_json, render_sarif
 
     if args.list_rules:
         width = max(len(rule.name) for rule in RULES)
@@ -481,14 +539,54 @@ def _cmd_lint(args) -> int:
             print(f"{rule.code}  {rule.name:{width}s}  {rule.summary}")
         return 0
     findings = lint_paths(args.paths)
-    for finding in findings:
-        print(finding.render())
+    rule_findings = [f for f in findings if f.code != UNUSED_SUPPRESSION]
+    stale = [f for f in findings if f.code == UNUSED_SUPPRESSION]
+    if args.format == "json":
+        rendered = render_json(findings)
+    elif args.format == "sarif":
+        rendered = render_sarif(findings)
+    else:
+        rendered = "\n".join(f.render() for f in findings)
+    if args.output is not None:
+        Path(args.output).write_text(rendered + "\n")
+    elif rendered:
+        print(rendered)
     scanned = ", ".join(str(p) for p in args.paths)
+    summary_stream = sys.stderr if args.format != "text" else sys.stdout
+    failed = bool(rule_findings) or (args.strict_suppressions and stale)
     if findings:
-        print(f"repro lint: {len(findings)} finding(s) in {scanned}")
-        return 1
-    print(f"repro lint: clean ({scanned})")
-    return 0
+        stale_note = f", {len(stale)} stale suppression(s)" if stale else ""
+        print(
+            f"repro lint: {len(rule_findings)} finding(s){stale_note} "
+            f"in {scanned}",
+            file=summary_stream,
+        )
+    else:
+        print(f"repro lint: clean ({scanned})", file=summary_stream)
+    return 1 if failed else 0
+
+
+def _cmd_sanitize(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.sanitize import SanitizeScenario, run_twin
+
+    scenario = SanitizeScenario(
+        n_pms=args.pms,
+        duration_s=7_200.0 if args.quick else 86_400.0,
+        seed=args.seed,
+        shard_size=args.shard_size,
+    )
+    report = run_twin(
+        args.twin,
+        scenario,
+        max_ulps=args.max_ulps,
+        table_cache_dir=args.table_cache,
+    )
+    print(report.render())
+    if args.dump is not None:
+        Path(args.dump).write_text(report.to_json() + "\n")
+    return 0 if report.ok else 1
 
 
 def _cmd_audit(args) -> int:
@@ -533,6 +631,7 @@ _COMMANDS = {
     "graph": _cmd_graph,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
     "audit": _cmd_audit,
 }
 

@@ -13,6 +13,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.util.floatguard import GUARD, check_finite
 from repro.util.validation import ValidationError, require
 
 __all__ = [
@@ -110,7 +111,10 @@ class EnergyMeter:
     def accumulate(self, model: PowerModel, utilization: float, dt_s: float) -> None:
         """Add ``dt_s`` seconds of draw at ``utilization`` for one PM."""
         require(dt_s >= 0, f"dt must be non-negative, got {dt_s}")
-        self._joules += model.power(utilization) * dt_s
+        watts = model.power(utilization)
+        if GUARD.active:
+            check_finite(watts, "power draw")
+        self._joules += watts * dt_s
 
     def accumulate_many(self, model: PowerModel, utilizations, dt_s: float) -> None:
         """Add ``dt_s`` seconds of draw for many PMs sharing one model.
@@ -120,6 +124,8 @@ class EnergyMeter:
         """
         require(dt_s >= 0, f"dt must be non-negative, got {dt_s}")
         watts = model.power_many(utilizations)
+        if GUARD.active:
+            check_finite(watts, "power draw")
         if watts.size:
             self._joules += float(watts.sum()) * dt_s
 

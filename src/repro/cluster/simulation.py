@@ -33,6 +33,7 @@ from repro.core.policy import PlacementDecision, PlacementPolicy
 from repro.core.usage_index import IndexedMachines
 from repro.faults.metrics import ResilienceMetrics
 from repro.faults.schedule import FaultEvent, FaultInjector
+from repro.util.trace import TRACE, tracepoint
 from repro.util.validation import require
 
 __all__ = [
@@ -198,6 +199,11 @@ class CloudSimulation:
         placed = 0
         for vm in ordered:
             decision = self._policy.select(vm.vm_type, self._healthy())
+            if TRACE.active:
+                tracepoint(
+                    "place", vm=vm.vm_id,
+                    pm=-1 if decision is None else decision.pm_id,
+                )
             if decision is None:
                 self._unplaced += 1
                 continue
@@ -251,6 +257,10 @@ class CloudSimulation:
         return power_model_for(type_name)
 
     def _on_tick(self, time_s: float, dt_s: float) -> None:
+        if TRACE.active:
+            # Window boundary: digest comparisons between twins align on
+            # tick events, so a divergence is attributed to its window.
+            tracepoint("tick", time=time_s)
         if self._pending:
             self._replace_pending(time_s)
         if self._monitor_down:
@@ -267,6 +277,15 @@ class CloudSimulation:
         if self._config.underload_threshold is not None:
             self._consolidate_underloaded(time_s)
         self._peak_pms = max(self._peak_pms, self._dc.pms_used)
+        if TRACE.active:
+            # Running totals once per tick: float-class events, compared
+            # ULP-bounded (the tick forms re-associate the summation).
+            tracepoint("energy", joules=self._energy.total_joules)
+            tracepoint(
+                "slo",
+                active=self._slo.active_seconds,
+                violation=self._slo.violation_seconds,
+            )
 
     def _tick_vectorized(self, time_s: float, dt_s: float) -> None:
         """One monitoring tick as array ops over the healthy fleet.
@@ -290,7 +309,13 @@ class CloudSimulation:
             )
         for i in self._monitor.overloaded_indices(frame):
             self._overload_events += 1
-            self._relieve(frame.machines[int(i)], time_s)
+            machine = frame.machines[int(i)]
+            if TRACE.active:
+                tracepoint(
+                    "overload", pm=machine.pm_id,
+                    util=float(frame.utilization[int(i)]),
+                )
+            self._relieve(machine, time_s)
 
     def _tick_columnar(self, time_s: float, dt_s: float) -> None:
         """One monitoring tick straight off the SoA datacenter's columns.
@@ -323,7 +348,13 @@ class CloudSimulation:
         threshold = self._monitor.overload_threshold
         for i in np.flatnonzero(active & (utilization > threshold)):
             self._overload_events += 1
-            self._relieve(self._dc.machine_at(int(positions[int(i)])), time_s)
+            machine = self._dc.machine_at(int(positions[int(i)]))
+            if TRACE.active:
+                tracepoint(
+                    "overload", pm=machine.pm_id,
+                    util=float(utilization[int(i)]),
+                )
+            self._relieve(machine, time_s)
 
     def _tick_scan(self, time_s: float, dt_s: float) -> None:
         """The seed machine-by-machine monitoring loop, kept verbatim.
@@ -342,6 +373,11 @@ class CloudSimulation:
                 )
         for snap in self._monitor.overloaded(snapshots):
             self._overload_events += 1
+            if TRACE.active:
+                tracepoint(
+                    "overload", pm=snap.machine.pm_id,
+                    util=float(snap.cpu_utilization),
+                )
             self._relieve(snap.machine, time_s)
 
     def _relieve(self, machine: PhysicalMachine, time_s: float) -> None:
@@ -355,6 +391,11 @@ class CloudSimulation:
             victim = self._selector.select_victim(
                 machine.shape, machine.usage, machine.allocations
             )
+            if TRACE.active:
+                tracepoint(
+                    "victim", pm=machine.pm_id,
+                    vm=-1 if victim is None else victim.vm_id,
+                )
             if victim is None:
                 break
             candidates = self._destination_candidates(machine, time_s)
@@ -372,6 +413,11 @@ class CloudSimulation:
                 break
             self._dc.migrate(victim.vm_id, decision, time_s)
             self._migrations += 1
+            if TRACE.active:
+                tracepoint(
+                    "migrate", vm=victim.vm_id,
+                    src=machine.pm_id, dst=decision.pm_id,
+                )
 
     def _consolidate_underloaded(self, time_s: float) -> None:
         """Drain PMs below the underload threshold (all-or-nothing).
@@ -410,6 +456,11 @@ class CloudSimulation:
                     success = False
                     break
                 self._dc.migrate(allocation.vm_id, decision, time_s)
+                if TRACE.active:
+                    tracepoint(
+                        "migrate", vm=allocation.vm_id,
+                        src=machine.pm_id, dst=decision.pm_id,
+                    )
                 moves.append((allocation.vm_id, machine.pm_id))
             if success and moves:
                 self._migrations += len(moves)
@@ -479,8 +530,20 @@ class CloudSimulation:
             if event.time_s > self._config.duration_s:
                 continue  # beyond the horizon (e.g. a late recovery)
             loop.schedule_at(
-                event.time_s, lambda e=event, h=handlers[event.kind]: h(e)
+                event.time_s,
+                lambda e=event, h=handlers[event.kind]: self._dispatch_fault(
+                    e, h
+                ),
             )
+
+    def _dispatch_fault(self, event: FaultEvent, handler) -> None:
+        """Run one scheduled fault through its handler (traced)."""
+        if TRACE.active:
+            tracepoint(
+                "fault", kind=event.kind, target=event.target,
+                time=event.time_s,
+            )
+        handler(event)
 
     def _on_pm_crash(self, event: FaultEvent) -> None:
         machine = self._dc.machine(event.target)
@@ -550,6 +613,11 @@ class CloudSimulation:
                 still_waiting.append(entry)
                 continue
             decision = self._policy.select(entry.vm.vm_type, self._healthy())
+            if TRACE.active:
+                tracepoint(
+                    "place", vm=entry.vm.vm_id,
+                    pm=-1 if decision is None else decision.pm_id,
+                )
             if decision is None:
                 still_waiting.append(entry)
                 continue
@@ -643,6 +711,11 @@ class DynamicSimulation(CloudSimulation):
             decision = self._policy.select(
                 event.vm.vm_type, self._healthy()
             )
+            if TRACE.active:
+                tracepoint(
+                    "place", vm=event.vm.vm_id,
+                    pm=-1 if decision is None else decision.pm_id,
+                )
             if decision is None:
                 rejected[0] += 1
                 return

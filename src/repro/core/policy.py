@@ -43,6 +43,7 @@ from repro.core.permutations import (
 )
 from repro.core.profile import MachineShape, Usage, VMType
 from repro.core.usage_index import IndexedMachines
+from repro.util.trace import TRACE, tracepoint
 from repro.util.validation import require
 
 __all__ = [
@@ -148,15 +149,29 @@ class PlacementPolicy(abc.ABC):
         """
         if isinstance(machines, IndexedMachines):
             decision = self._select_among_used_classes(vm, machines)
-            if decision is not None:
-                return decision
-            return self._select_among_unused_classes(vm, machines)
-        used = [m for m in machines if m.is_used]
-        unused = [m for m in machines if not m.is_used]
-        decision = self._select_among_used(vm, used)
-        if decision is not None:
-            return decision
-        return self._select_among_unused(vm, unused)
+            if decision is None:
+                decision = self._select_among_unused_classes(vm, machines)
+        else:
+            used = [m for m in machines if m.is_used]
+            unused = [m for m in machines if not m.is_used]
+            decision = self._select_among_used(vm, used)
+            if decision is None:
+                decision = self._select_among_unused(vm, unused)
+        if TRACE.active:
+            # The ranking winner is the (PM, concrete assignment) pair;
+            # `score` is observability-only and representation-dependent
+            # across the twin paths, so it stays out of the digest.
+            if decision is None:
+                tracepoint("rank", policy=self.name, vm=vm.name, pm=-1)
+            else:
+                tracepoint(
+                    "rank",
+                    policy=self.name,
+                    vm=vm.name,
+                    pm=decision.pm_id,
+                    assignments=decision.placement.assignments,
+                )
+        return decision
 
     # ------------------------------------------------------------------
     # Class-based fast path (usage-class index)
@@ -595,9 +610,9 @@ class ProfileScorePolicy(PlacementPolicy):
                 )
         masked = np.where(active, scores, -np.inf)
         best = float(masked.max())
-        if best == -np.inf:  # prv: disable=PRV002 -- -inf sentinel test, not a capacity comparison
+        if best == -np.inf:
             return None
-        tied = np.flatnonzero(masked == best)  # prv: disable=PRV002 -- exact-score tie set; floats are identical by construction
+        tied = np.flatnonzero(masked == best)
         winner = int(tied[np.argmin(rep[tied])])
         shape, usage = table.keys[winner]
         candidate = self._best_for_canonical(shape, usage, vm)

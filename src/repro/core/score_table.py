@@ -42,6 +42,7 @@ from repro.core.graph import ProfileGraph, SuccessorStrategy
 from repro.core.graph_cache import load_or_build_profile_graph
 from repro.core.pagerank import expected_final_utilization, profile_pagerank
 from repro.core.profile import MachineShape, Profile, ResourceGroup, Usage, VMType
+from repro.util.floatguard import GUARD, check_finite
 from repro.util.validation import ValidationError, require
 
 __all__ = ["ScoreTable", "build_score_table"]
@@ -182,6 +183,8 @@ class ScoreTable:
                 for i in positions:
                     results[i] = score
         # Every position is filled: exact hit, cache hit, or batch snap.
+        if GUARD.active:
+            check_finite(results, "snapped profile scores")
         return cast(List[float], results)
 
     def _snap_one(self, usage: Usage) -> float:
@@ -190,7 +193,10 @@ class ScoreTable:
         distances = np.abs(matrix - flat).sum(axis=1)
         nearest = distances.min()
         candidates = np.nonzero(distances == nearest)[0]
-        return float(flat_scores[candidates].min())
+        score = float(flat_scores[candidates].min())
+        if GUARD.active:
+            check_finite(score, "snapped profile score")
+        return score
 
     def _snap_remember(self, usage: Usage, score: float) -> None:
         self._snap_cache[usage] = score

@@ -105,7 +105,7 @@ class ShapeInfo:
         "cpu_capacities", "cpu_capacity",
     )
 
-    def __init__(self, shape: MachineShape, shape_id: int):
+    def __init__(self, shape: MachineShape, shape_id: int) -> None:
         self.shape = shape
         self.shape_id = shape_id
         self.offsets: Tuple[int, ...] = tuple(
@@ -198,7 +198,7 @@ class ShardColumns:
         "type_id", "cpu_capacity", "allocs", "csr",
     )
 
-    def __init__(self, base: int, n: int, max_dims: int):
+    def __init__(self, base: int, n: int, max_dims: int) -> None:
         self.base = base
         self.n = n
         self.usage = np.zeros((n, max_dims), dtype=np.int32)
@@ -258,7 +258,7 @@ class _ArrayTraceGroup:
 
     __slots__ = ("slots", "samples", "interval", "cycle", "matrix", "slot_arr")
 
-    def __init__(self, interval: float, cycle: bool):
+    def __init__(self, interval: float, cycle: bool) -> None:
         self.interval = interval
         self.cycle = cycle
         self.slots: List[int] = []

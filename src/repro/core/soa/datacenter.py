@@ -53,7 +53,7 @@ class SoAMachineView:
 
     __slots__ = ("_dc", "_pos")
 
-    def __init__(self, dc: "SoADatacenter", pos: int):
+    def __init__(self, dc: "SoADatacenter", pos: int) -> None:
         self._dc = dc
         self._pos = pos
 
@@ -200,7 +200,7 @@ class SoADatacenter:
         self,
         specs: Sequence[Tuple[int, MachineShape, str]],
         shard_size: int = DEFAULT_SHARD_SIZE,
-    ):
+    ) -> None:
         specs = list(specs)
         require(len(specs) > 0, "a datacenter needs at least one PM")
         require(shard_size >= 1, f"shard_size must be >= 1, got {shard_size}")

@@ -113,7 +113,7 @@ class SoAClassTable:
 class SoAUsageClassIndex(UsageClassIndex):
     """Usage-class index whose class structure is mirrored into columns."""
 
-    def __init__(self, machines: Sequence[Any]):
+    def __init__(self, machines: Sequence[Any]) -> None:
         # The refresh override runs during the base constructor, so the
         # table and id column must exist first.
         self.table = SoAClassTable()

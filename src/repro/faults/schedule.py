@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.faults.spec import FaultSpec
 from repro.util.rng import RngFactory
+from repro.util.trace import TRACE, tracepoint
 from repro.util.validation import require
 
 __all__ = [
@@ -201,14 +202,26 @@ class FaultInjector:
         rate = self._schedule.spec.migration_failure_rate
         if rate <= 0.0:
             return False
-        return self._draw("migration", vm_id, repr(float(time_s))) < rate
+        verdict = self._draw("migration", vm_id, repr(float(time_s))) < rate
+        if TRACE.active:
+            tracepoint(
+                "fault", kind="migration-verdict", target=vm_id,
+                time=time_s, failed=verdict,
+            )
+        return verdict
 
     def restart_fails(self, time_s: float, vm_id: int) -> bool:
         """Does the kill+restart of ``vm_id`` at ``time_s`` fail?"""
         rate = self._schedule.spec.restart_failure_rate
         if rate <= 0.0:
             return False
-        return self._draw("restart", vm_id, repr(float(time_s))) < rate
+        verdict = self._draw("restart", vm_id, repr(float(time_s))) < rate
+        if TRACE.active:
+            tracepoint(
+                "fault", kind="restart-verdict", target=vm_id,
+                time=time_s, failed=verdict,
+            )
+        return verdict
 
     @classmethod
     def for_run(

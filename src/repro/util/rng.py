@@ -12,6 +12,8 @@ import hashlib
 
 import numpy as np
 
+from repro.util.trace import TRACE, tracepoint
+
 __all__ = ["derive_seed", "RngFactory"]
 
 _SEED_SPACE = 2**63 - 1
@@ -79,7 +81,11 @@ class RngFactory:
 
     def generator(self, *labels: object) -> np.random.Generator:
         """Return an independent generator for the given label path."""
-        return np.random.default_rng(self.child_seed(*labels))
+        seed = self.child_seed(*labels)
+        if TRACE.active:
+            path = "/".join(str(label) for label in (*self._prefix, *labels))
+            tracepoint("rng", path=path, seed=seed)
+        return np.random.default_rng(seed)
 
     def spawn(self, *labels: object) -> "RngFactory":
         """Return a child factory rooted at the extended label path."""

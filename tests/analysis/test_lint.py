@@ -22,11 +22,13 @@ def codes(source, path="repro/somewhere/module.py"):
 
 
 class TestRuleTable:
-    def test_ten_rules_with_unique_codes(self):
-        assert len(RULES) == 10
-        assert len(RULES_BY_CODE) == 10
+    def test_fourteen_rules_with_unique_codes(self):
+        assert len(RULES) == 14
+        assert len(RULES_BY_CODE) == 14
         assert sorted(RULES_BY_CODE) == (
-            [f"PRV00{i}" for i in range(1, 10)] + ["PRV010"]
+            ["PRV000"]
+            + [f"PRV00{i}" for i in range(1, 10)]
+            + ["PRV010", "PRV011", "PRV012", "PRV013"]
         )
 
     def test_every_rule_has_a_hint(self):
@@ -328,9 +330,11 @@ class TestSuppression:
         assert codes(source) == []
 
     def test_wrong_code_does_not_suppress(self):
+        # The finding survives, and the wrong-code suppression is
+        # itself reported as stale (PRV000).
         assert codes(
             "__all__ = []\nok = x == 1.0  # prv: disable=PRV003\n"
-        ) == ["PRV002"]
+        ) == ["PRV000", "PRV002"]
 
     def test_marker_inside_string_is_inert(self):
         source = (

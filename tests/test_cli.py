@@ -270,3 +270,100 @@ class TestSimulateFaults:
         assert main(base_args + ["--resume"]) == 0
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestLintFormats:
+    DIRTY = "__all__ = []\ntry:\n    x = 1\nexcept:\n    pass\n"
+
+    def test_json_format_emits_machine_readable_findings(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        assert main(["lint", str(dirty), "--format", "json"]) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload[0]["code"] == "PRV006"
+        # The human summary moves to stderr so stdout stays parseable.
+        assert "repro lint" in captured.err
+
+    def test_sarif_format_has_rules_and_results(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        assert main(["lint", str(dirty), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert any(
+            rule["id"] == "PRV011"
+            for rule in run["tool"]["driver"]["rules"]
+        )
+        assert run["results"][0]["ruleId"] == "PRV006"
+
+    def test_output_file_keeps_stdout_quiet(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        out = tmp_path / "lint.sarif"
+        code = main([
+            "lint", str(dirty), "--format", "sarif",
+            "--output", str(out),
+        ])
+        assert code == 1
+        assert capsys.readouterr().out == ""
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"]
+
+    def test_stale_suppression_passes_by_default(self, tmp_path, capsys):
+        stale = tmp_path / "stale.py"
+        stale.write_text("__all__ = []\nx = 1  # prv: disable=PRV006\n")
+        assert main(["lint", str(stale)]) == 0
+        assert "stale suppression" in capsys.readouterr().out
+
+    def test_strict_suppressions_fails_on_stale(self, tmp_path, capsys):
+        stale = tmp_path / "stale.py"
+        stale.write_text("__all__ = []\nx = 1  # prv: disable=PRV006\n")
+        assert main(["lint", str(stale), "--strict-suppressions"]) == 1
+        assert "PRV000" in capsys.readouterr().out
+
+
+class TestSanitizeCommand:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["sanitize", "run"])
+        assert args.twin == "soa"
+        assert args.pms == 480
+        assert args.quick is False
+        assert args.seed == 0
+        assert args.shard_size == 4096
+        assert args.max_ulps is None
+        assert args.dump is None
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sanitize"])
+
+    def test_unknown_twin_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sanitize", "run", "--twin", "gpu"])
+
+    def test_small_soa_run_is_lockstep(self, tmp_path, capsys):
+        import json
+
+        dump = tmp_path / "report.json"
+        code = main([
+            "sanitize", "run", "--twin", "soa", "--pms", "16",
+            "--quick", "--shard-size", "8", "--dump", str(dump),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        payload = json.loads(dump.read_text())
+        assert payload["ok"] is True
+        assert "divergence" not in payload
+        assert payload["n_events"][0] > 0
+        assert payload["n_events"][0] == payload["n_events"][1]

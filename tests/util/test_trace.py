@@ -1,0 +1,197 @@
+"""Tests for the trace-point layer and the float sanitizer."""
+
+import numpy as np
+import pytest
+
+from repro.util.floatguard import (
+    FloatSanitizerError,
+    GUARD,
+    check_finite,
+    float_guard,
+    ulp_close,
+    ulp_diff,
+)
+from repro.util.trace import (
+    COMPONENT_OF,
+    FLOAT_KINDS,
+    TRACE,
+    TraceError,
+    TraceRecorder,
+    canonical_value,
+    capture,
+    tracepoint,
+)
+
+
+class TestCanonicalValue:
+    def test_scalars_pass_through(self):
+        assert canonical_value(None) is None
+        assert canonical_value(True) is True
+        assert canonical_value(7) == 7
+        assert canonical_value("vm-3") == "vm-3"
+
+    def test_floats_canonicalize_to_hex(self):
+        assert canonical_value(0.1) == (0.1).hex()
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert canonical_value(np.int64(42)) == canonical_value(42)
+        assert canonical_value(np.float64(0.25)) == canonical_value(0.25)
+        assert canonical_value(np.bool_(True)) == canonical_value(True)
+
+    def test_sequences_become_tuples_recursively(self):
+        assert canonical_value([1, [2.0, "x"]]) == (1, ((2.0).hex(), "x"))
+
+    def test_dtype_does_not_leak_into_the_canonical_form(self):
+        # The same number from different producers digests identically.
+        assert canonical_value(np.float32(0.5)) == canonical_value(0.5)
+
+
+class TestCaptureLifecycle:
+    def test_inactive_tracepoint_is_a_noop(self):
+        assert TRACE.active is False
+        tracepoint("place", vm=1, pm=2)  # must not raise, must not record
+        assert TRACE.recorder is None
+
+    def test_capture_records_and_deactivates(self):
+        with capture() as recorder:
+            assert TRACE.active is True
+            tracepoint("place", vm=1, pm=2)
+        assert TRACE.active is False
+        assert len(recorder.events) == 1
+        assert recorder.events[0].kind == "place"
+        assert recorder.events[0].value("pm") == 2
+
+    def test_nested_capture_raises(self):
+        with capture():
+            with pytest.raises(TraceError):
+                with capture():
+                    pass  # pragma: no cover - the open must fail
+
+    def test_capture_deactivates_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with capture():
+                raise RuntimeError("boom")
+        assert TRACE.active is False
+
+
+class TestRecorder:
+    def make(self, events):
+        recorder = TraceRecorder()
+        for kind, payload in events:
+            recorder.record(kind, payload)
+        return recorder
+
+    def test_payloads_are_key_sorted(self):
+        recorder = self.make([("place", {"vm": 1, "pm": 2})])
+        assert recorder.events[0].payload == (("pm", 2), ("vm", 1))
+
+    def test_float_kinds_bypass_the_digest(self):
+        recorder = self.make([
+            ("place", {"pm": 1}),
+            ("energy", {"joules": 10.0}),
+            ("slo", {"active": 3, "violation": 0.1}),
+        ])
+        assert recorder.digest_seqs == [0]
+        assert recorder.float_seqs == [1, 2]
+        assert len(recorder.prefix_digests) == 1
+
+    def test_identical_streams_have_identical_digests(self):
+        events = [("place", {"pm": i}) for i in range(20)]
+        a, b = self.make(events), self.make(events)
+        assert a.prefix_digests == b.prefix_digests
+        assert a.stream_digest == b.stream_digest
+
+    def test_divergence_poisons_every_later_prefix(self):
+        events_a = [("place", {"pm": i}) for i in range(20)]
+        events_b = list(events_a)
+        events_b[7] = ("place", {"pm": 99})
+        a, b = self.make(events_a), self.make(events_b)
+        for i in range(7):
+            assert a.prefix_digests[i] == b.prefix_digests[i]
+        for i in range(7, 20):
+            assert a.prefix_digests[i] != b.prefix_digests[i]
+
+    def test_windows_mark_tick_high_water(self):
+        recorder = self.make([
+            ("tick", {"time": 0.0}),
+            ("place", {"pm": 1}),
+            ("energy", {"joules": 1.0}),
+            ("tick", {"time": 300.0}),
+        ])
+        assert recorder.windows == [(1, 0), (3, 1)]
+
+    def test_component_digests_group_by_component(self):
+        recorder = self.make([
+            ("place", {"pm": 1}),
+            ("rank", {"pm": 1}),
+            ("victim", {"vm": 2}),
+            ("migrate", {"vm": 2}),
+        ])
+        digests = recorder.component_digests()
+        assert set(digests) == {"placement", "policy", "migration"}
+
+    def test_every_kind_has_a_component(self):
+        for kind in ("tick", "place", "rank", "overload", "victim",
+                     "migrate", "rng", "fault", "energy", "slo"):
+            assert kind in COMPONENT_OF
+        assert FLOAT_KINDS == {"energy", "slo"}
+
+    def test_event_at_bounds(self):
+        recorder = self.make([("place", {"pm": 1})])
+        assert recorder.event_at(0).kind == "place"
+        assert recorder.event_at(1) is None
+        assert recorder.event_at(-1) is None
+
+
+class TestUlps:
+    def test_zero_distance(self):
+        assert ulp_diff(1.0, 1.0) == 0
+
+    def test_adjacent_floats_are_one_ulp(self):
+        assert ulp_diff(1.0, np.nextafter(1.0, 2.0)) == 1
+
+    def test_sign_crossing(self):
+        tiny = float(np.nextafter(0.0, 1.0))
+        assert ulp_diff(-tiny, tiny) == 2
+
+    def test_nan_and_inf_are_maximal(self):
+        # NaN is never close to anything — not even another NaN: a leg
+        # producing NaN is broken regardless of what its twin did.
+        assert ulp_diff(float("nan"), 1.0) >= 2**63
+        assert ulp_diff(float("inf"), 1.0) >= 2**63
+        assert ulp_diff(float("nan"), float("nan")) >= 2**63
+        assert ulp_diff(float("inf"), float("inf")) == 0
+
+    def test_ulp_close_respects_the_bound(self):
+        near = float(np.nextafter(1.0, 2.0))
+        assert ulp_close(1.0, near, max_ulps=1)
+        assert not ulp_close(1.0, near, max_ulps=0)
+
+
+class TestFloatGuard:
+    def test_overflow_raises_inside_the_guard(self):
+        with pytest.raises(FloatingPointError):
+            with float_guard():
+                np.exp(np.float64(1000.0))
+
+    def test_invalid_raises_inside_the_guard(self):
+        with pytest.raises(FloatingPointError):
+            with float_guard():
+                np.float64(0.0) / np.float64(0.0)
+
+    def test_guard_is_reentrant(self):
+        with float_guard():
+            with float_guard():
+                assert GUARD.active is True
+            assert GUARD.active is True
+        assert GUARD.active is False
+
+    def test_check_finite_accepts_finite(self):
+        check_finite(np.array([1.0, 2.0]), "scores")
+        check_finite(3.5, "score")
+
+    def test_check_finite_rejects_nan_and_inf(self):
+        with pytest.raises(FloatSanitizerError, match="scores"):
+            check_finite(np.array([1.0, np.nan]), "scores")
+        with pytest.raises(FloatSanitizerError, match="watts"):
+            check_finite(float("inf"), "watts")
