@@ -1,18 +1,21 @@
-"""Machine-readable renderers for ``repro lint`` findings.
+"""Machine-readable renderers for ``repro lint`` and ``repro audit``.
 
-Two formats:
+Two formats, for each of the two producers:
 
-* :func:`render_json` — a plain JSON array, one object per finding,
-  for scripting (``jq '.[] | select(.code == "PRV012")'``).
-* :func:`render_sarif` — SARIF 2.1.0, the interchange format GitHub
-  code scanning ingests (``github/codeql-action/upload-sarif``), so
-  lint findings appear as PR annotations on the offending lines.
+* :func:`render_json` / :func:`render_audit_json` — a plain JSON
+  payload for scripting (``jq '.[] | select(.code == "PRV012")'``,
+  ``jq '.violations[] | select(.constraint == "C4")'``).
+* :func:`render_sarif` / :func:`render_audit_sarif` — SARIF 2.1.0, the
+  interchange format GitHub code scanning ingests
+  (``github/codeql-action/upload-sarif``), so findings appear as PR
+  annotations.
 
-Severity mapping: every real rule is ``error`` (the lint job fails on
-any finding); the unused-suppression pseudo-rule PRV000 is ``note``
+Severity mapping: every real lint rule is ``error`` (the lint job fails
+on any finding); the unused-suppression pseudo-rule PRV000 is ``note``
 unless ``--strict-suppressions`` promotes it to a failure — the SARIF
 level stays ``note`` either way so annotations distinguish rot from
-hazards.
+hazards.  Audit violations are always ``error``: a broken MIP
+constraint is never advisory.
 """
 
 from __future__ import annotations
@@ -20,9 +23,16 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Sequence
 
+from repro.analysis.invariants import CONSTRAINTS, AuditReport, Violation
 from repro.analysis.lint import Finding, RULES, UNUSED_SUPPRESSION
 
-__all__ = ["SARIF_VERSION", "render_json", "render_sarif"]
+__all__ = [
+    "SARIF_VERSION",
+    "render_json",
+    "render_sarif",
+    "render_audit_json",
+    "render_audit_sarif",
+]
 
 #: The SARIF schema version emitted (the one GitHub code scanning
 #: accepts).
@@ -117,6 +127,100 @@ def render_sarif(findings: Sequence[Finding]) -> str:
                         key=lambda f: (f.path, f.line, f.col, f.code),
                     )
                 ],
+            },
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Audit reports (repro audit --format json|sarif)
+# ----------------------------------------------------------------------
+def _sorted_violations(report: AuditReport) -> List[Violation]:
+    return sorted(
+        report.violations,
+        key=lambda v: (
+            v.constraint,
+            -1 if v.vm_id is None else v.vm_id,
+            -1 if v.pm_id is None else v.pm_id,
+            v.message,
+        ),
+    )
+
+
+def render_audit_json(report: AuditReport, artifact: str) -> str:
+    """One JSON object per audit: verdict, coverage, sorted violations."""
+    payload = {
+        "artifact": artifact,
+        "subject": report.subject,
+        "ok": report.ok,
+        "checked_vms": report.checked_vms,
+        "checked_pms": report.checked_pms,
+        "constraints_violated": list(report.constraint_ids()),
+        "summary": report.summary(),
+        "violations": [
+            {
+                "constraint": v.constraint,
+                "description": CONSTRAINTS.get(v.constraint, ""),
+                "message": v.message,
+                "vm_id": v.vm_id,
+                "pm_id": v.pm_id,
+                "group": v.group,
+            }
+            for v in _sorted_violations(report)
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _audit_rules() -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": constraint,
+            "name": constraint,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for constraint, description in CONSTRAINTS.items()
+    ]
+
+
+def render_audit_sarif(report: AuditReport, artifact: str) -> str:
+    """A single-run SARIF 2.1.0 log of an audit's violations.
+
+    Violations carry no source location — they refer to an artifact,
+    not a line of code — so each result anchors to the audited file.
+    """
+    results = [
+        {
+            "ruleId": v.constraint,
+            "level": "error",
+            "message": {"text": str(v)},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": artifact.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                    },
+                },
+            ],
+        }
+        for v in _sorted_violations(report)
+    ]
+    log = {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-audit",
+                        "rules": _audit_rules(),
+                    },
+                },
+                "results": results,
             },
         ],
     }

@@ -23,7 +23,13 @@ Commands:
   substrates from one seed and bisects to the first diverging event
   on mismatch.
 * ``audit``     — replay a saved artifact (score table or placements)
-  against the MIP constraints (1)-(11).
+  against the MIP constraints (1)-(11); ``--format json|sarif`` emits
+  machine-readable reports, as for ``lint``.
+* ``serve``     — placement-as-a-service: ``serve run`` exposes the
+  ASGI app over HTTP (uvicorn required), ``serve loadgen`` measures
+  p50/p99 latency and placements/s through the in-process client, and
+  ``serve chaos`` replays a fault schedule against a live service,
+  asserting every request resolves to exactly one outcome.
 
 All commands take ``--seed`` and print deterministic output for a given
 seed, so CLI runs are as reproducible as library calls.
@@ -281,6 +287,76 @@ def build_parser() -> argparse.ArgumentParser:
                             "repro.analysis.save_placements")
     audit.add_argument("--verbose", action="store_true",
                        help="print every violation, not just the summary")
+    audit.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (json/sarif move the human summary to stderr, "
+             "matching repro lint)")
+    audit.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the rendered report to FILE instead of stdout")
+
+    serve = sub.add_parser(
+        "serve", help="placement-as-a-service (ASGI app, loadgen, chaos)"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    serve_run = serve_sub.add_parser(
+        "run", help="serve the placement app over HTTP (requires uvicorn)"
+    )
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=8080)
+    serve_load = serve_sub.add_parser(
+        "loadgen", help="drive load through the in-process app and "
+                        "record p50/p99 latency + placements/s"
+    )
+    serve_load.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: N workers back-to-back; open: fixed-rate arrivals")
+    serve_load.add_argument("--requests", type=int, default=200)
+    serve_load.add_argument("--concurrency", type=int, default=8,
+                            help="in-flight requests (closed loop)")
+    serve_load.add_argument("--rate", type=float, default=500.0,
+                            help="arrivals per second (open loop)")
+    serve_load.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="append a 'serve' phase entry to this BENCH_perf.json")
+    serve_chaos = serve_sub.add_parser(
+        "chaos", help="replay a fault schedule against a live service and "
+                      "assert every request reaches exactly one outcome"
+    )
+    serve_chaos.add_argument(
+        "--faults", metavar="SPEC", default="pm-crash=2",
+        help="PR 3 fault spec replayed against the fleet "
+             "(same syntax as simulate --faults)")
+    serve_chaos.add_argument(
+        "--corrupt", metavar="START:END", action="append", default=None,
+        help="score-table corruption window in seconds (repeatable); "
+             "default 100:200")
+    serve_chaos.add_argument(
+        "--stall", metavar="START:END", action="append", default=None,
+        help="handler stall window (requests shed on deadline); "
+             "default 250:280")
+    serve_chaos.add_argument(
+        "--transient", metavar="START:END", action="append", default=None,
+        help="transient-fault window (retries, then shed); default none")
+    serve_chaos.add_argument("--requests", type=int, default=120)
+    serve_chaos.add_argument("--horizon", type=float, default=600.0)
+    serve_chaos.add_argument("--pms", type=int, default=8,
+                             help="toy fleet size (the drill is toy-only)")
+    serve_chaos.add_argument("--seed", type=int, default=0)
+    for sp in (serve_run, serve_load):
+        sp.add_argument(
+            "--fleet", choices=("toy", "ec2"), default="toy",
+            help="toy: 4x4-core PMs (instant); ec2: the paper's M3 fleet")
+        sp.add_argument("--pms", type=int, default=None,
+                        help="fleet size (default: 8 toy / 480 ec2)")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument(
+            "--table-cache", metavar="DIR", default=None,
+            help="profile-graph disk cache for the ec2 score-table build")
+        sp.add_argument("--queue-depth", type=int, default=64,
+                        help="admission queue depth (429 past this)")
+        sp.add_argument("--batch-max", type=int, default=16,
+                        help="most requests coalesced into one batch")
     return parser
 
 
@@ -350,10 +426,18 @@ def _cmd_simulate(args) -> int:
         resume=args.resume,
         graph_jobs=args.graph_jobs,
     )
+    any_degraded = any(
+        run.degraded
+        for runs in results.runs.values()
+        for run in runs
+    )
     header = f"{'policy':12s} {'PMs':>8s} {'kWh':>10s} {'migr':>8s} {'SLO':>8s}"
     if faults_active:
         header += f" {'down_s':>10s} {'lost':>6s}"
+    if any_degraded:
+        header += f" {'degraded':>9s}"
     print(header)
+    degraded_notes = []
     for policy in config.policies:
         runs = results.runs.get(policy, [])
         if not runs:
@@ -371,7 +455,22 @@ def _cmd_simulate(args) -> int:
                 down = float(np.median([m.vm_downtime_s for m in resilience]))
                 lost = float(np.median([m.placements_lost for m in resilience]))
                 row += f" {down:10.1f} {lost:6.1f}"
+        n_degraded = sum(1 for r in runs if r.degraded)
+        if any_degraded:
+            row += f" {n_degraded:5d}/{len(runs):<3d}"
+        if n_degraded:
+            reasons = sorted(
+                {r.degraded_reason for r in runs if r.degraded_reason}
+            )
+            degraded_notes.append(
+                f"  {policy}: {n_degraded} run(s) fell back to FFDSum "
+                f"({'; '.join(reasons) or 'reason unavailable'})"
+            )
         print(row)
+    if degraded_notes:
+        print("degraded runs:")
+        for note in degraded_notes:
+            print(note)
     for failure in results.failed_cells:
         print(f"failed cell {failure.policy}/{failure.repetition}: "
               f"{failure.status} after {failure.attempts} attempt(s) "
@@ -599,6 +698,7 @@ def _cmd_audit(args) -> int:
         audit_solution,
         load_placements,
     )
+    from repro.analysis.sarif import render_audit_json, render_audit_sarif
     from repro.core.score_table import ScoreTable
 
     try:
@@ -615,10 +715,130 @@ def _cmd_audit(args) -> int:
     else:
         print(f"repro audit: unrecognized artifact format {fmt!r}")
         return 2
-    if args.verbose:
-        for violation in report.violations:
-            print(violation)
-    print(report.summary())
+    if args.format == "json":
+        rendered = render_audit_json(report, args.artifact)
+    elif args.format == "sarif":
+        rendered = render_audit_sarif(report, args.artifact)
+    else:
+        lines = (
+            [str(v) for v in report.violations] if args.verbose else []
+        )
+        rendered = "\n".join(lines + [report.summary()])
+    if args.output is not None:
+        Path(args.output).write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n"
+        )
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    # Mirror repro lint: machine formats keep stdout parseable and move
+    # the human summary to stderr.
+    if args.format != "text":
+        print(report.summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _parse_windows(values, default):
+    windows = []
+    for value in (values if values is not None else default):
+        start, _, end = value.partition(":")
+        windows.append((float(start), float(end)))
+    return tuple(windows)
+
+
+def _cmd_serve(args) -> int:
+    import json
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    from repro.serve import (
+        ChaosSpec,
+        build_app,
+        build_ec2_service,
+        build_toy_service,
+        run_chaos_drill,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    def make_service():
+        if args.fleet == "ec2":
+            counts = {"M3": args.pms if args.pms is not None else 480}
+            return build_ec2_service(
+                counts, seed=args.seed, table_cache_dir=args.table_cache
+            )
+        return build_toy_service(
+            n_pms=args.pms if args.pms is not None else 8, seed=args.seed
+        )
+
+    if args.serve_command == "run":
+        try:
+            import uvicorn
+        except ImportError:
+            print(
+                "repro serve run needs uvicorn (pip install uvicorn); "
+                "the app itself has no dependency on it — use "
+                "repro.serve.ASGITestClient for in-process serving",
+                file=sys.stderr,
+            )
+            return 2
+        app = build_app(
+            make_service(),
+            max_depth=args.queue_depth,
+            batch_max=args.batch_max,
+        )
+        uvicorn.run(app, host=args.host, port=args.port)
+        return 0
+
+    if args.serve_command == "loadgen":
+        app = build_app(
+            make_service(),
+            max_depth=args.queue_depth,
+            batch_max=args.batch_max,
+        )
+        if args.mode == "closed":
+            report = run_closed_loop(
+                app,
+                n_requests=args.requests,
+                concurrency=args.concurrency,
+                seed=args.seed,
+            )
+        else:
+            report = run_open_loop(
+                app,
+                n_requests=args.requests,
+                rate_rps=args.rate,
+                seed=args.seed,
+            )
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        if args.out is not None:
+            from repro.serve import record_report
+
+            record_report(
+                report,
+                Path(args.out),
+                fleet=args.fleet,
+                recorded_at=datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+                extra={"seed": args.seed},
+            )
+        return 0
+
+    # chaos
+    from repro.faults.spec import parse_fault_spec
+
+    spec = ChaosSpec(
+        faults=parse_fault_spec(args.faults),
+        table_corruptions=_parse_windows(args.corrupt, ["100:200"]),
+        handler_stalls=_parse_windows(args.stall, ["250:280"]),
+        transients=_parse_windows(args.transient, []),
+        horizon_s=args.horizon,
+        n_requests=args.requests,
+        n_pms=args.pms,
+        seed=args.seed,
+    )
+    report = run_chaos_drill(spec, strict=False)
+    print(report.describe())
     return 0 if report.ok else 1
 
 
@@ -633,6 +853,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
     "audit": _cmd_audit,
+    "serve": _cmd_serve,
 }
 
 

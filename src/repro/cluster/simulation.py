@@ -84,9 +84,14 @@ class SimulationResult:
     The trailing fields only move under the optional extensions:
     ``consolidations`` counts PMs drained by underload consolidation,
     ``rejected_arrivals``/``completed_vms`` are dynamic-workload
-    counters (see :class:`DynamicSimulation`), and ``resilience`` holds
+    counters (see :class:`DynamicSimulation`), ``resilience`` holds
     the fault-injection record (None unless a
-    :class:`~repro.faults.schedule.FaultInjector` was attached).
+    :class:`~repro.faults.schedule.FaultInjector` was attached), and
+    ``degraded``/``degraded_reason`` surface a policy that finished the
+    run in its FFDSum fallback (see
+    :class:`~repro.core.placement.PageRankVMPolicy`) — a run whose
+    numbers came from the fallback must never be mistaken for a
+    table-driven one.
     """
 
     policy_name: str
@@ -105,13 +110,16 @@ class SimulationResult:
     rejected_arrivals: int = 0
     completed_vms: int = 0
     resilience: Optional[ResilienceMetrics] = None
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
 
     def __str__(self) -> str:
+        tail = " [DEGRADED]" if self.degraded else ""
         return (
             f"{self.policy_name}: pms={self.pms_used_initial} "
             f"(peak {self.pms_used_peak}), energy={self.energy_kwh:.1f} kWh, "
             f"migrations={self.migrations}, "
-            f"slo={100 * self.slo_violation_rate:.2f}%"
+            f"slo={100 * self.slo_violation_rate:.2f}%{tail}"
         )
 
 
@@ -246,6 +254,8 @@ class CloudSimulation:
             duration_s=self._config.duration_s,
             consolidations=self._consolidations,
             resilience=self._resilience,
+            degraded=bool(getattr(self._policy, "degraded", False)),
+            degraded_reason=getattr(self._policy, "degraded_reason", None),
         )
 
     def _power_model(self, machine: PhysicalMachine) -> PowerModel:
@@ -769,4 +779,6 @@ class DynamicSimulation(CloudSimulation):
             rejected_arrivals=rejected[0],
             completed_vms=completed[0],
             resilience=self._resilience,
+            degraded=bool(getattr(self._policy, "degraded", False)),
+            degraded_reason=getattr(self._policy, "degraded_reason", None),
         )

@@ -26,15 +26,17 @@ from repro.core.profile import MachineShape, Usage, VMType
 from repro.core.score_table import ScoreTable, build_score_table
 from repro.util.validation import ValidationError, require
 
-__all__ = ["PageRankVMPolicy"]
+__all__ = ["TABLE_FAULTS", "PageRankVMPolicy"]
 
 logger = logging.getLogger(__name__)
 
 #: Score-table faults the policy survives by degrading: a shape with no
 #: table (KeyError), a table whose arrays are truncated/mis-shaped
 #: (IndexError/ValueError) and one with poisoned scores (ValidationError
-#: from the finiteness guard).
-_TABLE_FAULTS = (KeyError, IndexError, ValueError, ValidationError)
+#: from the finiteness guard).  Public so the serving layer's circuit
+#: breaker can catch exactly the fault family the policy degrades on.
+TABLE_FAULTS = (KeyError, IndexError, ValueError, ValidationError)
+_TABLE_FAULTS = TABLE_FAULTS
 
 
 class PageRankVMPolicy(ProfileScorePolicy):
@@ -181,6 +183,53 @@ class PageRankVMPolicy(ProfileScorePolicy):
             "for the rest of this run",
             self._degraded_reason,
         )
+
+    def reset_degradation(self) -> None:
+        """Leave the FFDSum fallback after the score tables were repaired.
+
+        The serving layer's circuit breaker calls this when a half-open
+        probe finds the tables healthy again, turning PR 3's sticky
+        one-way degradation into a recoverable state.  Cached candidates
+        are dropped: entries memoized before the fault are content-
+        addressed and still valid, but dropping them keeps the contract
+        trivially airtight ("nothing scored before the repair survives
+        it") at the cost of a one-time re-warm.
+        """
+        if self._fallback_policy is None:
+            return
+        self._fallback_policy = None
+        self._degraded_reason = None
+        self.invalidate_cache()
+        logger.info(
+            "PageRankVM score tables healthy again; leaving FFDSum fallback"
+        )
+
+    def probe_tables(self) -> bool:
+        """One cheap lookup per shape: are the tables answering sanely?
+
+        Used by the circuit breaker's half-open probe.  A healthy probe
+        on a degraded policy clears the degradation (see
+        :meth:`reset_degradation`); a failing probe refreshes
+        ``degraded_reason`` and leaves (or puts) the policy in its
+        fallback state.  Never raises table faults.
+        """
+        try:
+            for shape in self._tables:
+                score = self.table_for(shape).score_or_snap(
+                    shape.empty_usage()
+                )
+                if not np.isfinite(score):
+                    raise ValidationError(
+                        f"score table probe returned non-finite {score!r}"
+                    )
+        except _TABLE_FAULTS as error:
+            if self._fallback_policy is None:
+                self._degrade(error)
+            else:
+                self._degraded_reason = f"{type(error).__name__}: {error}"
+            return False
+        self.reset_degradation()
+        return True
 
     def order_vms(self, vms: Sequence[VMType]) -> List[VMType]:
         if self._fallback_policy is not None:

@@ -211,23 +211,51 @@ class RetryPolicy:
             orphaned until the interpreter exits) and retried in a
             fresh pool.  None disables the timeout.  Serial runs ignore
             it — there is no second process to watch the clock.
+        jitter: fraction of the exponential delay randomized away to
+            decorrelate retry storms; 0.25 means each sleep lands in
+            ``[0.75, 1.0] * base * factor**(attempt-1)``.  The draw
+            comes from a keyed :class:`~repro.util.rng.RngFactory`
+            stream per (labels, attempt), so it is deterministic under
+            a fixed seed and independent of how many other cells are
+            retrying.  Callers that pass no factory get the undithered
+            exponential delay.
     """
 
     max_attempts: int = 3
     backoff_base_s: float = 0.1
     backoff_factor: float = 2.0
     cell_timeout_s: Optional[float] = None
+    jitter: float = 0.25
 
     def __post_init__(self) -> None:
         require(self.max_attempts >= 1, "max_attempts must be >= 1")
         require(self.backoff_base_s >= 0, "backoff_base_s must be >= 0")
         require(self.backoff_factor >= 1, "backoff_factor must be >= 1")
+        require(0 <= self.jitter <= 1, "jitter must be in [0, 1]")
         if self.cell_timeout_s is not None:
             require(self.cell_timeout_s > 0, "cell_timeout_s must be > 0")
 
-    def backoff_s(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based)."""
-        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+    def backoff_s(
+        self,
+        attempt: int,
+        rngs: Optional[RngFactory] = None,
+        *labels: object,
+    ) -> float:
+        """Sleep before retry number ``attempt`` (1-based).
+
+        With a factory, the delay is dithered by a one-shot draw from
+        the ``(*labels, "backoff", attempt)`` stream — keyed, not
+        sequential, so concurrent cells never perturb each other's
+        delays and a retried cell sleeps the same amount on every
+        identically-seeded run.
+        """
+        delay = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if rngs is None or self.jitter == 0:
+            return delay
+        fraction = float(
+            rngs.generator(*labels, "backoff", attempt).random()
+        )
+        return delay * (1.0 - self.jitter * fraction)
 
 
 @dataclass(frozen=True)
@@ -381,7 +409,14 @@ def _run_cells_serial(
                             policy_name, rep, failure.as_dict()
                         )
                     break
-                time.sleep(retry.backoff_s(attempt))
+                time.sleep(
+                    retry.backoff_s(
+                        attempt,
+                        RngFactory(config.seed).spawn("retry"),
+                        policy_name,
+                        rep,
+                    )
+                )
             else:
                 done[(policy_name, rep)] = result
                 if checkpoint is not None:
@@ -417,7 +452,11 @@ def _run_cells_parallel(
     while queue:
         wave += 1
         if wave > 1:
-            time.sleep(retry.backoff_s(wave - 1))
+            time.sleep(
+                retry.backoff_s(
+                    wave - 1, RngFactory(config.seed).spawn("retry"), "wave"
+                )
+            )
         executor = ProcessPoolExecutor(max_workers=workers)
         dirty = False
         try:

@@ -1,0 +1,189 @@
+"""The ASGI application: placement-as-a-service over HTTP.
+
+:class:`PlacementApp` is a plain ASGI 3.0 callable — no web framework,
+just the protocol — so it is fully testable in-process (see
+:mod:`repro.serve.testclient`) and runnable under any ASGI server
+(``repro serve run`` hands it to uvicorn when one is installed).
+
+Routes:
+
+====================== ============================================
+``POST /place``        place one VM: ``{"vm_type": "vm2",
+                       "vm_id": 7?, "utilization": 0.5?}``
+``POST /migrate``      move one VM off its PM: ``{"vm_id": 7}``
+``GET /cluster/state`` counters, breaker state, ledger, digest
+``GET /healthz``       process liveness (always 200)
+``GET /readyz``        admission readiness: 503 while the queue is
+                       saturated, 200 otherwise
+====================== ============================================
+
+Every placement request flows admission queue -> service -> one of the
+four terminal outcomes; shed responses carry a ``Retry-After`` header.
+The app itself never raises out of a request: a malformed body is a 400
+``rejected``, an unknown route a 404 — 5xx means a genuine bug, and the
+chaos drill asserts none occur.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.service import PlacementService, ServeRequest, ServeResponse
+
+__all__ = ["PlacementApp", "build_app"]
+
+
+async def _read_body(receive: Callable) -> bytes:
+    body = b""
+    while True:
+        message = await receive()
+        if message["type"] != "http.request":
+            return body
+        body += message.get("body", b"")
+        if not message.get("more_body", False):
+            return body
+
+
+async def _send_json(
+    send: Callable,
+    status: int,
+    payload: Dict[str, Any],
+    retry_after_s: Optional[float] = None,
+) -> None:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    headers = [
+        (b"content-type", b"application/json"),
+        (b"content-length", str(len(body)).encode("ascii")),
+    ]
+    if retry_after_s is not None:
+        headers.append(
+            (b"retry-after", str(max(1, round(retry_after_s))).encode("ascii"))
+        )
+    await send(
+        {"type": "http.response.start", "status": status, "headers": headers}
+    )
+    await send({"type": "http.response.body", "body": body})
+
+
+class PlacementApp:
+    """ASGI 3.0 callable serving one :class:`PlacementService`.
+
+    Args:
+        service: the placement service.
+        queue: admission queue; a default bounded one is built when
+            omitted.
+    """
+
+    def __init__(
+        self,
+        service: PlacementService,
+        queue: Optional[AdmissionQueue] = None,
+    ):
+        self.service = service
+        self.queue = queue if queue is not None else AdmissionQueue(service)
+
+    async def __call__(
+        self, scope: Dict[str, Any], receive: Callable, send: Callable
+    ) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+        path = scope["path"]
+        method = scope["method"].upper()
+        if path == "/healthz" and method == "GET":
+            await _send_json(send, 200, {"status": "ok"})
+        elif path == "/readyz" and method == "GET":
+            await self._readyz(send)
+        elif path == "/cluster/state" and method == "GET":
+            await _send_json(send, 200, self.service.cluster_state())
+        elif path == "/place" and method == "POST":
+            await self._placement(receive, send, op="place")
+        elif path == "/migrate" and method == "POST":
+            await self._placement(receive, send, op="migrate")
+        elif path in ("/place", "/migrate", "/cluster/state",
+                      "/healthz", "/readyz"):
+            await _send_json(
+                send, 405, {"detail": f"{method} not allowed on {path}"}
+            )
+        else:
+            await _send_json(send, 404, {"detail": f"no route {path!r}"})
+
+    async def _lifespan(self, receive: Callable, send: Callable) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _readyz(self, send: Callable) -> None:
+        saturated = self.queue.depth >= self.queue.max_depth
+        payload = {
+            "ready": not saturated,
+            "queue_depth": self.queue.depth,
+            "queue_max_depth": self.queue.max_depth,
+            "breaker": self.service.breaker.state,
+            "policy_degraded": bool(
+                getattr(self.service.policy, "degraded", False)
+            ),
+        }
+        await _send_json(send, 200 if not saturated else 503, payload)
+
+    async def _placement(
+        self, receive: Callable, send: Callable, op: str
+    ) -> None:
+        raw = await _read_body(receive)
+        request_id = self.service.next_request_id()
+        try:
+            body = json.loads(raw) if raw else {}
+            if not isinstance(body, dict):
+                raise ValueError("body must be a JSON object")
+            vm_type = body.get("vm_type")
+            if vm_type is not None and not isinstance(vm_type, str):
+                raise ValueError("vm_type must be a string")
+            vm_id = body.get("vm_id")
+            if vm_id is not None and not isinstance(vm_id, int):
+                raise ValueError("vm_id must be an integer")
+            utilization = float(body.get("utilization", 1.0))
+        except (ValueError, TypeError) as error:
+            self.service.counters.rejected_invalid += 1
+            response = ServeResponse(
+                request_id=request_id,
+                op=op,
+                outcome="rejected",
+                status=400,
+                detail=f"malformed request body: {error}",
+            )
+            await _send_json(send, response.status, response.as_dict())
+            return
+        request = ServeRequest(
+            op=op,
+            request_id=request_id,
+            vm_type=vm_type,
+            vm_id=vm_id,
+            utilization=utilization,
+            deadline=self.service.deadline_for(self.service.clock.now()),
+        )
+        response = await self.queue.submit(request)
+        await _send_json(
+            send,
+            response.status,
+            response.as_dict(),
+            retry_after_s=response.retry_after_s,
+        )
+
+
+def build_app(
+    service: PlacementService,
+    max_depth: int = 64,
+    batch_max: int = 16,
+) -> PlacementApp:
+    """Wire a service into an ASGI app with a bounded admission queue."""
+    return PlacementApp(
+        service, AdmissionQueue(service, max_depth=max_depth, batch_max=batch_max)
+    )

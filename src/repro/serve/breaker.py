@@ -1,0 +1,167 @@
+"""Circuit breaker guarding the score-table scoring path.
+
+The breaker sits between the service and the PageRankVM score tables.
+While CLOSED, requests score against the tables; each request the policy
+had to serve through its FFDSum degradation counts as a failure, and
+``failure_threshold`` *consecutive* failures trip the breaker OPEN.
+While OPEN, the service routes straight through the (already installed)
+FFDSum fallback without touching the tables — overload protection, not
+just fault masking — until the probe deadline passes.  The first request
+after the deadline moves the breaker HALF_OPEN and probes the tables
+once; a healthy probe closes the breaker (and the policy resumes
+table-driven scoring), a failing probe re-opens it with a fresh
+deadline.
+
+All timing runs on the injected :class:`~repro.serve.clock.Clock`, so
+breaker trips and recoveries are deterministic under the test clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.serve.clock import Clock, SystemClock
+from repro.util.validation import require
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+#: Breaker states (plain strings so ``/cluster/state`` serializes them).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with deadline-based half-open probing.
+
+    Args:
+        failure_threshold: consecutive failures that trip the breaker.
+        reset_timeout_s: how long the breaker stays OPEN before the next
+            request is allowed to probe.
+        clock: time source (defaults to the system monotonic clock).
+    """
+
+    __slots__ = (
+        "_failure_threshold",
+        "_reset_timeout_s",
+        "_clock",
+        "_state",
+        "_consecutive_failures",
+        "_opened_at",
+        "_last_reason",
+        "trips",
+        "probes",
+        "recoveries",
+    )
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock: Optional[Clock] = None,
+    ):
+        require(failure_threshold >= 1, "failure_threshold must be >= 1")
+        require(reset_timeout_s > 0, "reset_timeout_s must be positive")
+        self._failure_threshold = failure_threshold
+        self._reset_timeout_s = reset_timeout_s
+        self._clock = clock if clock is not None else SystemClock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._last_reason: Optional[str] = None
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` (no side effects)."""
+        return self._state
+
+    @property
+    def last_reason(self) -> Optional[str]:
+        """The failure reason recorded by the most recent failure."""
+        return self._last_reason
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success (resets on success/close)."""
+        return self._consecutive_failures
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot for ``/cluster/state``."""
+        return {
+            "state": self._state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self._failure_threshold,
+            "reset_timeout_s": self._reset_timeout_s,
+            "last_reason": self._last_reason,
+            "trips": self.trips,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+        }
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def allows_primary(self) -> bool:
+        """Should the next request score against the tables?
+
+        True while CLOSED; once OPEN, False until the probe deadline
+        passes — at which point the breaker moves HALF_OPEN and the
+        caller must :meth:`record_probe` the outcome of its single
+        probe.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            deadline = self._opened_at + self._reset_timeout_s
+            if self._clock.now() >= deadline:
+                self._state = HALF_OPEN
+                return True
+            return False
+        return True  # HALF_OPEN: the probe is in flight
+
+    def record_success(self) -> None:
+        """A table-scored request succeeded; resets the failure run."""
+        self._consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._close()
+
+    def record_failure(self, reason: str) -> None:
+        """A request had to be served degraded; may trip the breaker."""
+        self._last_reason = reason
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            self._reopen()
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self._failure_threshold
+        ):
+            self._trip()
+
+    def record_probe(self, healthy: bool) -> None:
+        """Outcome of the HALF_OPEN probe: close on health, reopen else."""
+        self.probes += 1
+        if healthy:
+            self._close()
+        else:
+            self._reopen()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock.now()
+        self.trips += 1
+
+    def _reopen(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock.now()
+
+    def _close(self) -> None:
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self.recoveries += 1

@@ -1,0 +1,411 @@
+"""Service chaos drill: replay fault schedules against a live service.
+
+The drill boots a toy service on a deterministic manual clock, replays
+a PR 3 fault schedule (PM crashes/recoveries, VM flaps) **plus**
+service-level faults the simulation never sees — score-table
+corruption windows, injected handler stalls, transient dependency
+blips — and drives a deterministic request stream through the full
+ASGI stack (routing, admission queue, service, breaker) while the
+faults play out.
+
+The drill's contract, asserted by :meth:`ChaosReport.check`:
+
+* every request resolves to exactly one of {placed, degraded, shed,
+  rejected} — no hangs, no 5xx-by-bug (503 is a shed verdict, not a
+  bug);
+* observed shed/degraded counts exactly match the per-request
+  expectations derived from the injected fault state at issue time;
+* the resilience ledger balances (displaced == restored + lost);
+* the post-drill datacenter passes the C1-C11 invariant audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import RetryPolicy
+from repro.faults.schedule import build_fault_schedule
+from repro.faults.spec import FaultSpec
+from repro.serve.app import PlacementApp, build_app
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.clock import ManualClock
+from repro.serve.fleet import build_toy_service
+from repro.serve.service import PlacementService, TransientServeError
+from repro.serve.testclient import ASGITestClient
+from repro.util.rng import RngFactory
+from repro.util.validation import require
+
+__all__ = ["ChaosSpec", "ChaosReport", "ServiceChaosDrill", "run_chaos_drill"]
+
+#: Window = (start_s, end_s), half-open.
+Window = Tuple[float, float]
+
+
+def _in_window(windows: Tuple[Window, ...], t: float) -> bool:
+    return any(start <= t < end for start, end in windows)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Everything a drill injects, all of it deterministic from ``seed``.
+
+    Attributes:
+        faults: the PR 3 fault family (PM crashes, recoveries, flaps).
+        table_corruptions: windows during which every score table
+            answers NaN — the policy degrades to FFDSum and the breaker
+            counts failures.
+        handler_stalls: windows during which every handler attempt
+            stalls past the request deadline — requests shed.
+        transients: windows during which every handler attempt raises a
+            retryable fault — retries exhaust and the request sheds.
+        n_requests: client requests driven through the app.
+        migrate_fraction: fraction of requests that are migrations of
+            an already-placed VM (the rest are placements).
+        invalid_fraction: fraction of requests with an unknown VM type
+            (rejected regardless of fault state — taxonomy coverage).
+    """
+
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    table_corruptions: Tuple[Window, ...] = ()
+    handler_stalls: Tuple[Window, ...] = ()
+    transients: Tuple[Window, ...] = ()
+    horizon_s: float = 600.0
+    n_requests: int = 120
+    n_pms: int = 8
+    seed: int = 0
+    migrate_fraction: float = 0.1
+    invalid_fraction: float = 0.05
+    request_timeout_s: float = 5.0
+    failure_threshold: int = 3
+    breaker_reset_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        require(self.horizon_s > 0, "horizon_s must be positive")
+        require(self.n_requests >= 1, "n_requests must be >= 1")
+        for name in ("table_corruptions", "handler_stalls", "transients"):
+            for start, end in getattr(self, name):
+                require(
+                    0 <= start < end, f"{name} window ({start}, {end}) invalid"
+                )
+
+
+@dataclass
+class ChaosReport:
+    """The drill's verdict, with enough detail to debug a failure."""
+
+    n_requests: int
+    outcomes: Dict[str, int]
+    statuses: Dict[str, int]
+    expected: Dict[str, int]
+    mismatches: List[str]
+    ledger: Dict[str, Any]
+    ledger_balanced: bool
+    audit_ok: bool
+    audit_summary: str
+    breaker: Dict[str, Any]
+    decision_digest: str
+    server_errors: int
+
+    @property
+    def ok(self) -> bool:
+        """Did every drill invariant hold?"""
+        return (
+            not self.mismatches
+            and self.ledger_balanced
+            and self.audit_ok
+            and self.server_errors == 0
+            and sum(self.outcomes.values()) == self.n_requests
+        )
+
+    def check(self) -> None:
+        """Raise AssertionError with the full report when not ok."""
+        assert self.ok, self.describe()
+
+    def describe(self) -> str:
+        """Multi-line human-readable verdict."""
+        lines = [
+            f"chaos drill: {self.n_requests} requests -> {self.outcomes}",
+            f"statuses: {self.statuses}",
+            f"expected: {self.expected}",
+            f"ledger balanced: {self.ledger_balanced} ({self.ledger})",
+            f"audit: {'ok' if self.audit_ok else self.audit_summary}",
+            f"breaker: {self.breaker}",
+            f"server errors (5xx-by-bug): {self.server_errors}",
+        ]
+        lines += [f"MISMATCH: {m}" for m in self.mismatches]
+        return "\n".join(lines)
+
+
+class ServiceChaosDrill:
+    """Runs one :class:`ChaosSpec` against a freshly built toy service."""
+
+    def __init__(self, spec: ChaosSpec):
+        self.spec = spec
+        self.clock = ManualClock()
+        # jitter=0 keeps retry attempt times exactly predictable, so the
+        # expectation model can walk the same envelope the service does.
+        self._retry = RetryPolicy(jitter=0.0)
+        self.service: PlacementService = build_toy_service(
+            n_pms=spec.n_pms,
+            seed=spec.seed,
+            clock=self.clock,
+            breaker=CircuitBreaker(
+                failure_threshold=spec.failure_threshold,
+                reset_timeout_s=spec.breaker_reset_s,
+                clock=self.clock,
+            ),
+            retry=self._retry,
+            request_timeout_s=spec.request_timeout_s,
+        )
+        self.app: PlacementApp = build_app(self.service)
+        self.client = ASGITestClient(self.app)
+        self._policy = self.service.policy
+        self._healthy_tables = dict(self._policy.tables)
+        self._corrupt = False
+        self._known_vms: List[int] = []
+        self.service.fault_hook = self._fault_hook
+
+    # ------------------------------------------------------------------
+    # Injected faults
+    # ------------------------------------------------------------------
+    def _fault_hook(self, op: str, request_id: int) -> float:
+        now = self.clock.now()
+        if _in_window(self.spec.transients, now):
+            raise TransientServeError(
+                f"injected transient at t={now:.1f}s (request {request_id})"
+            )
+        if _in_window(self.spec.handler_stalls, now):
+            # Stall well past the deadline; the service clock is manual,
+            # so this costs no wall time.
+            return 2.0 * self.spec.request_timeout_s
+        return 0.0
+
+    def _corrupt_tables(self) -> None:
+        if self._corrupt:
+            return
+        tables = self._policy.tables
+        for shape, table in self._healthy_tables.items():
+            tables[shape] = _PoisonedTable(table)
+        self._policy.invalidate_cache()
+        self._corrupt = True
+
+    def _restore_tables(self) -> None:
+        if not self._corrupt:
+            return
+        tables = self._policy.tables
+        for shape, table in self._healthy_tables.items():
+            tables[shape] = table
+        self._policy.invalidate_cache()
+        self._corrupt = False
+
+    def _sync_corruption(self, t: float) -> None:
+        if _in_window(self.spec.table_corruptions, t):
+            self._corrupt_tables()
+        else:
+            self._restore_tables()
+
+    # ------------------------------------------------------------------
+    # The drill
+    # ------------------------------------------------------------------
+    def run(self) -> ChaosReport:
+        """Replay faults + requests over the horizon; return the verdict."""
+        spec = self.spec
+        schedule = build_fault_schedule(
+            spec.faults,
+            RngFactory(spec.seed).spawn("serve-chaos"),
+            spec.horizon_s,
+            pm_ids=list(range(spec.n_pms)),
+            n_vms=spec.n_requests,
+        )
+        rng = RngFactory(spec.seed).generator("serve-chaos", "requests")
+        vm_names = self.service.vm_type_names
+        interval = spec.horizon_s / spec.n_requests
+        arrivals: List[Tuple[float, Dict[str, Any]]] = []
+        for i in range(spec.n_requests):
+            draw = float(rng.random())
+            if draw < spec.invalid_fraction:
+                body: Dict[str, Any] = {"vm_type": "no-such-type"}
+            elif draw < spec.invalid_fraction + spec.migrate_fraction:
+                body = {"op": "migrate"}
+            else:
+                body = {
+                    "vm_type": vm_names[int(rng.integers(len(vm_names)))],
+                    "utilization": float(rng.uniform(0.05, 0.48)),
+                }
+            arrivals.append((i * interval, body))
+
+        timeline = sorted(
+            [(e.time_s, 0, e) for e in schedule.events]
+            + [(t, 1, body) for t, body in arrivals],
+            key=lambda item: (item[0], item[1]),
+        )
+        outcomes: Dict[str, int] = {}
+        statuses: Dict[str, int] = {}
+        expected = {"shed": 0, "degraded": 0, "rejected_invalid": 0, "ok": 0}
+        mismatches: List[str] = []
+        server_errors = 0
+        for t, kind, item in timeline:
+            if t > self.clock.now():
+                self.clock.advance_to(t)
+            self._sync_corruption(t)
+            if kind == 0:
+                self.service.apply_fault_event(item)
+                self.service.replace_displaced()
+                continue
+            body = dict(item)
+            op = body.pop("op", "place")
+            if op == "migrate":
+                target = self._some_placed_vm()
+                if target is None:
+                    continue  # nothing placed yet; skip this migration
+                body["vm_id"] = target
+            expectation = self._expect(body)
+            expected[expectation] += 1
+            response = self.client.post(f"/{op}", body)
+            payload = response.json()
+            outcome = payload.get("outcome", "?")
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            statuses[str(response.status)] = (
+                statuses.get(str(response.status), 0) + 1
+            )
+            if response.status >= 500 and response.status != 503:
+                server_errors += 1
+            if (
+                op == "place"
+                and outcome in ("placed", "degraded")
+                and payload.get("vm_id") is not None
+            ):
+                self._known_vms.append(int(payload["vm_id"]))
+            observed = self._classify(outcome, response.status, payload)
+            if observed != expectation:
+                mismatches.append(
+                    f"t={t:.1f}s {op} {body}: expected {expectation}, "
+                    f"observed {observed} ({payload})"
+                )
+
+        # Quiesce: heal everything, give displaced VMs a last chance to
+        # come home, then settle the ledger and audit the fleet.
+        self._restore_tables()
+        for pm_id in range(spec.n_pms):
+            if self.service.datacenter.machine(pm_id).is_failed:
+                self.service.datacenter.repair_machine(pm_id)
+        self.service.replace_displaced()
+        ledger = self.service.finalize_ledger()
+        balanced = (
+            ledger.vms_displaced
+            == ledger.vms_restored + ledger.placements_lost
+        )
+        report = self.service.audit()
+        return ChaosReport(
+            n_requests=sum(outcomes.values()),
+            outcomes=outcomes,
+            statuses=statuses,
+            expected=expected,
+            mismatches=mismatches,
+            ledger=ledger.as_dict(),
+            ledger_balanced=balanced,
+            audit_ok=report.ok,
+            audit_summary=report.summary(),
+            breaker=self.service.breaker.as_dict(),
+            decision_digest=self.service.decision_digest,
+            server_errors=server_errors,
+        )
+
+    def _some_placed_vm(self) -> Optional[int]:
+        """The lowest-id currently placed VM (deterministic choice)."""
+        dc = self.service.datacenter
+        for vm_id in sorted(set(self._known_vms)):
+            if dc.locate(vm_id) is not None:
+                return vm_id
+        return None
+
+    def _expect(self, body: Dict[str, Any]) -> str:
+        """The verdict this request must reach, from fault state alone.
+
+        Mirrors the service's precedence exactly: the fault hook fires
+        first on every attempt (so the expected attempt times are
+        walked with the service's own zero-jitter backoffs), invalid
+        bodies reject before any scoring, and only then does the
+        degradation state of the scoring path matter.
+        """
+        t = self.clock.now()
+        for attempt in range(1, self._retry.max_attempts + 1):
+            if _in_window(self.spec.transients, t):
+                if attempt >= self._retry.max_attempts:
+                    return "shed"  # retries exhausted
+                t += self._retry.backoff_s(attempt)
+                continue
+            if _in_window(self.spec.handler_stalls, t):
+                return "shed"  # the stall blows the deadline
+            break
+        if body.get("vm_type") == "no-such-type":
+            return "rejected_invalid"
+        if self._corrupt:
+            return "degraded"
+        breaker = self.service.breaker
+        state = breaker.state
+        if state == "open":
+            # allows_primary() may move OPEN -> HALF_OPEN; the request
+            # we are predicting for would trigger the same transition
+            # at the same clock time, so peeking here is exact.
+            if not breaker.allows_primary():
+                return "degraded"
+            state = "half-open"
+        if state == "half-open":
+            # The request probes; tables are healthy here (corruption
+            # was handled above), so the probe heals the policy.
+            return "ok"
+        # CLOSED: no probe happens, so a sticky FFDSum degradation
+        # keeps serving degraded until the breaker trips and recovers.
+        if bool(getattr(self._policy, "degraded", False)):
+            return "degraded"
+        return "ok"
+
+    @staticmethod
+    def _classify(outcome: str, status: int, payload: Dict[str, Any]) -> str:
+        if outcome == "shed":
+            return "shed"
+        if outcome == "degraded":
+            return "degraded"
+        if outcome == "rejected" and status != 409:
+            # 400/404: the request itself was invalid.
+            return "rejected_invalid"
+        if outcome == "rejected" and payload.get("degraded"):
+            # A capacity rejection decided by the FFDSum fallback: the
+            # fault state shaped the verdict, so it counts as degraded.
+            return "degraded"
+        # Healthy placements and healthy capacity rejections.
+        return "ok"
+
+
+class _PoisonedTable:
+    """A score table whose every answer is NaN (corruption stand-in).
+
+    Only the surface the policy touches is implemented; NaN scores trip
+    the policy's finiteness guard, which raises ValidationError — one
+    of the :data:`~repro.core.placement.TABLE_FAULTS`.
+    """
+
+    def __init__(self, table: Any):
+        self._table = table
+        self.shape = table.shape
+        self.strategy = table.strategy
+
+    def score_or_snap(self, usage: Any) -> float:
+        return float("nan")
+
+    def score_or_snap_many(self, usages: Any) -> Any:
+        return np.full(len(list(usages)), np.nan)
+
+
+def run_chaos_drill(
+    spec: Optional[ChaosSpec] = None, strict: bool = True
+) -> ChaosReport:
+    """Build, run and (optionally) assert one service chaos drill."""
+    report = ServiceChaosDrill(spec if spec is not None else ChaosSpec()).run()
+    if strict:
+        report.check()
+    return report

@@ -1,0 +1,77 @@
+"""Injectable clocks for the serving layer.
+
+Every time-dependent service component (admission deadlines, circuit
+breaker probe deadlines, retry backoff sleeps) reads time through a
+:class:`Clock` so that tests and chaos drills can drive the service on a
+:class:`ManualClock` — fully deterministic, no real sleeping — while a
+production deployment under uvicorn runs on :class:`SystemClock`.
+
+The serving layer never reads ``time.time()``/``time.monotonic()``
+directly; the clock is the single seam (the serving-layer analogue of
+the simulation's :class:`~repro.cluster.events.EventLoop` clock).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SystemClock", "ManualClock"]
+
+
+class Clock:
+    """The time source a service component reads and sleeps against."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic, arbitrary epoch)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or advance) for ``seconds``; no-op for non-positive."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real monotonic time, for production serving."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to — the deterministic test clock.
+
+    ``sleep`` advances the clock instead of blocking, so retry backoff
+    and stall injection consume simulated time and a whole chaos drill
+    runs in microseconds of wall time.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        self._now += float(seconds)
+
+    def advance_to(self, at: float) -> None:
+        """Move time forward to ``at`` (ignored when already past it)."""
+        if at > self._now:
+            self._now = float(at)

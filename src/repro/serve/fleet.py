@@ -1,0 +1,105 @@
+"""Service builders: wire a fleet + policy + breaker into one service.
+
+Two fleets cover the serving stack's needs:
+
+* :func:`build_toy_service` — the 4x4-core toy world every fast unit
+  test uses (score table builds in milliseconds).  This is what the
+  chaos drill and the CI smoke boot.
+* :func:`build_ec2_service` — the paper's M3 fleet on the
+  struct-of-arrays substrate, for real load generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.ec2 import EC2_VM_TYPES, build_ec2_soa_datacenter
+from repro.core.placement import PageRankVMPolicy
+from repro.core.profile import MachineShape, ResourceGroup, VMType
+from repro.core.score_table import build_score_table
+from repro.core.soa.datacenter import SoADatacenter
+from repro.experiments.sweep import sweep_table
+from repro.serve.clock import Clock
+from repro.serve.service import PlacementService
+from repro.util.rng import RngFactory
+
+__all__ = [
+    "toy_shape",
+    "toy_vm_types",
+    "build_toy_service",
+    "build_ec2_service",
+]
+
+
+def toy_shape() -> MachineShape:
+    """The 4x4-core toy PM shape shared with the CLI demo world."""
+    return MachineShape(
+        groups=(ResourceGroup(name="cpu", capacities=(4, 4, 4, 4)),)
+    )
+
+
+def toy_vm_types() -> Tuple[VMType, ...]:
+    """The toy catalog: 1-, 2- and 4-core VMs."""
+    return (
+        VMType(name="vm1", demands=((1,),)),
+        VMType(name="vm2", demands=((1, 1),)),
+        VMType(name="vm4", demands=((1, 1, 1, 1),)),
+    )
+
+
+def build_toy_service(
+    n_pms: int = 8,
+    seed: int = 0,
+    clock: Optional[Clock] = None,
+    pool_size: Optional[int] = None,
+    **service_kwargs,
+) -> PlacementService:
+    """A small table-driven service on the struct-of-arrays substrate."""
+    shape = toy_shape()
+    vm_types = toy_vm_types()
+    table = build_score_table(shape, vm_types)
+    policy = PageRankVMPolicy(
+        {shape: table},
+        pool_size=pool_size,
+        rng=RngFactory(seed).generator("serve-policy"),
+    )
+    datacenter = SoADatacenter(
+        [(pm_id, shape, "toy.4x4") for pm_id in range(n_pms)]
+    )
+    return PlacementService(
+        datacenter,
+        policy,
+        vm_types,
+        clock=clock,
+        seed=seed,
+        **service_kwargs,
+    )
+
+
+def build_ec2_service(
+    counts: Optional[Dict[str, int]] = None,
+    seed: int = 0,
+    clock: Optional[Clock] = None,
+    pool_size: Optional[int] = None,
+    table_cache_dir: Optional[str] = None,
+    jobs: int = 1,
+    shard_size: int = 4_096,
+    **service_kwargs,
+) -> PlacementService:
+    """The paper's M3 fleet as a service (loadgen's default world)."""
+    counts = counts if counts is not None else {"M3": 480}
+    table = sweep_table(table_cache_dir, jobs=jobs)
+    policy = PageRankVMPolicy(
+        {table.shape: table},
+        pool_size=pool_size,
+        rng=RngFactory(seed).generator("serve-policy"),
+    )
+    datacenter = build_ec2_soa_datacenter(counts, shard_size=shard_size)
+    return PlacementService(
+        datacenter,
+        policy,
+        EC2_VM_TYPES,
+        clock=clock,
+        seed=seed,
+        **service_kwargs,
+    )

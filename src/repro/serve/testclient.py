@@ -1,0 +1,134 @@
+"""In-process ASGI client: drive the app with zero network, zero deps.
+
+:class:`ASGITestClient` speaks the ASGI 3.0 protocol directly at the
+application callable — building the ``http`` scope, feeding the body
+through ``receive`` and collecting ``send`` events — so the full
+request path (routing, admission queue, service, breaker) runs exactly
+as under a real server, deterministically and in-process.
+
+``get``/``post`` are synchronous conveniences that spin one event loop
+per call; :meth:`request` is the awaitable primitive, and
+:meth:`gather` submits a burst concurrently inside one loop — which is
+what exercises admission coalescing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ClientResponse", "ASGITestClient"]
+
+
+@dataclass
+class ClientResponse:
+    """One collected HTTP response."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The response body parsed as JSON."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ASGITestClient:
+    """Calls an ASGI app in-process.
+
+    Args:
+        app: any ASGI 3.0 callable (:class:`~repro.serve.app.PlacementApp`).
+    """
+
+    def __init__(self, app: Callable):
+        self.app = app
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> ClientResponse:
+        """Perform one request against the app (awaitable primitive)."""
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode("ascii"),
+            "query_string": b"",
+            "root_path": "",
+            "headers": [(b"content-type", b"application/json")],
+            "client": ("testclient", 0),
+            "server": ("testserver", 80),
+        }
+        sent = False
+
+        async def receive() -> Dict[str, Any]:
+            nonlocal sent
+            if sent:
+                return {"type": "http.disconnect"}
+            sent = True
+            return {"type": "http.request", "body": payload, "more_body": False}
+
+        events: List[Dict[str, Any]] = []
+
+        async def send(message: Dict[str, Any]) -> None:
+            events.append(message)
+
+        await self.app(scope, receive, send)
+        return self._collect(events)
+
+    @staticmethod
+    def _collect(events: List[Dict[str, Any]]) -> ClientResponse:
+        response = ClientResponse(status=500)
+        for message in events:
+            if message["type"] == "http.response.start":
+                response.status = message["status"]
+                response.headers = {
+                    key.decode("latin-1"): value.decode("latin-1")
+                    for key, value in message.get("headers", [])
+                }
+            elif message["type"] == "http.response.body":
+                response.body += message.get("body", b"")
+        return response
+
+    async def gather(
+        self, calls: Sequence[Tuple[str, str, Optional[Dict[str, Any]]]]
+    ) -> List[ClientResponse]:
+        """Submit a burst of (method, path, body) calls concurrently.
+
+        All requests share one event loop, so they hit the admission
+        queue together and coalesce into batches.
+        """
+        return list(
+            await asyncio.gather(
+                *(self.request(m, p, b) for m, p, b in calls)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences (one event loop per call)
+    # ------------------------------------------------------------------
+    def get(self, path: str) -> ClientResponse:
+        """Synchronous GET."""
+        return asyncio.run(self.request("GET", path))
+
+    def post(
+        self, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> ClientResponse:
+        """Synchronous POST with a JSON body."""
+        return asyncio.run(self.request("POST", path, body))
+
+    def post_burst(
+        self, path: str, bodies: Sequence[Dict[str, Any]]
+    ) -> List[ClientResponse]:
+        """Synchronous concurrent POST burst (coalesces in admission)."""
+        return asyncio.run(
+            self.gather([("POST", path, body) for body in bodies])
+        )

@@ -21,7 +21,7 @@ import contextlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from repro.util.validation import ValidationError
 
@@ -36,6 +36,7 @@ __all__ = [
     "validate_payload",
     "load_trajectory",
     "append_entry",
+    "latest_entry",
 ]
 
 BENCH_FORMAT = "repro.bench_perf.v1"
@@ -103,6 +104,25 @@ def load_trajectory(out: Path) -> Dict[str, object]:
         raise ValidationError(f"{out}: not valid JSON ({error})") from error
     validate_payload(payload, source=str(out))
     return payload
+
+
+def latest_entry(
+    out: Path, phase: Optional[str] = None
+) -> Optional[Dict[str, object]]:
+    """The newest entry of a trajectory, optionally filtered by phase.
+
+    Returns None for a missing file or when no entry matches — the CI
+    smoke jobs use this to assert a phase actually recorded something.
+
+    Raises:
+        ValidationError: when the file exists but fails validation.
+    """
+    if not out.exists():
+        return None
+    entries: List[Dict[str, object]] = load_trajectory(out)["entries"]
+    if phase is not None:
+        entries = [e for e in entries if e.get("phase") == phase]
+    return entries[-1] if entries else None
 
 
 def _quarantine(out: Path) -> Path:

@@ -111,3 +111,95 @@ class TestRun:
         assert result.duration_s == 1800.0
         # 6 ticks of 300 s for one active PM.
         assert result.energy_kwh > 0
+
+
+class TestDegradedSurfacing:
+    """SimulationResult carries the policy's degradation state."""
+
+    def pagerank_simulation(self, toy_shape, poisoned=False):
+        import numpy as np
+
+        from repro.core.placement import PageRankVMPolicy
+        from repro.core.profile import VMType
+        from repro.core.score_table import build_score_table
+
+        vm_types = (VMType(name="vm2", demands=((1, 1),)),)
+        table = build_score_table(toy_shape, vm_types)
+        if poisoned:
+            class NaNTable:
+                shape = table.shape
+                strategy = table.strategy
+
+                def score_or_snap(self, usage):
+                    return float("nan")
+
+                def score_or_snap_many(self, usages):
+                    return np.full(len(list(usages)), np.nan)
+
+            table = NaNTable()
+        policy = PageRankVMPolicy({toy_shape: table})
+        return CloudSimulation(
+            toy_datacenter(toy_shape),
+            policy,
+            MinimumMigrationTimeSelector(),
+            SimulationConfig(duration_s=600.0, monitor_interval_s=300.0),
+        )
+
+    def test_healthy_run_not_degraded(self, toy_shape, vm2):
+        sim = self.pagerank_simulation(toy_shape)
+        result = sim.run([VirtualMachine(0, vm2, ConstantTrace(0.1))])
+        assert result.degraded is False
+        assert result.degraded_reason is None
+        assert "[DEGRADED]" not in str(result)
+
+    def test_poisoned_tables_surface_in_result(self, toy_shape, vm2):
+        sim = self.pagerank_simulation(toy_shape, poisoned=True)
+        result = sim.run([VirtualMachine(0, vm2, ConstantTrace(0.1))])
+        assert result.degraded is True
+        assert result.degraded_reason
+        assert "[DEGRADED]" in str(result)
+
+    def test_degraded_fields_round_trip_checkpoint(self, toy_shape, vm2):
+        from repro.experiments.checkpoint import (
+            result_from_dict,
+            result_to_dict,
+        )
+
+        sim = self.pagerank_simulation(toy_shape, poisoned=True)
+        result = sim.run([VirtualMachine(0, vm2, ConstantTrace(0.1))])
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.degraded is True
+        assert restored.degraded_reason == result.degraded_reason
+
+    def test_old_checkpoints_default_healthy(self):
+        from repro.experiments.checkpoint import (
+            result_from_dict,
+            result_to_dict,
+        )
+
+        sim_result = simulation_result_fixture()
+        payload = result_to_dict(sim_result)
+        payload.pop("degraded", None)
+        payload.pop("degraded_reason", None)
+        restored = result_from_dict(payload)
+        assert restored.degraded is False
+        assert restored.degraded_reason is None
+
+
+def simulation_result_fixture():
+    from repro.cluster.simulation import SimulationResult
+
+    return SimulationResult(
+        policy_name="FF",
+        n_vms=1,
+        unplaced_vms=0,
+        pms_used_initial=1,
+        pms_used_peak=1,
+        pms_used_final=1,
+        energy_kwh=0.0,
+        migrations=0,
+        failed_migrations=0,
+        overload_events=0,
+        slo_violation_rate=0.0,
+        duration_s=600.0,
+    )

@@ -155,3 +155,74 @@ class TestAuditHook:
         with pytest.raises(AuditError) as excinfo:
             run_single(small_config(), "FF", 0, audit=True)
         assert "C2" in excinfo.value.report.constraint_ids()
+
+
+class TestRetryBackoffJitter:
+    """PRV012-clean seeded jitter: keyed RngFactory streams, no escapes."""
+
+    def policy(self, **kwargs):
+        from repro.experiments.runner import RetryPolicy
+
+        return RetryPolicy(**kwargs)
+
+    def test_no_factory_means_exact_exponential(self):
+        retry = self.policy(backoff_base_s=0.1, backoff_factor=2.0)
+        assert retry.backoff_s(1) == pytest.approx(0.1)
+        assert retry.backoff_s(2) == pytest.approx(0.2)
+        assert retry.backoff_s(3) == pytest.approx(0.4)
+
+    def test_zero_jitter_means_exact_exponential(self):
+        from repro.util.rng import RngFactory
+
+        retry = self.policy(jitter=0.0)
+        rngs = RngFactory(0).spawn("retry")
+        assert retry.backoff_s(2, rngs, "FF", 0) == pytest.approx(0.2)
+
+    def test_jitter_is_deterministic_per_labels_and_attempt(self):
+        from repro.util.rng import RngFactory
+
+        retry = self.policy()
+        a = retry.backoff_s(2, RngFactory(7).spawn("retry"), "FF", 3)
+        b = retry.backoff_s(2, RngFactory(7).spawn("retry"), "FF", 3)
+        assert a == b
+
+    def test_different_labels_decorrelate(self):
+        from repro.util.rng import RngFactory
+
+        retry = self.policy()
+        rngs = RngFactory(7).spawn("retry")
+        by_cell = retry.backoff_s(2, rngs, "FF", 0)
+        other_cell = retry.backoff_s(2, rngs, "FF", 1)
+        other_attempt = retry.backoff_s(3, rngs, "FF", 0)
+        assert by_cell != other_cell
+        assert other_attempt != by_cell * 2  # not just the scaled base
+
+    def test_jitter_stays_within_documented_band(self):
+        from repro.util.rng import RngFactory
+
+        retry = self.policy(jitter=0.25)
+        rngs = RngFactory(11).spawn("retry")
+        for attempt in (1, 2, 3):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            for rep in range(20):
+                delay = retry.backoff_s(attempt, rngs, "cell", rep)
+                assert 0.75 * base <= delay <= base
+
+    def test_draw_order_independence(self):
+        # The keyed stream makes each (labels, attempt) draw standalone:
+        # interleaving other cells' draws cannot shift this cell's delay.
+        from repro.util.rng import RngFactory
+
+        retry = self.policy()
+        alone = retry.backoff_s(2, RngFactory(3).spawn("retry"), "A", 0)
+        rngs = RngFactory(3).spawn("retry")
+        retry.backoff_s(1, rngs, "B", 4)
+        retry.backoff_s(2, rngs, "C", 1)
+        interleaved = retry.backoff_s(2, rngs, "A", 0)
+        assert alone == interleaved
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValidationError):
+            self.policy(jitter=1.5)
+        with pytest.raises(ValidationError):
+            self.policy(jitter=-0.1)

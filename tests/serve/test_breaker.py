@@ -1,0 +1,129 @@
+"""Unit tests: injectable clocks and the score-table circuit breaker."""
+
+import pytest
+
+from repro.serve import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ManualClock,
+    SystemClock,
+)
+from repro.util.validation import ValidationError
+
+
+class TestManualClock:
+    def test_starts_where_told(self):
+        assert ManualClock().now() == 0.0
+        assert ManualClock(start=42.0).now() == 42.0
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = ManualClock()
+        clock.sleep(1.5)
+        assert clock.now() == 1.5
+        clock.sleep(0.0)
+        clock.sleep(-3.0)  # non-positive sleeps are no-ops
+        assert clock.now() == 1.5
+
+    def test_advance_and_advance_to(self):
+        clock = ManualClock()
+        clock.advance(10.0)
+        assert clock.now() == 10.0
+        clock.advance_to(5.0)  # never goes backwards
+        assert clock.now() == 10.0
+        clock.advance_to(25.0)
+        assert clock.now() == 25.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_system_clock_is_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        clock.sleep(0.0)
+        assert clock.now() >= a
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows_primary(self):
+        breaker = CircuitBreaker(clock=ManualClock())
+        assert breaker.state == CLOSED
+        assert breaker.allows_primary()
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=ManualClock())
+        breaker.record_failure("f1")
+        breaker.record_failure("f2")
+        assert breaker.state == CLOSED
+        breaker.record_failure("f3")
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert breaker.last_reason == "f3"
+        assert not breaker.allows_primary()
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=ManualClock())
+        breaker.record_failure("f1")
+        breaker.record_failure("f2")
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure("f3")
+        breaker.record_failure("f4")
+        assert breaker.state == CLOSED  # the run restarted at zero
+
+    def test_half_open_after_reset_deadline(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=30.0, clock=clock
+        )
+        breaker.record_failure("boom")
+        assert breaker.state == OPEN
+        clock.advance(29.0)
+        assert not breaker.allows_primary()
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.allows_primary()
+        assert breaker.state == HALF_OPEN
+
+    def test_healthy_probe_closes(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=clock
+        )
+        breaker.record_failure("boom")
+        clock.advance(10.0)
+        assert breaker.allows_primary()
+        breaker.record_probe(healthy=True)
+        assert breaker.state == CLOSED
+        assert breaker.probes == 1
+        assert breaker.recoveries == 1
+        assert breaker.consecutive_failures == 0
+
+    def test_failing_probe_reopens_with_fresh_deadline(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=clock
+        )
+        breaker.record_failure("boom")
+        clock.advance(10.0)
+        assert breaker.allows_primary()  # -> half-open
+        breaker.record_probe(healthy=False)
+        assert breaker.state == OPEN
+        assert breaker.recoveries == 0
+        clock.advance(9.0)
+        assert not breaker.allows_primary()  # deadline restarted
+        clock.advance(1.0)
+        assert breaker.allows_primary()
+
+    def test_as_dict_serializes(self):
+        breaker = CircuitBreaker(clock=ManualClock())
+        snapshot = breaker.as_dict()
+        assert snapshot["state"] == CLOSED
+        assert snapshot["failure_threshold"] == 3
+        assert snapshot["trips"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(reset_timeout_s=0.0)

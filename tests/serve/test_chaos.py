@@ -1,0 +1,103 @@
+"""Service chaos drills: every request reaches exactly one outcome.
+
+The corrupt-score-table drill is the end-to-end satellite: corrupt the
+tables mid-traffic, watch the service degrade to FFDSum with logged
+reasons, trip the breaker, keep serving, then recover through the
+half-open probe once the corruption clears — with the C1-C11 audit
+green throughout.
+"""
+
+import pytest
+
+from repro.faults.spec import FaultSpec
+from repro.serve import ChaosSpec, ServiceChaosDrill, run_chaos_drill
+
+
+class TestCorruptScoreTableDrill:
+    """Satellite: the end-to-end table-corruption scenario."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        spec = ChaosSpec(
+            faults=FaultSpec(),  # no infrastructure faults: isolate the tables
+            table_corruptions=((100.0, 200.0),),
+            n_requests=60,
+            horizon_s=300.0,
+            invalid_fraction=0.0,
+            migrate_fraction=0.0,
+        )
+        return run_chaos_drill(spec, strict=False)
+
+    def test_drill_invariants_hold(self, report):
+        report.check()
+
+    def test_corruption_window_served_degraded(self, report):
+        # 60 requests over 300 s -> one per 5 s; the (100, 200) window
+        # covers 20 of them, every one served degraded (not dropped).
+        assert report.outcomes.get("degraded", 0) == 20
+        assert report.expected["degraded"] == 20
+
+    def test_no_request_lost_no_5xx_by_bug(self, report):
+        assert sum(report.outcomes.values()) == 60
+        assert report.server_errors == 0
+        assert all(
+            int(status) < 500 or status == "503" for status in report.statuses
+        )
+
+    def test_breaker_tripped_and_recovered(self, report):
+        assert report.breaker["trips"] >= 1
+        assert report.breaker["recoveries"] >= 1
+        assert report.breaker["state"] == "closed"
+
+    def test_audit_green_after_quiesce(self, report):
+        assert report.audit_ok
+        assert report.ledger_balanced
+
+
+class TestFullFaultMatrix:
+    def test_crashes_stalls_transients_and_corruption(self):
+        spec = ChaosSpec(
+            faults=FaultSpec(pm_crashes=2, vm_flaps=2),
+            table_corruptions=((100.0, 200.0),),
+            handler_stalls=((250.0, 280.0),),
+            transients=((320.0, 340.0),),
+            n_requests=120,
+            horizon_s=600.0,
+        )
+        report = run_chaos_drill(spec, strict=False)
+        report.check()
+        # Every fault class left a visible mark on the outcome counts.
+        assert report.outcomes.get("shed", 0) >= 1
+        assert report.outcomes.get("degraded", 0) >= 1
+        assert report.outcomes.get("rejected", 0) >= 1
+        assert report.ledger["pm_crashes"] == 2
+
+    def test_deterministic_under_fixed_seed(self):
+        spec = ChaosSpec(
+            faults=FaultSpec(pm_crashes=1),
+            table_corruptions=((50.0, 80.0),),
+            n_requests=40,
+            horizon_s=200.0,
+        )
+        first = ServiceChaosDrill(spec).run()
+        second = ServiceChaosDrill(spec).run()
+        assert first.decision_digest == second.decision_digest
+        assert first.outcomes == second.outcomes
+        assert first.statuses == second.statuses
+
+    def test_quiet_drill_all_healthy(self):
+        report = run_chaos_drill(
+            ChaosSpec(n_requests=30, horizon_s=100.0), strict=False
+        )
+        report.check()
+        assert report.breaker["trips"] == 0
+
+
+class TestSpecValidation:
+    def test_bad_window_rejected(self):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            ChaosSpec(table_corruptions=((200.0, 100.0),))
+        with pytest.raises(ValidationError):
+            ChaosSpec(n_requests=0)

@@ -1,0 +1,337 @@
+"""Unit tests: the placement service's four-outcome taxonomy.
+
+Every test drives :class:`~repro.serve.service.PlacementService`
+directly (no ASGI layer) on a :class:`~repro.serve.clock.ManualClock`,
+so deadlines, retries and breaker deadlines are fully deterministic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import RetryPolicy
+from repro.serve import (
+    CircuitBreaker,
+    ManualClock,
+    OUTCOMES,
+    ServeRequest,
+    ServeResponse,
+    TransientServeError,
+    build_toy_service,
+)
+from repro.util.validation import ValidationError
+
+
+class NaNTable:
+    """A poisoned score table: every lookup answers NaN."""
+
+    def __init__(self, table):
+        self._table = table
+        self.shape = table.shape
+        self.strategy = table.strategy
+
+    def score_or_snap(self, usage):
+        return float("nan")
+
+    def score_or_snap_many(self, usages):
+        return np.full(len(list(usages)), np.nan)
+
+
+def make_service(n_pms=8, **kwargs):
+    clock = kwargs.pop("clock", None) or ManualClock()
+    return build_toy_service(n_pms=n_pms, clock=clock, **kwargs)
+
+
+def place(service, vm_type="vm2", **kwargs):
+    request = ServeRequest(
+        op="place",
+        request_id=service.next_request_id(),
+        vm_type=vm_type,
+        **kwargs,
+    )
+    return service.serve_one(request)
+
+
+class TestOutcomeTaxonomy:
+    def test_response_rejects_unknown_outcome(self):
+        with pytest.raises(ValidationError):
+            ServeResponse(request_id=0, op="place", outcome="maybe", status=200)
+        assert set(OUTCOMES) == {"placed", "degraded", "shed", "rejected"}
+
+    def test_place_ok(self):
+        service = make_service()
+        response = place(service, "vm2", utilization=0.5)
+        assert response.outcome == "placed"
+        assert response.status == 200
+        assert response.pm_id is not None
+        assert response.vm_id is not None
+        assert not response.degraded
+        assert service.counters.placed == 1
+        assert service.datacenter.locate(response.vm_id) == response.pm_id
+
+    def test_unknown_vm_type_rejected_400(self):
+        service = make_service()
+        response = place(service, "no-such-type")
+        assert (response.outcome, response.status) == ("rejected", 400)
+        assert service.counters.rejected_invalid == 1
+
+    def test_bad_utilization_rejected_400(self):
+        service = make_service()
+        response = place(service, "vm2", utilization=1.5)
+        assert (response.outcome, response.status) == ("rejected", 400)
+
+    def test_duplicate_vm_id_rejected_409(self):
+        service = make_service()
+        first = place(service, "vm2", vm_id=7)
+        assert first.outcome == "placed"
+        dup = place(service, "vm2", vm_id=7)
+        assert (dup.outcome, dup.status) == ("rejected", 409)
+
+    def test_capacity_exhaustion_rejected_409(self):
+        service = make_service(n_pms=1)
+        for _ in range(4):
+            assert place(service, "vm4").outcome == "placed"
+        full = place(service, "vm4")
+        assert (full.outcome, full.status) == ("rejected", 409)
+        assert service.counters.rejected_capacity == 1
+
+    def test_unknown_op_rejected(self):
+        service = make_service()
+        response = service.serve_one(
+            ServeRequest(op="explode", request_id=0)
+        )
+        assert (response.outcome, response.status) == ("rejected", 400)
+
+
+class TestMigrate:
+    def test_migrate_moves_off_source_pm(self):
+        service = make_service(n_pms=4)
+        placed = place(service, "vm2", utilization=0.3)
+        source = placed.pm_id
+        response = service.serve_one(
+            ServeRequest(
+                op="migrate",
+                request_id=service.next_request_id(),
+                vm_id=placed.vm_id,
+            )
+        )
+        assert response.outcome in ("placed", "degraded")
+        assert response.pm_id != source
+        assert service.datacenter.locate(placed.vm_id) == response.pm_id
+        assert service.counters.migrated == 1
+
+    def test_migrate_unknown_vm_404(self):
+        service = make_service()
+        response = service.serve_one(
+            ServeRequest(op="migrate", request_id=0, vm_id=999)
+        )
+        assert (response.outcome, response.status) == ("rejected", 404)
+
+    def test_migrate_without_vm_id_400(self):
+        service = make_service()
+        response = service.serve_one(
+            ServeRequest(op="migrate", request_id=0)
+        )
+        assert (response.outcome, response.status) == ("rejected", 400)
+
+
+class TestDeadlinesAndRetries:
+    def test_stale_request_shed_before_serving(self):
+        clock = ManualClock(start=100.0)
+        service = make_service(clock=clock)
+        response = service.serve_one(
+            ServeRequest(op="place", request_id=0, vm_type="vm2", deadline=50.0)
+        )
+        assert (response.outcome, response.status) == ("shed", 503)
+        assert response.retry_after_s is not None
+        assert service.counters.shed_deadline == 1
+
+    def test_stall_blows_the_deadline(self):
+        clock = ManualClock()
+        service = make_service(clock=clock, request_timeout_s=5.0)
+        service.fault_hook = lambda op, rid: 10.0  # stall past the deadline
+        response = service.serve_one(
+            ServeRequest(
+                op="place", request_id=0, vm_type="vm2", deadline=5.0
+            )
+        )
+        assert (response.outcome, response.status) == ("shed", 503)
+        assert clock.now() == pytest.approx(10.0)
+
+    def test_transient_retries_then_sheds(self):
+        clock = ManualClock()
+        retry = RetryPolicy(max_attempts=3, backoff_base_s=0.1, jitter=0.0)
+        service = make_service(clock=clock, retry=retry)
+
+        def always_transient(op, rid):
+            raise TransientServeError("blip")
+
+        service.fault_hook = always_transient
+        response = service.serve_one(
+            ServeRequest(op="place", request_id=0, vm_type="vm2")
+        )
+        assert (response.outcome, response.status) == ("shed", 503)
+        assert service.counters.retries == 2  # attempts 1 and 2 retried
+        assert service.counters.shed_retries_exhausted == 1
+        # zero-jitter exponential backoffs: 0.1 + 0.2 simulated seconds
+        assert clock.now() == pytest.approx(0.3)
+
+    def test_transient_recovery_mid_envelope(self):
+        clock = ManualClock()
+        service = make_service(
+            clock=clock, retry=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        failures = {"left": 1}
+
+        def flaky(op, rid):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise TransientServeError("blip")
+            return 0.0
+
+        service.fault_hook = flaky
+        response = place(service, "vm2")
+        assert response.outcome == "placed"
+        assert service.counters.retries == 1
+
+
+class TestBreakerIntegration:
+    def poison(self, service):
+        policy = service.policy
+        healthy = dict(policy.tables)
+        for shape, table in healthy.items():
+            policy.tables[shape] = NaNTable(table)
+        policy.invalidate_cache()
+        return healthy
+
+    def restore(self, service, healthy):
+        for shape, table in healthy.items():
+            service.policy.tables[shape] = table
+        service.policy.invalidate_cache()
+
+    def test_degraded_serving_trips_then_probe_heals(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=30.0, clock=clock
+        )
+        service = make_service(clock=clock, breaker=breaker)
+        healthy = self.poison(service)
+
+        # Corrupt tables: every placement degrades to FFDSum and the
+        # response says so.
+        for i in range(3):
+            response = place(service, "vm2", utilization=0.2)
+            assert response.outcome == "degraded", f"request {i}"
+            assert response.degraded
+            assert response.degraded_reason
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
+        # While open: still serving (degraded), reason names the breaker.
+        response = place(service, "vm2", utilization=0.2)
+        assert response.outcome == "degraded"
+        assert "circuit open" in (response.degraded_reason or "")
+
+        # Heal the tables; past the reset deadline the half-open probe
+        # restores table-driven scoring.
+        self.restore(service, healthy)
+        clock.advance(30.0)
+        response = place(service, "vm2", utilization=0.2)
+        assert response.outcome == "placed"
+        assert not response.degraded
+        assert breaker.state == "closed"
+        assert breaker.recoveries == 1
+        assert not service.policy.degraded
+
+    def test_probe_fails_while_still_corrupt(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=clock
+        )
+        service = make_service(clock=clock, breaker=breaker)
+        self.poison(service)
+        assert place(service, "vm2").outcome == "degraded"
+        assert breaker.state == "open"
+        clock.advance(10.0)
+        response = place(service, "vm2")  # probe runs, tables still NaN
+        assert response.outcome == "degraded"
+        assert breaker.state == "open"
+        assert breaker.probes == 1
+        assert breaker.recoveries == 0
+
+
+class TestLedgerAndState:
+    def test_crash_displace_restore_balances(self):
+        from repro.faults.schedule import FaultEvent
+
+        service = make_service(n_pms=4)
+        responses = [place(service, "vm2", utilization=0.2) for _ in range(6)]
+        victim_pm = responses[0].pm_id
+        service.apply_fault_event(
+            FaultEvent(kind="pm_crash", time_s=10.0, target=victim_pm)
+        )
+        assert service.ledger.pm_crashes == 1
+        assert service.ledger.vms_displaced == service.pending_displaced
+        restored = service.replace_displaced()
+        assert restored == service.ledger.vms_restored
+        ledger = service.finalize_ledger()
+        assert (
+            ledger.vms_displaced
+            == ledger.vms_restored + ledger.placements_lost
+        )
+        assert service.audit().ok
+
+    def test_monitor_events_accepted_and_ignored(self):
+        from repro.faults.schedule import FaultEvent
+
+        service = make_service()
+        service.apply_fault_event(
+            FaultEvent(kind="monitor_down", time_s=0.0, target=0)
+        )
+        assert service.ledger.vms_displaced == 0
+
+    def test_cluster_state_payload(self):
+        service = make_service()
+        place(service, "vm2")
+        state = service.cluster_state()
+        assert state["counters"]["placed"] == 1
+        assert state["breaker"]["state"] == "closed"
+        assert state["decisions"] == 1
+        assert len(state["decision_digest"]) == 64
+        assert state["policy_degraded"] is False
+
+    def test_structured_request_log(self):
+        service = make_service()
+        place(service, "vm2")
+        place(service, "nope")
+        log = service.recent_requests
+        assert [e["outcome"] for e in log] == ["placed", "rejected"]
+        assert all("latency_s" in e and "breaker" in e for e in log)
+
+
+class TestDecisionDigest:
+    def test_batch_equals_sequential_digest(self):
+        requests = [
+            ServeRequest(
+                op="place", request_id=i, vm_type=("vm2", "vm1")[i % 2],
+                utilization=0.25,
+            )
+            for i in range(12)
+        ]
+        seq = make_service(seed=3)
+        for request in requests:
+            seq.serve_one(request)
+        batched = make_service(seed=3)
+        batched.serve_batch(requests)
+        assert seq.decision_digest == batched.decision_digest
+        assert seq.decision_digest != "0" * 64
+
+    def test_digest_tracks_every_decision(self):
+        service = make_service()
+        before = service.decision_digest
+        place(service, "vm2")
+        after = service.decision_digest
+        assert before != after
+        place(service, "no-such-type")  # rejected before deciding
+        assert service.decision_digest == after

@@ -367,3 +367,137 @@ class TestSanitizeCommand:
         assert "divergence" not in payload
         assert payload["n_events"][0] > 0
         assert payload["n_events"][0] == payload["n_events"][1]
+
+
+class TestAuditFormats:
+    """``repro audit --format json|sarif`` mirrors the lint formats."""
+
+    def save_bad_artifact(self, tmp_path, toy_shape, vm2):
+        from repro.analysis.invariants import save_placements
+        from repro.core.permutations import Placement
+        from repro.model.analytic import PlacementInstance, PlacementSolution
+
+        instance = PlacementInstance(vms=(vm2,), pms=(toy_shape,))
+        collocated = Placement(
+            new_usage=((2, 0, 0, 0),), assignments=(((0, 1), (0, 1)),)
+        )
+        solution = PlacementSolution(assignments=((0, collocated),))
+        path = tmp_path / "bad.json"
+        save_placements(instance, solution, path)
+        return path
+
+    def test_json_format_lists_violations(
+        self, tmp_path, toy_shape, vm2, capsys
+    ):
+        import json
+
+        path = self.save_bad_artifact(tmp_path, toy_shape, vm2)
+        assert main(["audit", str(path), "--format", "json"]) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        assert "C4" in payload["constraints_violated"]
+        assert payload["violations"][0]["constraint"] == "C4"
+        # Human summary moves to stderr so stdout stays parseable.
+        assert "audit FAILED" in captured.err
+
+    def test_sarif_format_has_constraint_rules(
+        self, tmp_path, toy_shape, vm2, capsys
+    ):
+        import json
+
+        path = self.save_bad_artifact(tmp_path, toy_shape, vm2)
+        assert main(["audit", str(path), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"C1", "C4", "C11"} <= rule_ids
+        assert run["results"][0]["ruleId"] == "C4"
+        assert run["results"][0]["level"] == "error"
+
+    def test_output_file_keeps_stdout_quiet(
+        self, tmp_path, toy_shape, vm2, capsys
+    ):
+        import json
+
+        path = self.save_bad_artifact(tmp_path, toy_shape, vm2)
+        out = tmp_path / "audit.sarif"
+        code = main([
+            "audit", str(path), "--format", "sarif", "--output", str(out),
+        ])
+        assert code == 1
+        assert capsys.readouterr().out == ""
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+
+    def test_json_format_on_clean_artifact(
+        self, tmp_path, toy_shape, vm2, capsys
+    ):
+        import json
+
+        from repro.analysis.invariants import save_placements
+        from repro.core.permutations import balanced_placement
+        from repro.model.analytic import PlacementInstance, PlacementSolution
+
+        instance = PlacementInstance(vms=(vm2,), pms=(toy_shape,))
+        placement = balanced_placement(toy_shape, toy_shape.empty_usage(), vm2)
+        solution = PlacementSolution(assignments=((0, placement),))
+        path = tmp_path / "ok.json"
+        save_placements(instance, solution, path)
+        assert main(["audit", str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "loadgen"])
+        assert args.serve_command == "loadgen"
+        assert args.mode == "closed"
+        assert args.fleet == "toy"
+        assert args.requests == 200
+        chaos = parser.parse_args(["serve", "chaos"])
+        assert chaos.faults == "pm-crash=2"
+        assert chaos.requests == 120
+
+    def test_serve_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_loadgen_records_serve_phase(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_perf.json"
+        code = main([
+            "serve", "loadgen", "--requests", "12", "--concurrency", "3",
+            "--out", str(out),
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mode"] == "closed"
+        assert sum(report["outcomes"].values()) == 12
+        from repro.util.benchfile import latest_entry
+
+        entry = latest_entry(out, phase="serve")
+        assert entry is not None and entry["fleet"] == "toy"
+
+    def test_chaos_drill_exits_zero_when_ok(self, capsys):
+        code = main([
+            "serve", "chaos", "--requests", "30", "--horizon", "300",
+            "--corrupt", "50:120", "--stall", "150:170",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos drill: 30 requests" in out
+        assert "ledger balanced: True" in out
+
+    def test_run_gated_on_uvicorn(self, capsys):
+        try:
+            import uvicorn  # noqa: F401
+        except ImportError:
+            assert main(["serve", "run"]) == 2
+            assert "uvicorn" in capsys.readouterr().err
+        else:
+            pytest.skip("uvicorn installed; serve run would block")

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.faults",
     "repro.analysis",
+    "repro.serve",
     "repro.util",
 ]
 
