@@ -14,9 +14,12 @@ workload (serial, parallel, and a cache reload) and end-to-end
 ``workers=cpu_count`` (with a bit-identical-results check between the
 two), and an online-serving phase — allocate plus a day-long simulate on
 the EC2 M3 workload — timed against the seed serving path (linear scans
-and the chunk-walking tick) with a decision-identity cross-check.
-Future PRs append entries, so the file reads as a perf trajectory
-across the repo's history.
+and the chunk-walking tick) with a decision-identity cross-check, and a
+zero-copy shared-plane phase (shared-memory table attach vs pickle
+reload, the parallel shard tick vs its serial twin with exact-counter
+identity).  Future PRs append entries, so the file reads as a perf
+trajectory across the repo's history; ``repro perf check`` gates each
+phase's latest entry against that history.
 
 The seed (pre-optimization) implementations are kept here verbatim —
 :func:`seed_profile_pagerank` for the PageRank kernel and
@@ -633,10 +636,17 @@ def measure_end_to_end(
     workers_grid: Optional[List[int]] = None,
     table_cache_dir: Optional[str] = None,
 ) -> Dict[str, object]:
-    """End-to-end run_experiment wall-clock, plus a determinism check."""
+    """End-to-end run_experiment wall-clock, plus a determinism check.
+
+    The grid scales with the machine: serial always, then 2 and
+    ``cpu_count`` workers where the cores exist.  On a single core only
+    the serial point runs — a forced 2-worker leg there measures
+    scheduler overhead, not parallel speedup, and its identity check
+    repeats what the multi-core CI legs already pin.
+    """
     cpu = os.cpu_count() or 1
     if workers_grid is None:
-        workers_grid = sorted({1, cpu if cpu > 1 else 2})
+        workers_grid = sorted({w for w in (1, 2, cpu) if w <= cpu})
     config = ExperimentConfig(
         n_vms=40,
         datacenter=(("M3", 30), ("C3", 8)),
@@ -670,12 +680,94 @@ def measure_end_to_end(
             reference = values
         elif values != reference:
             identical = False
-    return {
+    metrics: Dict[str, object] = {
         "cpu_count": cpu,
         "workers_grid": workers_grid,
         "parallel_results_identical": identical,
         **walls,
     }
+    parallel_walls = [
+        walls[f"run_experiment_wall_s_workers_{w}"]
+        for w in workers_grid
+        if w > 1
+    ]
+    if parallel_walls and 1 in workers_grid:
+        metrics["run_experiment_parallel_speedup"] = (
+            walls["run_experiment_wall_s_workers_1"] / min(parallel_walls)
+        )
+    return metrics
+
+
+#: Decision counters compared exactly between the parallel-tick run and
+#: its serial twin in the shared-plane phase.
+_SHARED_TICK_EXACT = (
+    "pms_used", "unplaced_vms", "migrations", "overload_events", "energy_kwh",
+)
+
+
+def measure_shared_plane(
+    table: ScoreTable,
+    repeats: int = 3,
+    quick: bool = False,
+    tick_workers: Optional[int] = None,
+) -> Dict[str, object]:
+    """Zero-copy data plane phase: shared attach vs pickle, parallel tick.
+
+    Two costs anchor the zero-copy claim:
+
+    * **attach vs pickle** — mapping a published score table from shared
+      memory (``shm.attach_score_table``) against rebuilding a private
+      copy from its pickle, which is what an N-process service without
+      the data plane would pay N times.
+    * **parallel tick** — one 480-PM columnar allocate + simulate with
+      the shard tick pool against its serial twin, decision counters and
+      energy compared exactly (the bit-identity contract).  Skipped on a
+      single core, where the pool's serial fallback makes the
+      comparison a no-op (``shared_tick_workers = 1`` records why).
+    """
+    import pickle
+
+    from repro.core import shm
+
+    payload = pickle.dumps(table)
+    pickle_wall = _best_of(lambda: pickle.loads(payload), repeats)
+    published = shm.share_score_table(table)
+    try:
+        def attach_once() -> None:
+            attached, bundle = shm.attach_score_table(published.key)
+            # Drop the table's views before the close so the segment
+            # unmaps cleanly instead of lingering until GC.
+            del attached
+            bundle.close()
+
+        attach_wall = _best_of(attach_once, max(repeats, 3))
+    finally:
+        published.close()
+    metrics: Dict[str, object] = {
+        "shared_pickle_bytes": len(payload),
+        "shared_pickle_load_wall_s": pickle_wall,
+        "shared_attach_wall_s": attach_wall,
+        "shared_attach_speedup_vs_pickle": pickle_wall / attach_wall,
+    }
+
+    cpu = os.cpu_count() or 1
+    workers = tick_workers if tick_workers is not None else min(cpu, 4)
+    metrics["shared_tick_workers"] = workers
+    if workers > 1:
+        from repro.experiments.sweep import run_point
+
+        duration_s = 7_200.0 if quick else 21_600.0
+        parallel = run_point(
+            table, 480, duration_s=duration_s, tick_workers=workers
+        )
+        serial = run_point(table, 480, duration_s=duration_s)
+        metrics["shared_tick_wall_s"] = parallel["soa_wall_s"]
+        metrics["shared_tick_serial_wall_s"] = serial["soa_wall_s"]
+        metrics["shared_tick_identical"] = all(
+            parallel[field] == serial[field] for field in _SHARED_TICK_EXACT
+        )
+        metrics["shared_tick_pool"] = parallel.get("tick_pool")
+    return metrics
 
 
 def measure_scale_sweep(
@@ -733,6 +825,9 @@ def run_harness(
         )
     )
     entry.update(measure_end_to_end(table_cache_dir=table_cache_dir))
+    entry.update(
+        measure_shared_plane(table, repeats=1 if quick else 3, quick=quick)
+    )
     entry.update(measure_scale_sweep(table, quick=quick))
     return entry
 

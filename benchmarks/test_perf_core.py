@@ -15,11 +15,13 @@ import numpy as np
 import pytest
 
 from perf_harness import (
+    DEFAULT_OUT,
     ec2_scale_graph,
     off_graph_usages,
     seed_build_profile_graph,
     seed_profile_pagerank,
 )
+from repro.analysis.perf import derived_speedup_floor
 from repro.cluster.ec2 import EC2_VM_TYPES, ec2_pm_shape
 from repro.cluster.machine import PhysicalMachine
 from repro.core.graph import SuccessorStrategy, build_profile_graph
@@ -108,23 +110,32 @@ def _median_wall(fn, repeats=3):
 
 
 def test_perf_ec2_pagerank_speedup_vs_seed(ec2_graph):
-    # Acceptance bar for the sparse kernel: >= 3x over the seed's
-    # per-iteration np.add.at scatter on the EC2-scale graph.
+    # Acceptance bar for the sparse kernel over the seed's per-iteration
+    # np.add.at scatter: derived from the recorded BENCH trajectory
+    # (half the recent median speedup), 3x on a history-free clone.
+    floor = derived_speedup_floor(
+        DEFAULT_OUT, "pagerank_speedup_vs_seed", default=3.0
+    )
     profile_pagerank(ec2_graph)  # build the cached kernel once
     new_wall = _median_wall(lambda: profile_pagerank(ec2_graph))
     seed_wall = _median_wall(lambda: seed_profile_pagerank(ec2_graph))
     speedup = seed_wall / new_wall
     print(f"\nEC2 pagerank: seed {seed_wall:.3f}s, "
-          f"kernel {new_wall:.3f}s, speedup {speedup:.1f}x")
-    assert speedup >= 3.0
+          f"kernel {new_wall:.3f}s, speedup {speedup:.1f}x "
+          f"(floor {floor:.1f}x)")
+    assert speedup >= floor
 
 
 def test_perf_ec2_graph_build_speedup_vs_seed():
-    # Acceptance bar for the interned/memoized builder: >= 3x over the
-    # seed's tuple-hashing, memo-free BFS on the EC2-scale workload
-    # (the headline serial speedup is ~10x; 3x leaves CI headroom).
+    # Acceptance bar for the interned/memoized builder over the seed's
+    # tuple-hashing, memo-free BFS: derived from the BENCH trajectory
+    # (half the recent median), 3x on a history-free clone — the
+    # headline serial speedup is ~10x, so either bar leaves headroom.
     from repro.core import permutations
 
+    floor = derived_speedup_floor(
+        DEFAULT_OUT, "graph_build_speedup_vs_seed", default=3.0
+    )
     shape = ec2_pm_shape("M3")
 
     def cold_build():
@@ -145,8 +156,9 @@ def test_perf_ec2_graph_build_speedup_vs_seed():
     assert new_graph.successors == seed_graph.successors
     speedup = seed_wall / new_wall
     print(f"\nEC2 graph build: seed {seed_wall:.3f}s, "
-          f"new {new_wall:.3f}s, speedup {speedup:.1f}x")
-    assert speedup >= 3.0
+          f"new {new_wall:.3f}s, speedup {speedup:.1f}x "
+          f"(floor {floor:.1f}x)")
+    assert speedup >= floor
 
 
 def test_perf_ec2_graph_build_parallel_identical():
@@ -234,21 +246,25 @@ def test_perf_ec2_placement_decision(benchmark, ec2_table):
 # Online serving path (allocate + day-long simulate on the M3 workload)
 # ----------------------------------------------------------------------
 def test_perf_online_serving_speedup_vs_seed(ec2_table):
-    # Acceptance bar for the usage-class index + vectorized tick: >= 3x
+    # Acceptance bar for the usage-class index + vectorized tick,
     # end-to-end over the seed serving path (linear per-decision scans,
-    # chunk-walking monitor tick) on the EC2 M3 simulate workload.  The
-    # headline speedup is ~10x at this scale; 3x leaves CI headroom.
+    # chunk-walking monitor tick) on the EC2 M3 simulate workload:
+    # derived from the BENCH trajectory (half the recent median), 3x on
+    # a history-free clone — the headline is ~10x at this scale.
     from perf_harness import measure_online_serving
 
+    floor = derived_speedup_floor(
+        DEFAULT_OUT, "online_serving_speedup_vs_seed", default=3.0
+    )
     metrics = measure_online_serving(repeats=3, quick=True, table=ec2_table)
     speedup = metrics["online_serving_speedup_vs_seed"]
     print(f"\nonline serving: seed {metrics['online_serving_seed_wall_s']:.3f}s, "
           f"fast {metrics['online_serving_wall_s']:.3f}s, "
-          f"speedup {speedup:.1f}x")
+          f"speedup {speedup:.1f}x (floor {floor:.1f}x)")
     # The fast path must not change behavior, only wall-clock.
     assert metrics["online_serving_results_identical"]
     assert metrics["online_serving_float_metrics_close"]
-    assert speedup >= 3.0
+    assert speedup >= floor
 
 
 def test_perf_online_serving_identical_under_faults(ec2_table):

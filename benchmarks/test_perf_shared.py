@@ -1,0 +1,118 @@
+"""Benchmarks of the zero-copy data plane (not tier-1).
+
+Anchors the plane's two performance claims at EC2 scale:
+
+* attaching a published score table from shared memory is measurably
+  cheaper than rebuilding a private copy from its pickle — the cost an
+  N-process service without the plane pays N times;
+* the parallel shard tick is bit-identical to the serial columnar fold
+  (counters exact, energy exact), so its speedup is free of behavior
+  drift.
+
+Run with the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_shared.py -q
+"""
+
+import os
+import pickle
+import statistics
+import time
+
+import pytest
+
+from perf_harness import ec2_scale_graph, measure_shared_plane
+from repro.cluster.ec2 import EC2_VM_TYPES, ec2_pm_shape
+from repro.core import shm
+from repro.core.graph import SuccessorStrategy
+from repro.core.score_table import build_score_table
+
+
+@pytest.fixture(scope="module")
+def ec2_table():
+    return build_score_table(
+        ec2_pm_shape("M3"), EC2_VM_TYPES,
+        strategy=SuccessorStrategy.BALANCED, graph=ec2_scale_graph(),
+    )
+
+
+def _median_wall(fn, repeats=5):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def test_perf_shared_attach_cheaper_than_pickle(ec2_table):
+    # The zero-copy acceptance bar: mapping the published table must be
+    # measurably cheaper than unpickling a private copy.  At EC2 scale
+    # the gap is orders of magnitude (attach is O(metadata), unpickle
+    # is O(matrix)); 2x is the conservative floor that stays meaningful
+    # on the noisiest CI machine.
+    payload = pickle.dumps(ec2_table)
+    pickle_wall = _median_wall(lambda: pickle.loads(payload))
+    published = shm.share_score_table(ec2_table)
+    try:
+        def attach_once():
+            attached, bundle = shm.attach_score_table(published.key)
+            del attached  # views must die before the close (clean unmap)
+            bundle.close()
+
+        attach_wall = _median_wall(attach_once)
+    finally:
+        published.close()
+    speedup = pickle_wall / attach_wall
+    print(f"\nshared attach: pickle {pickle_wall * 1e3:.2f}ms, "
+          f"attach {attach_wall * 1e3:.3f}ms, {speedup:.0f}x")
+    assert attach_wall * 2 < pickle_wall
+    assert not shm.list_shm_segments(), "leaked /dev/shm segments"
+
+
+def test_perf_shared_attached_scores_identical(ec2_table):
+    # Zero-copy must mean zero drift: scores served off the attached
+    # (read-only, shared) arrays equal the owner's bit for bit.
+    from perf_harness import off_graph_usages
+
+    usages = off_graph_usages(ec2_table.shape, 32)
+    published = shm.share_score_table(ec2_table)
+    try:
+        attached, bundle = shm.attach_score_table(published.key)
+        try:
+            assert attached.score_or_snap_many(usages) == (
+                ec2_table.score_or_snap_many(usages)
+            )
+        finally:
+            del attached
+            bundle.close()
+    finally:
+        published.close()
+
+
+def test_perf_shared_plane_phase(ec2_table):
+    # The harness phase end to end: attach/pickle walls recorded, and —
+    # with the cores to run it — the parallel tick twin exactly
+    # identical to the serial columnar run.
+    metrics = measure_shared_plane(ec2_table, repeats=1, quick=True)
+    assert metrics["shared_attach_speedup_vs_pickle"] > 1.0
+    assert metrics["shared_pickle_bytes"] > 0
+    if metrics["shared_tick_workers"] > 1:
+        assert metrics["shared_tick_identical"]
+        pool = metrics["shared_tick_pool"]
+        assert pool is not None and pool["ticks"] > 0
+    else:
+        assert (os.cpu_count() or 1) == 1
+
+
+def test_perf_shared_tick_identical_forced_workers(ec2_table):
+    # Even on one core, explicitly requested workers must fork and stay
+    # bit-identical (slower, but correct) — the contract the CLI's
+    # --workers flag relies on when cpu_count lies inside containers.
+    metrics = measure_shared_plane(
+        ec2_table, repeats=1, quick=True, tick_workers=2
+    )
+    assert metrics["shared_tick_workers"] == 2
+    assert metrics["shared_tick_identical"]
+    assert not metrics["shared_tick_pool"]["degraded"]
+    assert not shm.list_shm_segments(), "leaked /dev/shm segments"

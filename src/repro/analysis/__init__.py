@@ -35,6 +35,13 @@ from repro.analysis.lint import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.perf import (
+    MetricCheck,
+    MetricSpec,
+    PerfReport,
+    check_trajectory,
+    derived_speedup_floor,
+)
 
 __all__ = [
     # invariants
@@ -53,4 +60,10 @@ __all__ = [
     "RULES",
     "lint_source",
     "lint_paths",
+    # perf gate
+    "MetricSpec",
+    "MetricCheck",
+    "PerfReport",
+    "check_trajectory",
+    "derived_speedup_floor",
 ]

@@ -14,6 +14,10 @@ Commands:
 * ``bench``     — performance measurements outside the full harness;
   ``bench sweep --pms N`` runs the columnar scale sweep (allocate +
   simulate at N PMs, optionally twinned against the object path).
+* ``perf``      — trajectory analysis; ``perf check`` gates the latest
+  BENCH_perf.json entry of each phase against per-phase baselines
+  (median of recent history) and fails on statistically significant
+  degradation.
 * ``lint``      — run the domain-aware static linter (PRV rules) over
   source trees; ``--format json|sarif`` emits machine-readable output
   and ``--strict-suppressions`` fails on stale ``# prv: disable``
@@ -215,11 +219,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, default=4_096,
         help="rows per columnar shard (default: 4096)")
     bench_sweep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shared-memory tick workers per point (default: 1, serial; "
+             "N > 1 fans the monitor fold out bit-identically and "
+             "records a 'shared' BENCH phase)")
+    bench_sweep.add_argument(
         "--out", metavar="FILE", default=None,
         help="append the sweep entry to this BENCH trajectory file")
     bench_sweep.add_argument(
         "--table-cache", metavar="DIR", default=None,
         help="profile-graph disk cache for the M3 score-table build")
+
+    perf = sub.add_parser(
+        "perf", help="BENCH_perf.json trajectory analysis"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_check = perf_sub.add_parser(
+        "check",
+        help="gate the latest entry per phase against its own history",
+    )
+    perf_check.add_argument(
+        "--file", metavar="FILE", default="BENCH_perf.json",
+        help="trajectory file to check (default: BENCH_perf.json)")
+    perf_check.add_argument(
+        "--window", type=int, default=8, metavar="K",
+        help="baseline = median of up to K prior entries (default: 8)")
+    perf_check.add_argument(
+        "--tolerance", type=float, default=0.30, metavar="F",
+        help="relative degradation always tolerated (default: 0.30)")
+    perf_check.add_argument(
+        "--sigma", type=float, default=3.0, metavar="S",
+        help="extra allowance in robust (MAD-based) standard "
+             "deviations of the baseline window (default: 3.0)")
+    perf_check.add_argument(
+        "--min-history", type=int, default=3, metavar="N",
+        help="prior comparable entries needed before a metric's gate "
+             "arms (default: 3)")
+    perf_check.add_argument(
+        "--phase", action="append", default=None, metavar="PHASE",
+        help="check only this phase (repeatable; default: all known)")
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static linter (PRV rules)"
@@ -347,6 +385,15 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument(
             "--fleet", choices=("toy", "ec2"), default="toy",
             help="toy: 4x4-core PMs (instant); ec2: the paper's M3 fleet")
+        sp.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="multi-process admission scoring over shared score "
+                 "tables (decisions bit-identical to --workers 1); "
+                 "loadgen records a 'shared' BENCH phase when N > 1")
+        sp.add_argument(
+            "--scoring-min-batch", type=int, default=64, metavar="ROWS",
+            help="smallest admission batch worth fanning out to the "
+                 "scoring workers (smaller ones score locally)")
         sp.add_argument("--pms", type=int, default=None,
                         help="fleet size (default: 8 toy / 480 ec2)")
         sp.add_argument("--seed", type=int, default=0)
@@ -605,13 +652,18 @@ def _cmd_bench(args) -> int:
     object_max_pms = args.object_max_pms
     if args.check_identity and object_max_pms == 0:
         object_max_pms = max(args.pms)
+    # A parallel-tick sweep lands in the "shared" phase (the zero-copy
+    # data plane's trajectory); the serial sweep keeps "scale_sweep".
     entry = {
         "recorded_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         ),
-        "phase": "scale_sweep",
+        "phase": "shared" if args.workers > 1 else "scale_sweep",
         "quick": args.quick,
     }
+    if args.workers > 1:
+        entry["source"] = "bench_sweep"
+        entry["workers"] = args.workers
     entry.update(run_sweep(
         args.pms,
         quick=args.quick,
@@ -619,11 +671,34 @@ def _cmd_bench(args) -> int:
         object_max_pms=object_max_pms,
         scan_anchor_pms=args.scan_anchor_pms,
         table_cache_dir=args.table_cache,
+        tick_workers=args.workers,
     ))
     if args.out is not None:
         benchfile.append_entry(entry, Path(args.out))
     print(json.dumps(entry, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_perf(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.perf import check_trajectory
+    from repro.util.validation import ValidationError
+
+    try:
+        report = check_trajectory(
+            Path(args.file),
+            window=args.window,
+            tolerance=args.tolerance,
+            sigma=args.sigma,
+            min_history=args.min_history,
+            phases=args.phase,
+        )
+    except ValidationError as error:
+        print(f"perf check: {error}")
+        return 2
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args) -> int:
@@ -761,13 +836,22 @@ def _cmd_serve(args) -> int:
     )
 
     def make_service():
+        workers = getattr(args, "workers", 1)
+        min_batch = getattr(args, "scoring_min_batch", 64)
         if args.fleet == "ec2":
             counts = {"M3": args.pms if args.pms is not None else 480}
             return build_ec2_service(
-                counts, seed=args.seed, table_cache_dir=args.table_cache
+                counts,
+                seed=args.seed,
+                table_cache_dir=args.table_cache,
+                scoring_workers=workers,
+                scoring_min_batch=min_batch,
             )
         return build_toy_service(
-            n_pms=args.pms if args.pms is not None else 8, seed=args.seed
+            n_pms=args.pms if args.pms is not None else 8,
+            seed=args.seed,
+            scoring_workers=workers,
+            scoring_min_batch=min_batch,
         )
 
     if args.serve_command == "run":
@@ -790,8 +874,9 @@ def _cmd_serve(args) -> int:
         return 0
 
     if args.serve_command == "loadgen":
+        service = make_service()
         app = build_app(
-            make_service(),
+            service,
             max_depth=args.queue_depth,
             batch_max=args.batch_max,
         )
@@ -809,19 +894,37 @@ def _cmd_serve(args) -> int:
                 rate_rps=args.rate,
                 seed=args.seed,
             )
+        # Pool vitals (incl. live per-worker RSS) before close kills them.
+        scoring = (
+            service.scoring_pool.stats()
+            if service.scoring_pool is not None
+            else None
+        )
+        service.close()
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
         if args.out is not None:
-            from repro.serve import record_report
+            from repro.serve import record_report, record_shared_report
 
-            record_report(
-                report,
-                Path(args.out),
-                fleet=args.fleet,
-                recorded_at=datetime.now(timezone.utc).isoformat(
-                    timespec="seconds"
-                ),
-                extra={"seed": args.seed},
+            recorded_at = datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
             )
+            if scoring is not None:
+                record_shared_report(
+                    report,
+                    Path(args.out),
+                    fleet=args.fleet,
+                    recorded_at=recorded_at,
+                    scoring=scoring,
+                    extra={"seed": args.seed},
+                )
+            else:
+                record_report(
+                    report,
+                    Path(args.out),
+                    fleet=args.fleet,
+                    recorded_at=recorded_at,
+                    extra={"seed": args.seed},
+                )
         return 0
 
     # chaos
@@ -850,6 +953,7 @@ _COMMANDS = {
     "exact": _cmd_exact,
     "graph": _cmd_graph,
     "bench": _cmd_bench,
+    "perf": _cmd_perf,
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
     "audit": _cmd_audit,

@@ -106,24 +106,108 @@ class ScoreTable:
         self.damping = damping
         self.strategy = strategy
         self.vote_direction = vote_direction
-        self._scores = dict(scores)
+        self._scores: Optional[Dict[Usage, float]] = dict(scores)
         self._flat_matrix: Optional[np.ndarray] = None
         self._flat_usages: Optional[List[Usage]] = None
         self._flat_scores: Optional[np.ndarray] = None
         self._snap_cache: "OrderedDict[Usage, float]" = OrderedDict()
         self._snap_cache_size = int(snap_cache_size)
 
+    @classmethod
+    def from_flat_arrays(
+        cls,
+        shape: MachineShape,
+        matrix: np.ndarray,
+        flat_scores: np.ndarray,
+        damping: float = 0.85,
+        strategy: SuccessorStrategy = SuccessorStrategy.ALL_PLACEMENTS,
+        vote_direction: str = "forward",
+        snap_cache_size: int = DEFAULT_SNAP_CACHE_SIZE,
+    ) -> "ScoreTable":
+        """Construct a table directly over its snap matrix and score vector.
+
+        This is the zero-copy attach path of the shared data plane (see
+        :mod:`repro.core.shm`): ``matrix`` and ``flat_scores`` are
+        typically read-only views into a shared segment.  The
+        exact-lookup dict is *not* built here — attaching stays O(1) in
+        table size — but materialized lazily from the matrix rows on
+        first exact lookup (:meth:`_scores_map`), in row order, which
+        reproduces the builder's insertion order exactly.
+        """
+        require(matrix.ndim == 2, "snap matrix must be 2-D")
+        require(
+            matrix.shape[0] == flat_scores.shape[0],
+            "snap matrix and score vector row counts differ",
+        )
+        require(matrix.shape[0] > 0, "a score table needs at least one profile")
+        require(
+            matrix.shape[1] == sum(len(g.capacities) for g in shape.groups),
+            "snap matrix width does not match the shape's flat dimension",
+        )
+        table = cls.__new__(cls)
+        table.shape = shape
+        table.damping = damping
+        table.strategy = strategy
+        table.vote_direction = vote_direction
+        table._scores = None
+        table._flat_matrix = matrix
+        table._flat_usages = None
+        table._flat_scores = flat_scores
+        table._snap_cache = OrderedDict()
+        table._snap_cache_size = int(snap_cache_size)
+        return table
+
+    def _scores_map(self) -> Dict[Usage, float]:
+        """The exact-lookup dict, materialized from the flat arrays.
+
+        Shared (attached) tables start dict-less; the first exact
+        lookup rebuilds the usage tuples from the snap matrix rows —
+        the matrix stores exact small integers as float64, so the round
+        trip is lossless and the dict is identical to the builder's.
+        """
+        if self._scores is None:
+            assert self._flat_matrix is not None and self._flat_scores is not None
+            boundaries = [0]
+            for group in self.shape.groups:
+                boundaries.append(boundaries[-1] + len(group.capacities))
+            rows = self._flat_matrix.astype(np.int64).tolist()
+            usages: List[Usage] = [
+                tuple(
+                    tuple(row[boundaries[g]:boundaries[g + 1]])
+                    for g in range(len(boundaries) - 1)
+                )
+                for row in rows
+            ]
+            self._flat_usages = usages
+            self._scores = dict(zip(usages, self._flat_scores.tolist()))
+        return self._scores
+
+    def freeze(self) -> "ScoreTable":
+        """Build the snap structures and mark them read-only.
+
+        Returns ``self``.  A frozen table's matrix/score vector reject
+        in-place mutation (``writeable=False``) — the contract shared
+        artifacts rely on; PRV-style writes fail loudly instead of
+        silently diverging one process's copy.
+        """
+        matrix, _, flat_scores = self._snap_structures()
+        matrix.flags.writeable = False
+        flat_scores.flags.writeable = False
+        return self
+
     def __len__(self) -> int:
-        return len(self._scores)
+        if self._scores is None and self._flat_scores is not None:
+            return int(self._flat_scores.shape[0])
+        return len(self._scores_map())
 
     def __contains__(self, usage: Usage) -> bool:
-        return usage in self._scores
+        return usage in self._scores_map()
 
     def score(self, usage: Union[Usage, Profile]) -> Optional[float]:
         """Exact score of a canonical usage, or None when unknown."""
         if isinstance(usage, Profile):
             usage = usage.usage
-        return self._scores.get(usage)
+        return self._scores_map().get(usage)
 
     def score_or_snap(self, usage: Union[Usage, Profile]) -> float:
         """Score of a canonical usage, snapping to the L1-nearest profile.
@@ -133,7 +217,7 @@ class ScoreTable:
         """
         if isinstance(usage, Profile):
             usage = usage.usage
-        exact = self._scores.get(usage)
+        exact = self._scores_map().get(usage)
         if exact is not None:
             return exact
         cached = self._snap_cache.get(usage)
@@ -157,8 +241,9 @@ class ScoreTable:
         keys = [u.usage if isinstance(u, Profile) else u for u in usages]
         results: List[Optional[float]] = [None] * len(keys)
         misses: "OrderedDict[Usage, List[int]]" = OrderedDict()
+        scores_map = self._scores_map()
         for i, key in enumerate(keys):
-            exact = self._scores.get(key)
+            exact = scores_map.get(key)
             if exact is not None:
                 results[i] = exact
                 continue
@@ -203,8 +288,9 @@ class ScoreTable:
         if len(self._snap_cache) > self._snap_cache_size:
             self._snap_cache.popitem(last=False)
 
-    def _snap_structures(self) -> Tuple[np.ndarray, List[Usage], np.ndarray]:
+    def _snap_structures(self) -> Tuple[np.ndarray, Optional[List[Usage]], np.ndarray]:
         if self._flat_matrix is None:
+            assert self._scores is not None
             self._flat_usages = list(self._scores)
             m = sum(len(group) for group in self._flat_usages[0])
             self._flat_matrix = np.ascontiguousarray(
@@ -224,25 +310,29 @@ class ScoreTable:
                 dtype=float,
                 count=len(self._flat_usages),
             )
-        assert self._flat_usages is not None and self._flat_scores is not None
+        assert self._flat_scores is not None
+        # _flat_usages is None for shared (attached) tables until the
+        # exact-lookup dict materializes; snap callers only use the
+        # matrix and score vector.
         return self._flat_matrix, self._flat_usages, self._flat_scores
 
     def best_profile(self) -> Usage:
         """The usage with the highest score in the table."""
-        return max(self._scores, key=lambda usage: self._scores[usage])
+        scores = self._scores_map()
+        return max(scores, key=lambda usage: scores[usage])
 
     def top(self, count: int) -> List[Tuple[Usage, float]]:
         """The ``count`` best (usage, score) pairs, best first."""
-        ranked = sorted(self._scores.items(), key=lambda kv: -kv[1])
+        ranked = sorted(self._scores_map().items(), key=lambda kv: -kv[1])
         return ranked[:count]
 
     def items(self) -> Iterable[Tuple[Usage, float]]:
         """Iterate (canonical usage, score) pairs."""
-        return self._scores.items()
+        return self._scores_map().items()
 
     def __repr__(self) -> str:
         return (
-            f"ScoreTable(profiles={len(self._scores)}, "
+            f"ScoreTable(profiles={len(self)}, "
             f"damping={self.damping}, strategy={self.strategy.value!r}, "
             f"vote_direction={self.vote_direction!r})"
         )
@@ -273,7 +363,7 @@ class ScoreTable:
             ],
             "scores": [
                 {"usage": [list(g) for g in usage], "score": score}
-                for usage, score in self._scores.items()
+                for usage, score in self._scores_map().items()
             ],
         }
         destination = Path(path)
@@ -299,8 +389,29 @@ class ScoreTable:
             raise
 
     @staticmethod
-    def load(path: Union[str, Path]) -> "ScoreTable":
-        """Read a table previously written by :meth:`save`."""
+    def load(
+        path: Union[str, Path], mmap_mode: Optional[str] = None
+    ) -> "ScoreTable":
+        """Read a table previously written by :meth:`save`.
+
+        Args:
+            mmap_mode: ``None`` (default) loads a private writable
+                table.  ``"r"`` requests the shared-artifact contract:
+                the snap structures are built eagerly and frozen
+                read-only (:meth:`freeze`), so any in-place mutation of
+                the matrix or score vector raises instead of silently
+                diverging a shared copy.  (The JSON payload itself has
+                no memory-mappable form; the parameter mirrors the
+                ``np.load`` convention used by the graph cache.)
+
+        Raises:
+            ValidationError: for an unrecognized format or an
+                unsupported ``mmap_mode``.
+        """
+        if mmap_mode not in (None, "r"):
+            raise ValidationError(
+                f"unsupported mmap_mode {mmap_mode!r}; use None or 'r'"
+            )
         payload = json.loads(Path(path).read_text())
         if payload.get("format") != "repro.score_table.v1":
             raise ValidationError(
@@ -321,13 +432,16 @@ class ScoreTable:
             tuple(tuple(g) for g in entry["usage"]): float(entry["score"])
             for entry in payload["scores"]
         }
-        return ScoreTable(
+        table = ScoreTable(
             shape=shape,
             scores=scores,
             damping=float(payload["damping"]),
             strategy=SuccessorStrategy(payload["strategy"]),
             vote_direction=payload.get("vote_direction", "forward"),
         )
+        if mmap_mode == "r":
+            table.freeze()
+        return table
 
 
 def build_score_table(

@@ -1,0 +1,618 @@
+"""The zero-copy shared data plane (DESIGN.md section 3.14).
+
+Score tables and profile-graph CSR blocks are immutable once built, yet
+every worker process so far received its own pickled copy — N workers,
+N copies, N deserializations.  This module publishes those artifacts
+into named ``multiprocessing.shared_memory`` segments so N workers map
+*one* copy:
+
+* :func:`publish` / :func:`attach` — a content-keyed registry of
+  segments.  A segment's OS name is derived from the caller's content
+  key, so two publishers of the same artifact converge on one segment
+  (the second publish degrades to an attach) and attachers never need
+  an out-of-band rendezvous beyond the key.
+* refcounted attach/detach — every :class:`SharedBundle` handle holds
+  one reference; the per-process registry closes the underlying mapping
+  when the last handle for a segment is released, and the owning
+  process unlinks its segments at interpreter exit.
+* crash-safe cleanup — the *owner's* resource tracker keeps its
+  registration, so a SIGKILLed owner still gets its ``/dev/shm``
+  segments reaped by the tracker.  Attaching processes *unregister*
+  immediately (Python 3.11 registers on attach too), so a killed
+  worker can never unlink a segment out from under its peers.
+
+Layout of a segment: an 8-byte little-endian header length, a JSON
+header describing the arrays (name, dtype, shape, byte offset) plus
+caller metadata, then the 64-byte-aligned array blocks.  Attached
+arrays are returned ``writeable=False`` — mutating a shared artifact
+fails loudly instead of silently diverging one process's copy.
+
+On top of the raw plane sit the two typed artifacts the serving and
+experiment layers share: :func:`share_score_table` /
+:func:`attach_score_table` (the snap matrix and score vector of a
+:class:`~repro.core.score_table.ScoreTable`, profiles rebuilt lazily on
+first exact lookup) and :func:`share_graph_csr` /
+:func:`attach_graph_csr` (a profile graph's packed-profile matrix and
+successor CSR).
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import multiprocessing
+import os
+import struct
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.util.validation import ValidationError, require
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedBundle",
+    "ShmStats",
+    "publish",
+    "attach",
+    "attach_count",
+    "active_segments",
+    "list_shm_segments",
+    "release_all",
+    "stats",
+    "share_score_table",
+    "attach_score_table",
+    "share_graph_csr",
+    "attach_graph_csr",
+    "rss_mb",
+]
+
+#: Prefix of every segment this module creates; the leak checks in the
+#: lifecycle tests (and ``list_shm_segments``) scan /dev/shm for it.
+SEGMENT_PREFIX = "repro_shm_"
+
+_HEADER_MAGIC = "repro.shm.v1"
+_ALIGN = 64
+
+
+def rss_mb(pid: int) -> Optional[float]:
+    """Resident set size of a process in MiB (Linux /proc; None elsewhere).
+
+    The shared bench phase records this per worker: workers *mapping* a
+    published table sit near the parent's RSS, where unpickled private
+    copies would add the whole matrix per process.
+    """
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def segment_name(key: str) -> str:
+    """Deterministic OS-level segment name for a content key.
+
+    Hashing keeps names short (shm_open caps at NAME_MAX) and maps any
+    key alphabet onto a safe one; determinism is what makes the
+    registry content-keyed — same key, same segment, no rendezvous.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
+    return f"{SEGMENT_PREFIX}{digest}"
+
+
+@dataclass
+class ShmStats:
+    """Per-process counters of data-plane activity."""
+
+    published: int = 0
+    reused: int = 0
+    attached: int = 0
+    detached: int = 0
+    unlinked: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "published": self.published,
+            "reused": self.reused,
+            "attached": self.attached,
+            "detached": self.detached,
+            "unlinked": self.unlinked,
+        }
+
+
+_STATS = ShmStats()
+
+
+@dataclass
+class _Entry:
+    """Per-process registry row for one mapped segment."""
+
+    shm: shared_memory.SharedMemory
+    key: str
+    owner: bool
+    owner_pid: int
+    refcount: int = 0
+    header: Dict[str, Any] = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, _Entry] = {}
+_LOCK = threading.Lock()
+
+
+def _shares_parent_tracker() -> bool:
+    """True inside a multiprocessing child process.
+
+    A forked child inherits the parent's resource-tracker pipe, so both
+    talk to the *same* tracker process, whose cache is a plain set of
+    names: an unregister from the child would erase the owner's
+    crash-safety registration (and make the owner's eventual unlink a
+    double-unregister).
+    """
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def _unregister_tracker(name: str) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    Python 3.11 registers shared memory with the tracker on *attach* as
+    well as create; an independent attaching process that exits (or is
+    SIGKILLed mid drill) would otherwise cause *its* tracker to unlink
+    the segment while the owner still serves from it.  Only called from
+    main processes — see :func:`_shares_parent_tracker`.
+    """
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker may be absent/foreign
+        pass
+
+
+class SharedBundle:
+    """A refcounted handle on one mapped segment's arrays.
+
+    ``arrays`` are numpy views into the shared mapping: zero-copy, and
+    ``writeable=False`` so mutation of a shared artifact raises instead
+    of corrupting every attached process.  Call :meth:`close` when done;
+    the mapping is torn down when the last handle closes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key: str,
+        arrays: Dict[str, np.ndarray],
+        meta: Dict[str, Any],
+        owner: bool,
+    ) -> None:
+        self.name = name
+        self.key = key
+        self.arrays = arrays
+        self.meta = meta
+        self.owner = owner
+        self._closed = False
+
+    def __enter__(self) -> "SharedBundle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release this handle (idempotent; see :func:`_release`)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        _release(self.name)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"SharedBundle(name={self.name!r}, key={self.key!r}, "
+            f"owner={self.owner}, {state})"
+        )
+
+
+def _pack(key: str, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]) -> Tuple[bytes, List[Tuple[str, np.ndarray, int]], int]:
+    """Compute the header bytes and per-array offsets for a segment."""
+    entries: List[Dict[str, Any]] = []
+    blocks: List[Tuple[str, np.ndarray, int]] = []
+    # Offsets are resolved in two passes because the header length
+    # depends on the (fixed-width) offset digits; pad generously instead.
+    header_stub = {
+        "format": _HEADER_MAGIC,
+        "key": key,
+        "meta": dict(meta),
+        "arrays": [
+            {
+                "name": name,
+                "dtype": np.dtype(arr.dtype).str,
+                "shape": list(arr.shape),
+                "offset": 0,
+            }
+            for name, arr in arrays.items()
+        ],
+    }
+    stub_len = len(json.dumps(header_stub).encode("utf-8")) + 16 * len(arrays) + 64
+    offset = 8 + stub_len
+    offset += (-offset) % _ALIGN
+    for name, arr in arrays.items():
+        contiguous = np.ascontiguousarray(arr)
+        blocks.append((name, contiguous, offset))
+        entries.append(
+            {
+                "name": name,
+                "dtype": np.dtype(contiguous.dtype).str,
+                "shape": list(contiguous.shape),
+                "offset": offset,
+            }
+        )
+        offset += contiguous.nbytes
+        offset += (-offset) % _ALIGN
+    header = {
+        "format": _HEADER_MAGIC,
+        "key": key,
+        "meta": dict(meta),
+        "arrays": entries,
+    }
+    payload = json.dumps(header).encode("utf-8")
+    require(
+        len(payload) <= stub_len,
+        "shm header packing invariant violated (stub too small)",
+    )
+    return payload, blocks, max(offset, 1)
+
+
+def _map_arrays(
+    shm: shared_memory.SharedMemory,
+    writeable: bool = False,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Carve array views out of a mapped segment (read-only by default).
+
+    ``writeable=True`` is reserved for the data plane's own transport
+    buffers (the tick pool's fraction/demand channels); shared
+    *artifacts* are always mapped read-only.
+    """
+    (header_len,) = struct.unpack_from("<Q", shm.buf, 0)
+    if header_len <= 0 or header_len > len(shm.buf) - 8:
+        raise ValidationError(
+            f"shared segment {shm.name!r} has a corrupt header length"
+        )
+    header = json.loads(bytes(shm.buf[8:8 + header_len]).decode("utf-8"))
+    if header.get("format") != _HEADER_MAGIC:
+        raise ValidationError(
+            f"shared segment {shm.name!r} has unrecognized format "
+            f"{header.get('format')!r}"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(
+            shm.buf, dtype=dtype, count=count, offset=entry["offset"]
+        ).reshape(shape)
+        view.flags.writeable = writeable
+        arrays[entry["name"]] = view
+    return arrays, header
+
+
+def _release(name: str) -> None:
+    with _LOCK:
+        entry = _REGISTRY.get(name)
+        if entry is None:
+            return
+        entry.refcount -= 1
+        _STATS.detached += 1
+        if entry.refcount > 0:
+            return
+        del _REGISTRY[name]
+    # Owner processes unlink (destroying the /dev/shm file) once their
+    # last handle drops; attachers only unmap.  A forked child inherits
+    # owner=True rows, so the pid guard keeps it from destroying the
+    # parent's segments at its own exit.
+    try:
+        entry.shm.close()
+    except BufferError:
+        # A consumer still holds a live view (e.g. a lazily-materialized
+        # table kept past its bundle).  The mapping stays until the view
+        # dies; the unlink below still removes the /dev/shm name.
+        pass
+    if entry.owner and entry.owner_pid == os.getpid():
+        try:
+            entry.shm.unlink()
+            _STATS.unlinked += 1
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+
+def _checkout(name: str, writeable: bool = False) -> Optional[SharedBundle]:
+    """A new handle on an already-mapped segment, or None."""
+    with _LOCK:
+        entry = _REGISTRY.get(name)
+        if entry is None:
+            return None
+        entry.refcount += 1
+    arrays, header = _map_arrays(entry.shm, writeable=writeable)
+    return SharedBundle(
+        name=name,
+        key=entry.key,
+        arrays=arrays,
+        meta=header.get("meta", {}),
+        owner=entry.owner and entry.owner_pid == os.getpid(),
+    )
+
+
+def publish(
+    key: str,
+    arrays: Mapping[str, np.ndarray],
+    meta: Optional[Mapping[str, Any]] = None,
+    writeable: bool = False,
+) -> SharedBundle:
+    """Publish arrays under a content key, or attach the existing segment.
+
+    The create/attach race is resolved by the OS: if another process
+    (or an earlier call here) already published the key, the
+    ``FileExistsError`` downgrades this call to an attach — which is
+    exactly the content-keyed semantics: one key, one segment, however
+    many publishers.
+    """
+    require(len(arrays) > 0, "a shared bundle needs at least one array")
+    name = segment_name(key)
+    existing = _checkout(name, writeable=writeable)
+    if existing is not None:
+        _STATS.reused += 1
+        return existing
+    payload, blocks, size = _pack(key, arrays, meta or {})
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    except FileExistsError:
+        _STATS.reused += 1
+        return attach(key, writeable=writeable)
+    struct.pack_into("<Q", shm.buf, 0, len(payload))
+    shm.buf[8:8 + len(payload)] = payload
+    for _, block, offset in blocks:
+        shm.buf[offset:offset + block.nbytes] = block.tobytes()
+    with _LOCK:
+        _REGISTRY[name] = _Entry(
+            shm=shm, key=key, owner=True, owner_pid=os.getpid(), refcount=1
+        )
+        _STATS.published += 1
+    arrays_out, header = _map_arrays(shm, writeable=writeable)
+    with _LOCK:
+        _REGISTRY[name].header = header
+    return SharedBundle(
+        name=name, key=key, arrays=arrays_out, meta=header.get("meta", {}),
+        owner=True,
+    )
+
+
+def attach(key: str, writeable: bool = False) -> SharedBundle:
+    """Attach to a previously published segment by content key.
+
+    Raises:
+        FileNotFoundError: when no segment exists for the key.
+        ValidationError: when the segment exists but was published under
+            a different key (hash collision / foreign segment) or its
+            header is corrupt.
+    """
+    name = segment_name(key)
+    existing = _checkout(name, writeable=writeable)
+    if existing is not None:
+        _STATS.attached += 1
+        return existing
+    shm = shared_memory.SharedMemory(name=name, create=False)
+    # An independent process must not let its own resource tracker think
+    # it owns cleanup; a forked worker shares the owner's tracker and
+    # must leave the (set-keyed) registration alone.
+    if not _shares_parent_tracker():
+        _unregister_tracker(name)
+    arrays, header = _map_arrays(shm, writeable=writeable)
+    if header.get("key") != key:
+        shm.close()
+        raise ValidationError(
+            f"segment {name!r} was published under key "
+            f"{header.get('key')!r}, not {key!r}"
+        )
+    with _LOCK:
+        entry = _REGISTRY.get(name)
+        if entry is None:
+            _REGISTRY[name] = _Entry(
+                shm=shm, key=key, owner=False, owner_pid=os.getpid(),
+                refcount=1, header=header,
+            )
+        else:  # pragma: no cover - lost a benign race with another thread
+            entry.refcount += 1
+            shm.close()
+        _STATS.attached += 1
+    return SharedBundle(
+        name=name, key=key, arrays=arrays, meta=header.get("meta", {}),
+        owner=False,
+    )
+
+
+def attach_count(key: str) -> int:
+    """This process's live handle count for a key (0 when unmapped)."""
+    with _LOCK:
+        entry = _REGISTRY.get(segment_name(key))
+        return entry.refcount if entry is not None else 0
+
+
+def active_segments() -> List[str]:
+    """Names of the segments currently mapped by this process."""
+    with _LOCK:
+        return sorted(_REGISTRY)
+
+
+def list_shm_segments() -> List[str]:
+    """Data-plane segments present in /dev/shm (Linux; [] elsewhere).
+
+    The lifecycle tests use this to assert nothing leaks across
+    publish/attach/kill cycles.
+    """
+    try:
+        return sorted(
+            entry for entry in os.listdir("/dev/shm")
+            if entry.startswith(SEGMENT_PREFIX)
+        )
+    except OSError:  # pragma: no cover - non-Linux or masked /dev/shm
+        return []
+
+
+def release_all() -> None:
+    """Drop every handle this process still holds (owner segments unlink).
+
+    Registered with :mod:`atexit`; also the test-suite teardown hook.
+    """
+    with _LOCK:
+        names = list(_REGISTRY)
+        for name in names:
+            _REGISTRY[name].refcount = 1
+    for name in names:
+        _release(name)
+
+
+def stats() -> ShmStats:
+    """The per-process data-plane counters."""
+    return _STATS
+
+
+atexit.register(release_all)
+
+
+# ----------------------------------------------------------------------
+# Typed artifacts: score tables
+# ----------------------------------------------------------------------
+def _table_meta(table: Any) -> Dict[str, Any]:
+    return {
+        "kind": "score_table",
+        "damping": table.damping,
+        "strategy": table.strategy.value,
+        "vote_direction": table.vote_direction,
+        "shape": [
+            {
+                "name": g.name,
+                "capacities": list(g.capacities),
+                "anti_collocation": g.anti_collocation,
+            }
+            for g in table.shape.groups
+        ],
+    }
+
+
+def score_table_key(table: Any) -> str:
+    """Content key of a table's shared form (snap matrix + scores + meta)."""
+    matrix, _, scores = table._snap_structures()
+    digest = hashlib.sha256()
+    digest.update(json.dumps(_table_meta(table), sort_keys=True).encode())
+    digest.update(np.ascontiguousarray(matrix).tobytes())
+    digest.update(np.ascontiguousarray(scores).tobytes())
+    return f"score_table:{digest.hexdigest()[:32]}"
+
+
+def share_score_table(table: Any, key: Optional[str] = None) -> SharedBundle:
+    """Publish a score table's snap matrix and score vector.
+
+    Returns the owner handle; pass ``bundle.key`` (or the table) to
+    :func:`attach_score_table` in workers.  The table object itself is
+    *not* serialized — profiles are rebuilt lazily from the matrix on
+    the attaching side.
+    """
+    matrix, _, scores = table._snap_structures()
+    if key is None:
+        key = score_table_key(table)
+    return publish(
+        key, {"matrix": matrix, "scores": scores}, meta=_table_meta(table)
+    )
+
+
+def attach_score_table(key: str) -> Tuple[Any, SharedBundle]:
+    """Attach a shared score table; returns ``(table, bundle)``.
+
+    The returned table's snap matrix and score vector are zero-copy
+    read-only views into the shared segment; its exact-lookup dict is
+    materialized lazily on first use (see
+    :meth:`ScoreTable.from_flat_arrays`).  Keep ``bundle`` alive as
+    long as the table is in use and ``close()`` it afterwards.
+    """
+    from repro.core.graph import SuccessorStrategy
+    from repro.core.profile import MachineShape, ResourceGroup
+    from repro.core.score_table import ScoreTable
+
+    bundle = attach(key)
+    meta = bundle.meta
+    if meta.get("kind") != "score_table":
+        bundle.close()
+        raise ValidationError(
+            f"segment for key {key!r} is not a shared score table"
+        )
+    shape = MachineShape(
+        groups=tuple(
+            ResourceGroup(
+                name=g["name"],
+                capacities=tuple(g["capacities"]),
+                anti_collocation=g["anti_collocation"],
+            )
+            for g in meta["shape"]
+        )
+    )
+    table = ScoreTable.from_flat_arrays(
+        shape=shape,
+        matrix=bundle.arrays["matrix"],
+        flat_scores=bundle.arrays["scores"],
+        damping=float(meta["damping"]),
+        strategy=SuccessorStrategy(meta["strategy"]),
+        vote_direction=meta["vote_direction"],
+    )
+    return table, bundle
+
+
+# ----------------------------------------------------------------------
+# Typed artifacts: profile-graph CSR blocks
+# ----------------------------------------------------------------------
+def graph_csr_key(graph: Any) -> str:
+    """Content key of a graph's shared CSR form."""
+    packed = graph.packed_profiles()
+    indptr, indices = graph.successor_csr()
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(packed).tobytes())
+    digest.update(np.ascontiguousarray(indptr).tobytes())
+    digest.update(np.ascontiguousarray(indices).tobytes())
+    return f"graph_csr:{digest.hexdigest()[:32]}"
+
+
+def share_graph_csr(graph: Any, key: Optional[str] = None) -> SharedBundle:
+    """Publish a profile graph's packed profiles and successor CSR."""
+    packed = graph.packed_profiles()
+    indptr, indices = graph.successor_csr()
+    if key is None:
+        key = graph_csr_key(graph)
+    return publish(
+        key,
+        {"profiles": packed, "indptr": indptr, "indices": indices},
+        meta={"kind": "graph_csr", "n_profiles": int(packed.shape[0])},
+    )
+
+
+def attach_graph_csr(
+    key: str,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, SharedBundle]:
+    """Attach shared graph CSR blocks: ``(profiles, indptr, indices, bundle)``."""
+    bundle = attach(key)
+    if bundle.meta.get("kind") != "graph_csr":
+        bundle.close()
+        raise ValidationError(
+            f"segment for key {key!r} is not a shared graph CSR"
+        )
+    return (
+        bundle.arrays["profiles"],
+        bundle.arrays["indptr"],
+        bundle.arrays["indices"],
+        bundle,
+    )

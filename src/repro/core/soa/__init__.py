@@ -8,7 +8,9 @@ See DESIGN.md section 3.11.  Public surface:
 * :class:`SoAUsageClassIndex` / :class:`SoAIndexedMachines` /
   :class:`SoAClassTable` — the class-id-table-backed usage index;
 * :class:`ShardColumns` / :class:`TraceColumns` — the raw column
-  storage (benchmarks and the auditor read these directly).
+  storage (benchmarks and the auditor read these directly);
+* :class:`ShardTickPool` — the parallel twin of the monitor fold over
+  shared-memory CSR mirrors (DESIGN.md section 3.14).
 """
 
 from repro.core.soa.columns import (
@@ -23,6 +25,7 @@ from repro.core.soa.index import (
     SoAIndexedMachines,
     SoAUsageClassIndex,
 )
+from repro.core.soa.parallel import ShardTickPool
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
@@ -34,4 +37,5 @@ __all__ = [
     "SoAClassTable",
     "SoAIndexedMachines",
     "SoAUsageClassIndex",
+    "ShardTickPool",
 ]

@@ -1,0 +1,464 @@
+"""Parallel sharded monitor tick over shared-memory CSR mirrors.
+
+The columnar tick's cost is one bincount fold per shard
+(:meth:`~repro.core.soa.columns.ShardColumns.demand`); shards were
+sized to be independent exactly so those folds can run concurrently.
+:class:`ShardTickPool` keeps a persistent set of forked workers, mirrors
+each shard's CSR arrays into shared-memory segments (republished only
+when a shard's CSR :attr:`~repro.core.soa.columns._BurstCSR.version`
+moved), broadcasts one message per tick, and lets every worker fold its
+round-robin subset of shards into a shared demand buffer.
+
+Determinism: each shard's demand is produced by the *same*
+``np.bincount(rows, weights=fractions[slots] * ceilings)`` expression
+over bit-identical inputs as the serial fold, workers write disjoint
+slices of the output buffer, and the parent merges in shard order — so
+the merged ``(positions, utilization, active, type_ids)`` tuple is
+bit-identical to :meth:`SoADatacenter.monitor_arrays` (the ``tick``
+sanitizer twin and the scale sweep's identity gate both check this).
+Energy/SLO accumulation stays on the merged vectorized path in the
+parent for the same reason: re-associating those float folds across
+workers would spend the documented ULP budget for no measurable win.
+
+Fallbacks: ``workers <= 1``, a platform without ``fork``, or any worker
+failure (a ``REPRO_CHAOS_KILL``-style SIGKILL included) degrade the
+pool to the serial tick — same results, one core.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing.connection import Connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import shm
+from repro.core.soa.columns import ShardColumns, validate_burst
+from repro.core.soa.datacenter import SoADatacenter
+from repro.util.validation import require
+
+__all__ = ["ShardTickPool"]
+
+#: Pool sequence number; makes segment keys unique per pool instance.
+_POOL_SEQ = 0
+
+#: Minimum per-shard CSR mirror capacity (entries).
+_MIN_REGION = 256
+
+#: Minimum fraction-buffer capacity (slots).
+_MIN_FRACTIONS = 1024
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platform
+        return None
+
+
+def _fold_shards(
+    ctl: shm.SharedBundle,
+    csr: shm.SharedBundle,
+    shard_ids: Sequence[int],
+    n_fractions: int,
+) -> None:
+    """Fold the assigned shards' demand into the shared out buffer.
+
+    A separate frame so the numpy views die on return: a bundle close
+    while views are still exported cannot unmap the segment.
+    """
+    fractions = ctl.arrays["fractions"][:n_fractions]
+    meta = ctl.arrays["meta"]
+    out = ctl.arrays["out"]
+    for s in shard_ids:
+        start, count, n, base = (int(v) for v in meta[s])
+        if count == 0:
+            out[base:base + n] = 0.0
+            continue
+        rows = csr.arrays["rows"][start:start + count]
+        slots = csr.arrays["slots"][start:start + count]
+        ceilings = csr.arrays["ceilings"][start:start + count]
+        # The very expression ShardColumns.demand uses: bincount
+        # accumulates sequentially per bin in entry order, so this
+        # fold is bit-identical to the serial one.
+        out[base:base + n] = np.bincount(
+            rows, weights=fractions[slots] * ceilings, minlength=n
+        )
+
+
+def _tick_worker(
+    conn: Connection,
+    worker_id: int,
+    shard_ids: Sequence[int],
+    ctl_key: str,
+    csr_key: str,
+) -> None:
+    """Worker loop: attach the shared buffers, fold assigned shards.
+
+    The control segment is attached writeable (the demand buffer is the
+    result channel); the CSR mirror stays read-only.  Reattach messages
+    precede any tick that depends on them — pipe FIFO order is the only
+    synchronization needed, because the parent never mutates a segment
+    between the reattach/tick message and the worker's ``done`` reply.
+    """
+    ctl = shm.attach(ctl_key, writeable=True)
+    csr = shm.attach(csr_key)
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "ctl":
+                ctl.close()
+                ctl = shm.attach(message[1], writeable=True)
+                continue
+            if kind == "csr":
+                csr.close()
+                csr = shm.attach(message[1])
+                continue
+            _fold_shards(ctl, csr, shard_ids, int(message[1]))
+            conn.send(("done", worker_id))
+    except (EOFError, OSError):  # parent went away
+        pass
+    except Exception as error:  # surface worker bugs to the parent
+        try:
+            conn.send(("error", worker_id, repr(error)))
+        except (OSError, BrokenPipeError):
+            pass
+    finally:
+        ctl.close()
+        csr.close()
+
+
+class ShardTickPool:
+    """Persistent worker pool for the sharded monitor fold.
+
+    Use :meth:`create` (returns ``None`` on one core — the serial
+    fallback) and call :meth:`monitor_arrays` wherever
+    ``SoADatacenter.monitor_arrays`` would run; :meth:`close` tears the
+    workers and segments down.  The pool pins the fleet geometry at
+    construction: shard count and sizes must not change (a ``rebuild()``
+    keeps geometry, so it is safe and merely republishes every mirror).
+    """
+
+    def __init__(
+        self,
+        dc: SoADatacenter,
+        workers: int,
+        burst: Any = "core",
+    ) -> None:
+        require(workers >= 2, f"a tick pool needs >= 2 workers, got {workers}")
+        validate_burst(burst)
+        context = _fork_context()
+        require(context is not None, "ShardTickPool requires fork start method")
+        assert context is not None
+        global _POOL_SEQ
+        _POOL_SEQ += 1
+        self._dc = dc
+        self._burst = burst
+        self._n_workers = workers
+        self._prefix = f"repro.tick.{os.getpid()}.{_POOL_SEQ}"
+        self._ctl_gen = 0
+        self._csr_gen = 0
+        self._failed = False
+        self._closed = False
+        self.ticks = 0
+        self.republished_shards = 0
+        self.repacks = 0
+
+        shards = dc.shards
+        self._n_shards = len(shards)
+        self._n_machines = dc.n_machines
+        self._shard_n = [shard.n for shard in shards]
+        self._shard_base = [shard.base for shard in shards]
+        #: (csr object, version) last mirrored, per shard.
+        self._published: List[Optional[Tuple[Any, int]]] = (
+            [None] * self._n_shards
+        )
+        self._region_start = [0] * self._n_shards
+        self._region_cap = [0] * self._n_shards
+
+        self._conns: List[Connection] = []
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._frac_cap = _MIN_FRACTIONS
+        self._ctl = self._make_ctl()
+        self._csr_cap = 0
+        self._csr = self._make_csr(_MIN_REGION * self._n_shards)
+        self._repack_regions()
+
+        ctl_key = self._ctl.key
+        csr_key = self._csr.key
+        for worker_id in range(workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            shard_ids = list(range(worker_id, self._n_shards, workers))
+            process = context.Process(
+                target=_tick_worker,
+                args=(child_conn, worker_id, shard_ids, ctl_key, csr_key),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    @classmethod
+    def create(
+        cls,
+        dc: SoADatacenter,
+        workers: int,
+        burst: Any = "core",
+    ) -> Optional["ShardTickPool"]:
+        """A pool when parallelism is possible, else None (serial path).
+
+        ``workers <= 1`` or a platform without ``fork`` returns None —
+        the clean serial fallback the CLI relies on when
+        ``os.cpu_count() == 1`` (running 2 workers on 1 core is still
+        *correct*, so callers that explicitly ask for workers get them).
+        """
+        if workers <= 1 or _fork_context() is None:
+            return None
+        return cls(dc, workers, burst=burst)
+
+    # ------------------------------------------------------------------
+    # Shared segment management (parent side)
+    # ------------------------------------------------------------------
+    def _make_ctl(self) -> shm.SharedBundle:
+        self._ctl_gen += 1
+        return shm.publish(
+            f"{self._prefix}.ctl.{self._ctl_gen}",
+            {
+                "meta": np.zeros((self._n_shards, 4), dtype=np.int64),
+                "fractions": np.zeros(self._frac_cap, dtype=np.float64),
+                "out": np.zeros(self._n_machines, dtype=np.float64),
+            },
+            meta={"kind": "tick_ctl"},
+            writeable=True,
+        )
+
+    def _make_csr(self, capacity: int) -> shm.SharedBundle:
+        self._csr_gen += 1
+        self._csr_cap = capacity
+        return shm.publish(
+            f"{self._prefix}.csr.{self._csr_gen}",
+            {
+                "rows": np.zeros(capacity, dtype=np.int64),
+                "slots": np.zeros(capacity, dtype=np.int64),
+                "ceilings": np.zeros(capacity, dtype=np.float64),
+            },
+            meta={"kind": "tick_csr"},
+            writeable=True,
+        )
+
+    def _broadcast(self, message: Tuple[Any, ...]) -> None:
+        for conn in self._conns:
+            conn.send(message)
+
+    def _mirror_shard(self, index: int, shard: ShardColumns) -> None:
+        """Copy one shard's live CSR entries into its mirror region."""
+        csr = shard.csr[self._burst]
+        start = self._region_start[index]
+        count = csr.n
+        arrays = self._csr.arrays
+        arrays["rows"][start:start + count] = csr.rows[:count]
+        arrays["slots"][start:start + count] = csr.slots[:count]
+        arrays["ceilings"][start:start + count] = csr.ceilings[:count]
+        self._ctl.arrays["meta"][index] = (
+            start, count, self._shard_n[index], self._shard_base[index],
+        )
+        self._published[index] = (csr, csr.version)
+        self.republished_shards += 1
+
+    def _repack_regions(self) -> None:
+        """Re-lay every mirror region with headroom and copy all shards.
+
+        Runs at construction and whenever any shard outgrows its region;
+        doubling headroom keeps repacks logarithmic in total growth.
+        """
+        self.repacks += 1
+        sizes = []
+        for shard in self._dc.shards:
+            csr = shard.csr.get(self._burst)
+            need = csr.n if csr is not None else 0
+            sizes.append(max(_MIN_REGION, 2 * need))
+        total = sum(sizes)
+        if total > self._csr_cap:
+            old = self._csr
+            self._csr = self._make_csr(total)
+            old.close()
+            if self._procs:
+                self._broadcast(("csr", self._csr.key))
+        start = 0
+        for index, size in enumerate(sizes):
+            self._region_start[index] = start
+            self._region_cap[index] = size
+            start += size
+        for index, shard in enumerate(self._dc.shards):
+            if shard.csr.get(self._burst) is not None:
+                self._mirror_shard(index, shard)
+            else:
+                self._ctl.arrays["meta"][index] = (
+                    self._region_start[index], 0,
+                    self._shard_n[index], self._shard_base[index],
+                )
+                self._published[index] = None
+
+    def _sync_mirrors(self) -> None:
+        """Republish every shard whose CSR mutated since the last tick."""
+        shards = self._dc.shards
+        require(
+            len(shards) == self._n_shards,
+            "fleet geometry changed under the tick pool; rebuild it",
+        )
+        needs_repack = False
+        for index, shard in enumerate(shards):
+            csr = shard.csr[self._burst]
+            published = self._published[index]
+            if published is not None and published[0] is csr and (
+                published[1] == csr.version
+            ):
+                continue
+            if csr.n > self._region_cap[index]:
+                needs_repack = True
+                break
+        if needs_repack:
+            self._repack_regions()
+            return
+        for index, shard in enumerate(shards):
+            csr = shard.csr[self._burst]
+            published = self._published[index]
+            if published is not None and published[0] is csr and (
+                published[1] == csr.version
+            ):
+                continue
+            self._mirror_shard(index, shard)
+
+    def _sync_fractions(self, fractions: np.ndarray) -> None:
+        if fractions.size > self._frac_cap:
+            self._frac_cap = max(2 * fractions.size, _MIN_FRACTIONS)
+            old = self._ctl
+            self._ctl = self._make_ctl()
+            old.close()
+            self._broadcast(("ctl", self._ctl.key))
+            # A fresh control segment starts with zeroed meta rows: the
+            # mirrors themselves are intact, only re-announce them.
+            for index in range(self._n_shards):
+                published = self._published[index]
+                count = published[0].n if published is not None else 0
+                self._ctl.arrays["meta"][index] = (
+                    self._region_start[index], count,
+                    self._shard_n[index], self._shard_base[index],
+                )
+        self._ctl.arrays["fractions"][:fractions.size] = fractions
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+    def monitor_arrays(
+        self, time_s: float, burst: Any = "core"
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The parallel twin of ``SoADatacenter.monitor_arrays``.
+
+        Bit-identical output; falls back to the serial fold for a
+        foreign burst model, after :meth:`close`, or once any worker
+        failed.
+        """
+        dc = self._dc
+        if self._failed or self._closed or burst != self._burst:
+            return dc.monitor_arrays(time_s, burst)
+        validate_burst(burst)
+        dc.ensure_csr(burst)
+        fractions = dc.trace_columns.fractions(time_s)
+        try:
+            self._sync_mirrors()
+            self._sync_fractions(fractions)
+            self._broadcast(("tick", fractions.size))
+            for conn in self._conns:
+                reply = conn.recv()
+                if reply[0] != "done":
+                    raise RuntimeError(f"tick worker failed: {reply!r}")
+        except (EOFError, OSError, BrokenPipeError, RuntimeError):
+            # A worker died (chaos kill) or errored: degrade to serial
+            # for the rest of the run — identical results, one core.
+            self._failed = True
+            self.close()
+            return dc.monitor_arrays(time_s, burst)
+        self.ticks += 1
+        out = self._ctl.arrays["out"]
+        positions: List[np.ndarray] = []
+        utilization: List[np.ndarray] = []
+        active: List[np.ndarray] = []
+        type_ids: List[np.ndarray] = []
+        for shard in dc.shards:
+            demand = out[shard.base:shard.base + shard.n]
+            util = demand / shard.cpu_capacity
+            healthy = np.flatnonzero(~shard.failed)
+            positions.append(shard.base + healthy)
+            utilization.append(util[healthy])
+            active.append(shard.alloc_count[healthy] > 0)
+            type_ids.append(shard.type_id[healthy])
+        return (
+            np.concatenate(positions),
+            np.concatenate(utilization),
+            np.concatenate(active),
+            np.concatenate(type_ids),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True once a worker failure forced the serial fallback."""
+        return self._failed
+
+    def rss_per_worker_mb(self) -> List[Optional[float]]:
+        """Resident set size of each live worker, in MiB."""
+        return [
+            shm.rss_mb(p.pid) if p.pid is not None and p.is_alive() else None
+            for p in self._procs
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool counters for benchmarks and the shared bench phase."""
+        return {
+            "workers": self._n_workers,
+            "shards": self._n_shards,
+            "ticks": self.ticks,
+            "republished_shards": self.republished_shards,
+            "repacks": self.repacks,
+            "degraded": self._failed,
+            "worker_pids": [p.pid for p in self._procs],
+            "rss_per_worker_mb": self.rss_per_worker_mb(),
+        }
+
+    def close(self) -> None:
+        """Stop the workers and release the shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for process in self._procs:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._ctl.close()
+        self._csr.close()
+
+    def __enter__(self) -> "ShardTickPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -93,8 +93,13 @@ def sweep_workload(n_vms: int, seed: int = 0) -> List[VirtualMachine]:
 def _simulate(
     datacenter, table: ScoreTable, vms, duration_s: float,
     fast_path: bool = True,
+    tick_workers: int = 1,
 ):
-    """One allocate + simulate run on an already-built datacenter."""
+    """One allocate + simulate run on an already-built datacenter.
+
+    Returns ``(result, simulation)`` — the simulation is what holds the
+    tick-pool vitals (snapshotted at close) for the shared bench phase.
+    """
     from repro.baselines import MinimumMigrationTimeSelector
 
     simulation = CloudSimulation(
@@ -103,8 +108,9 @@ def _simulate(
         MinimumMigrationTimeSelector(),
         SimulationConfig(duration_s=duration_s, monitor_interval_s=300.0),
         fast_path=fast_path,
+        tick_workers=tick_workers,
     )
-    return simulation.run(vms)
+    return simulation.run(vms), simulation
 
 
 def measure_scan_anchor(
@@ -116,7 +122,7 @@ def measure_scan_anchor(
     vms = sweep_workload(int(n_pms * VMS_PER_PM), seed=workload_seed)
     start = time.perf_counter()
     datacenter = build_ec2_datacenter({"M3": n_pms})
-    _simulate(datacenter, table, vms, duration_s, fast_path=False)
+    _simulate(datacenter, table, vms, duration_s, fast_path=False)[0]
     return time.perf_counter() - start
 
 
@@ -127,13 +133,19 @@ def run_point(
     shard_size: int = 4_096,
     workload_seed: int = 0,
     check_identity: bool = False,
+    tick_workers: int = 1,
 ) -> Dict[str, object]:
     """Measure one sweep point; optionally twin it against the object path.
 
     Returns a dict with the SoA wall time and decision counters; with
     ``check_identity`` the object path runs on the same workload and the
     entry gains its wall time plus an ``identical`` verdict (exact
-    counters, energy/SLO to 1e-9 relative).
+    counters, energy/SLO to 1e-9 relative).  With ``tick_workers > 1``
+    the monitor fold fans out over the shared-memory tick pool — its
+    vitals land in ``tick_pool`` — and the identity gate (when on)
+    checks the *parallel* run against the object path: the exact-counter
+    contract covers the zero-copy data plane, not just the serial SoA
+    fold.
 
     Raises:
         AssertionError: when ``check_identity`` finds a divergence —
@@ -147,7 +159,9 @@ def run_point(
 
     start = time.perf_counter()
     soa_dc = build_ec2_soa_datacenter({"M3": n_pms}, shard_size=shard_size)
-    soa_result = _simulate(soa_dc, table, vms, duration_s)
+    soa_result, soa_sim = _simulate(
+        soa_dc, table, vms, duration_s, tick_workers=tick_workers
+    )
     soa_wall = time.perf_counter() - start
 
     point: Dict[str, object] = {
@@ -155,6 +169,7 @@ def run_point(
         "n_vms": n_vms,
         "duration_s": duration_s,
         "shard_size": shard_size,
+        "tick_workers": tick_workers,
         "soa_wall_s": soa_wall,
         "pms_used": soa_result.pms_used_final,
         "unplaced_vms": soa_result.unplaced_vms,
@@ -162,10 +177,13 @@ def run_point(
         "overload_events": soa_result.overload_events,
         "energy_kwh": soa_result.energy_kwh,
     }
+    pool_stats = soa_sim.tick_pool_stats()
+    if pool_stats is not None:
+        point["tick_pool"] = pool_stats
     if check_identity:
         start = time.perf_counter()
         object_dc = build_ec2_datacenter({"M3": n_pms})
-        object_result = _simulate(object_dc, table, vms, duration_s)
+        object_result, _ = _simulate(object_dc, table, vms, duration_s)
         point["object_wall_s"] = time.perf_counter() - start
         mismatches = [
             (field, getattr(object_result, field), getattr(soa_result, field))
@@ -194,6 +212,7 @@ def run_sweep(
     object_max_pms: int = 0,
     scan_anchor_pms: int = 480,
     table_cache_dir: Optional[str] = None,
+    tick_workers: int = 1,
 ) -> Dict[str, object]:
     """Run the scale sweep and summarize it as one BENCH-ready mapping.
 
@@ -213,6 +232,9 @@ def run_sweep(
             at this size and twice it, and every point gains a
             ``scan_wall_extrapolated_s`` from the exact quadratic
             through the two anchors (0 disables the scan baseline).
+        tick_workers: fan the monitor fold out over this many
+            shared-memory tick workers per point (1 = serial; decisions
+            are bit-identical either way, so baselines stay comparable).
     """
     if table is None:
         table = sweep_table(table_cache_dir)
@@ -224,6 +246,7 @@ def run_sweep(
             duration_s=duration_s,
             shard_size=shard_size,
             check_identity=0 < n_pms <= object_max_pms,
+            tick_workers=tick_workers,
         ))
     measured = [p for p in sweep if "object_wall_s" in p]
     if measured:
@@ -242,6 +265,7 @@ def run_sweep(
         "scale_sweep_points": sweep,
         "scale_sweep_duration_s": duration_s,
         "scale_sweep_shard_size": shard_size,
+        "scale_sweep_tick_workers": tick_workers,
     }
     if scan_anchor_pms > 0:
         w1 = measure_scan_anchor(table, scan_anchor_pms, duration_s)

@@ -16,11 +16,12 @@ from typing import Dict, Optional, Tuple
 from repro.cluster.ec2 import EC2_VM_TYPES, build_ec2_soa_datacenter
 from repro.core.placement import PageRankVMPolicy
 from repro.core.profile import MachineShape, ResourceGroup, VMType
-from repro.core.score_table import build_score_table
+from repro.core.score_table import ScoreTable, build_score_table
 from repro.core.soa.datacenter import SoADatacenter
 from repro.experiments.sweep import sweep_table
 from repro.serve.clock import Clock
 from repro.serve.service import PlacementService
+from repro.serve.workers import PooledScoreTable, ScoringWorkerPool
 from repro.util.rng import RngFactory
 
 __all__ = [
@@ -29,6 +30,30 @@ __all__ = [
     "build_toy_service",
     "build_ec2_service",
 ]
+
+
+def _pooled_tables(
+    tables: Dict[MachineShape, ScoreTable],
+    scoring_workers: int,
+    min_batch: int = 64,
+) -> Tuple[Dict[MachineShape, ScoreTable], Optional[ScoringWorkerPool]]:
+    """Share the tables and wrap them over a worker pool when asked.
+
+    ``scoring_workers <= 1`` returns the tables untouched (the serial
+    path); otherwise each table is published into shared memory once and
+    wrapped so batched admission scoring fans out across the workers —
+    value-identical either way (see :mod:`repro.serve.workers`).
+    """
+    pool = ScoringWorkerPool.create(
+        list(tables.values()), scoring_workers, min_batch=min_batch
+    )
+    if pool is None:
+        return tables, None
+    wrapped: Dict[MachineShape, ScoreTable] = {
+        shape: PooledScoreTable.wrap(table, pool, index)
+        for index, (shape, table) in enumerate(tables.items())
+    }
+    return wrapped, pool
 
 
 def toy_shape() -> MachineShape:
@@ -52,14 +77,20 @@ def build_toy_service(
     seed: int = 0,
     clock: Optional[Clock] = None,
     pool_size: Optional[int] = None,
+    scoring_workers: int = 1,
+    scoring_min_batch: int = 64,
     **service_kwargs,
 ) -> PlacementService:
     """A small table-driven service on the struct-of-arrays substrate."""
     shape = toy_shape()
     vm_types = toy_vm_types()
-    table = build_score_table(shape, vm_types)
+    tables, pool = _pooled_tables(
+        {shape: build_score_table(shape, vm_types)},
+        scoring_workers,
+        min_batch=scoring_min_batch,
+    )
     policy = PageRankVMPolicy(
-        {shape: table},
+        tables,
         pool_size=pool_size,
         rng=RngFactory(seed).generator("serve-policy"),
     )
@@ -72,6 +103,7 @@ def build_toy_service(
         vm_types,
         clock=clock,
         seed=seed,
+        scoring_pool=pool,
         **service_kwargs,
     )
 
@@ -84,13 +116,18 @@ def build_ec2_service(
     table_cache_dir: Optional[str] = None,
     jobs: int = 1,
     shard_size: int = 4_096,
+    scoring_workers: int = 1,
+    scoring_min_batch: int = 64,
     **service_kwargs,
 ) -> PlacementService:
     """The paper's M3 fleet as a service (loadgen's default world)."""
     counts = counts if counts is not None else {"M3": 480}
     table = sweep_table(table_cache_dir, jobs=jobs)
+    tables, pool = _pooled_tables(
+        {table.shape: table}, scoring_workers, min_batch=scoring_min_batch
+    )
     policy = PageRankVMPolicy(
-        {table.shape: table},
+        tables,
         pool_size=pool_size,
         rng=RngFactory(seed).generator("serve-policy"),
     )
@@ -101,5 +138,6 @@ def build_ec2_service(
         EC2_VM_TYPES,
         clock=clock,
         seed=seed,
+        scoring_pool=pool,
         **service_kwargs,
     )

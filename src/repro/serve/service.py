@@ -233,6 +233,12 @@ class PlacementService:
             raise :class:`TransientServeError` to exercise the retry
             path.  Chaos drills install this; production leaves it None.
         log_limit: ring-buffer size of the structured request log.
+        scoring_pool: optional
+            :class:`~repro.serve.workers.ScoringWorkerPool` whose
+            lifecycle this service owns (closed by :meth:`close`, stats
+            exposed at ``/cluster/state``).  The pool itself is wired
+            into the policy's tables by the fleet builders; decisions
+            are bit-identical with or without it.
     """
 
     def __init__(
@@ -248,6 +254,7 @@ class PlacementService:
         retry_after_s: float = 1.0,
         fault_hook: Optional[Callable[[str, int], float]] = None,
         log_limit: int = 1024,
+        scoring_pool: Optional[Any] = None,
     ):
         require(len(vm_types) > 0, "vm_types catalog must not be empty")
         self._dc = datacenter
@@ -271,6 +278,7 @@ class PlacementService:
         self._log: Deque[Dict[str, Any]] = deque(maxlen=log_limit)
         self._ledger = ResilienceMetrics()
         self._pending_displaced: List[VirtualMachine] = []
+        self._scoring_pool = scoring_pool
 
     # ------------------------------------------------------------------
     # Introspection
@@ -316,6 +324,16 @@ class PlacementService:
         """The newest entries of the structured request log."""
         return list(self._log)
 
+    @property
+    def scoring_pool(self) -> Optional[Any]:
+        """The multi-process scoring pool, or None on the serial path."""
+        return self._scoring_pool
+
+    def close(self) -> None:
+        """Release owned resources (the scoring pool); idempotent."""
+        if self._scoring_pool is not None:
+            self._scoring_pool.close()
+
     def vm_type_named(self, name: str) -> Optional[VMType]:
         """Resolve a catalog VM type by name (None when unknown)."""
         return self._vm_types.get(name)
@@ -356,6 +374,11 @@ class PlacementService:
             "decisions": self._digest.events,
             "pending_displaced": len(self._pending_displaced),
             "ledger": self._ledger.as_dict(),
+            "scoring": (
+                None
+                if self._scoring_pool is None
+                else self._scoring_pool.stats()
+            ),
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,182 @@
+"""Bit-identity of the parallel sharded tick (ShardTickPool).
+
+The pool's whole contract is that parallelism is *invisible*: every
+shard's demand is folded by the same bincount expression over the same
+inputs as the serial path, workers write disjoint output slices, and
+the parent merges in shard order.  This suite pins that contract:
+
+* the pool's ``monitor_arrays`` equals ``SoADatacenter.monitor_arrays``
+  bit for bit — through placements, evictions, crashes/repairs (CSR
+  version bumps → mirror republish) and a bulk ``rebuild()``;
+* a SIGKILLed worker degrades the pool to the serial fold with
+  *identical* results and no leaked /dev/shm segments;
+* ``CloudSimulation(tick_workers=2)`` reproduces the serial run's
+  counters and energy exactly, and snapshots the pool's vitals.
+
+Forcing 2 workers on this 1-core container is deliberate: explicitly
+requested workers must fork and stay correct (slower is fine).
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.baselines import MinimumMigrationTimeSelector
+from repro.cluster.simulation import CloudSimulation, SimulationConfig
+from repro.cluster.vm import VirtualMachine
+from repro.core import shm
+from repro.core.placement import PageRankVMPolicy
+from repro.core.soa import SoADatacenter
+from repro.core.soa.parallel import ShardTickPool
+from repro.traces.base import ArrayTrace
+
+
+def soa_datacenter(toy_shape, count=8, shard_size=3):
+    # shard_size=3 forces multiple (and one ragged) shard at toy scale.
+    return SoADatacenter(
+        [(i, toy_shape, "M3") for i in range(count)], shard_size=shard_size
+    )
+
+
+def bursty_vms(n, vm_type, seed=3, first_id=0):
+    rng = np.random.default_rng(seed)
+    return [
+        VirtualMachine(
+            first_id + i, vm_type,
+            ArrayTrace(np.clip(rng.uniform(0.2, 1.0, size=12), 0.0, 1.0),
+                       300.0),
+        )
+        for i in range(n)
+    ]
+
+
+def place_all(dc, policy, vms):
+    placed = []
+    for vm in vms:
+        decision = policy.select(vm.vm_type, dc.indexed_machines())
+        if decision is None:
+            continue
+        dc.apply(vm, decision)
+        placed.append(vm.vm_id)
+    return placed
+
+
+def assert_ticks_identical(pool, dc, times):
+    for time_s in times:
+        parallel = pool.monitor_arrays(time_s)
+        serial = dc.monitor_arrays(time_s)
+        for got, want in zip(parallel, serial):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestPoolIdentity:
+    def test_monitor_identical_through_mutations(
+        self, toy_shape, toy_table, vm2, vm4
+    ):
+        dc = soa_datacenter(toy_shape)
+        policy = PageRankVMPolicy({toy_shape: toy_table})
+        placed = place_all(dc, policy, bursty_vms(10, vm2))
+        pool = ShardTickPool.create(dc, workers=2)
+        assert pool is not None  # explicit workers fork even on 1 core
+        try:
+            times = [0.0, 300.0, 900.0, 1500.0]
+            assert_ticks_identical(pool, dc, times)
+
+            # Mutations between ticks: evictions shrink shards, new
+            # placements bump CSR versions → mirrors republish.
+            dc.evict(placed[0])
+            dc.evict(placed[1])
+            place_all(dc, policy, bursty_vms(4, vm4, seed=11, first_id=100))
+            assert_ticks_identical(pool, dc, times)
+
+            # Crash/repair flips the healthy mask the merge filters on.
+            dc.crash_machine(dc.used_machines()[0].pm_id)
+            assert_ticks_identical(pool, dc, [600.0, 1200.0])
+            for machine in dc.machines:
+                if machine.is_failed:
+                    dc.repair_machine(machine.pm_id)
+            assert_ticks_identical(pool, dc, [600.0, 1200.0])
+
+            # Bulk rebuild keeps geometry but drops every CSR; the next
+            # tick must republish all mirrors and still agree.
+            dc.rebuild()
+            assert_ticks_identical(pool, dc, times)
+
+            assert not pool.degraded
+            stats = pool.stats()
+            assert stats["workers"] == 2
+            assert stats["ticks"] > 0
+            assert stats["republished_shards"] > 0
+        finally:
+            pool.close()
+        assert not shm.list_shm_segments(), "leaked /dev/shm segments"
+
+    def test_create_returns_none_for_serial(self, toy_shape):
+        dc = soa_datacenter(toy_shape)
+        assert ShardTickPool.create(dc, workers=1) is None
+        assert ShardTickPool.create(dc, workers=0) is None
+
+    def test_sigkilled_worker_degrades_to_identical_serial(
+        self, toy_shape, toy_table, vm2
+    ):
+        dc = soa_datacenter(toy_shape)
+        policy = PageRankVMPolicy({toy_shape: toy_table})
+        place_all(dc, policy, bursty_vms(8, vm2))
+        pool = ShardTickPool.create(dc, workers=2)
+        assert pool is not None
+        try:
+            assert_ticks_identical(pool, dc, [0.0, 300.0])
+            os.kill(pool.stats()["worker_pids"][0], signal.SIGKILL)
+            # Every subsequent tick still matches the serial fold —
+            # the pool just stops being parallel.
+            assert_ticks_identical(pool, dc, [600.0, 900.0, 1200.0])
+            assert pool.degraded
+            assert pool.stats()["degraded"]
+        finally:
+            pool.close()
+        assert not shm.list_shm_segments(), "leaked /dev/shm segments"
+
+
+class TestSimulationTickWorkers:
+    def _run(self, toy_shape, toy_table, vms, tick_workers):
+        sim = CloudSimulation(
+            soa_datacenter(toy_shape),
+            PageRankVMPolicy({toy_shape: toy_table}),
+            MinimumMigrationTimeSelector(),
+            SimulationConfig(duration_s=3600.0, monitor_interval_s=300.0),
+            fast_path=True,
+            tick_workers=tick_workers,
+        )
+        result = sim.run(vms)
+        return result, sim
+
+    def test_two_worker_run_identical_to_serial(
+        self, toy_shape, toy_table, vm2
+    ):
+        serial, _ = self._run(toy_shape, toy_table, bursty_vms(14, vm2), 1)
+        parallel, sim = self._run(toy_shape, toy_table, bursty_vms(14, vm2), 2)
+        for field in (
+            "n_vms", "unplaced_vms", "pms_used_initial", "pms_used_peak",
+            "pms_used_final", "migrations", "failed_migrations",
+            "overload_events",
+        ):
+            assert getattr(parallel, field) == getattr(serial, field), field
+        # The demand fold is bit-identical and the energy/SLO folds stay
+        # serial in the parent, so even the floats are exactly equal.
+        assert parallel.energy_kwh == serial.energy_kwh
+        assert parallel.slo_violation_rate == serial.slo_violation_rate
+
+        stats = sim.tick_pool_stats()
+        assert stats is not None
+        assert stats["workers"] == 2
+        assert stats["ticks"] > 0
+        assert not stats["degraded"]
+        assert not shm.list_shm_segments(), "leaked /dev/shm segments"
+
+    def test_serial_simulation_has_no_pool_stats(
+        self, toy_shape, toy_table, vm2
+    ):
+        _, sim = self._run(toy_shape, toy_table, bursty_vms(6, vm2), 1)
+        assert sim.tick_pool_stats() is None

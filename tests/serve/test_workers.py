@@ -1,0 +1,142 @@
+"""Multi-process serving: pooled scoring must be invisible.
+
+A service with ``--workers N`` fans its admission-batch scoring out to
+forked workers over the shared score tables.  The contract this suite
+pins is the serving twin of the tick pool's: parallel scoring changes
+wall-clock, never behavior —
+
+* the rolling decision digest of a 2-worker service equals the
+  sequential service's digest for the same request stream;
+* pooled ``score_or_snap_many`` values equal the serial table's;
+* a SIGKILLed worker degrades the pool to local scoring with the
+  decision stream unchanged, and a closed service leaks no segments.
+
+Forcing 2 workers on this 1-core container is deliberate — explicitly
+requested workers fork and must stay correct.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.core import shm
+from repro.serve import ManualClock, ServeRequest, build_toy_service
+from repro.serve.fleet import toy_vm_types
+from repro.serve.workers import PooledScoreTable, ScoringWorkerPool
+
+
+def make_service(**kwargs):
+    return build_toy_service(n_pms=8, clock=ManualClock(), **kwargs)
+
+
+def drive(service, n=24, start=0):
+    """A deterministic request mix; returns the responses."""
+    names = [t.name for t in toy_vm_types()]
+    responses = []
+    for i in range(start, start + n):
+        request = ServeRequest(
+            op="place",
+            request_id=service.next_request_id(),
+            vm_type=names[i % len(names)],
+            utilization=0.2 + 0.05 * (i % 10),
+        )
+        responses.append(service.serve_one(request))
+    return responses
+
+
+class TestDigestIdentity:
+    def test_two_worker_digest_equals_sequential(self):
+        sequential = make_service()
+        pooled = make_service(scoring_workers=2, scoring_min_batch=2)
+        try:
+            assert pooled.scoring_pool is not None
+            want = drive(sequential)
+            got = drive(pooled)
+            for a, b in zip(got, want):
+                assert (a.outcome, a.pm_id, a.vm_id) == (
+                    b.outcome, b.pm_id, b.vm_id,
+                )
+            assert pooled.decision_digest == sequential.decision_digest
+            assert pooled.counters.placed == sequential.counters.placed
+            # The pool actually scored: this was parallel, not fallback.
+            assert pooled.scoring_pool.batches > 0
+            assert pooled.scoring_pool.rows > 0
+        finally:
+            pooled.close()
+            sequential.close()
+        assert not shm.list_shm_segments(), "leaked /dev/shm segments"
+
+    def test_sequential_service_has_no_pool(self):
+        service = make_service(scoring_workers=1)
+        try:
+            assert service.scoring_pool is None
+        finally:
+            service.close()
+
+
+class TestScoringPool:
+    def test_score_many_values_identical(self, toy_table):
+        pool = ScoringWorkerPool.create([toy_table], workers=2, min_batch=1)
+        assert pool is not None
+        try:
+            usages = [usage for usage, _ in list(toy_table.items())[:17]]
+            values = pool.score_many(0, usages)
+            assert values is not None
+            assert list(values) == list(toy_table.score_or_snap_many(usages))
+            assert pool.batches == 1
+            assert pool.rows == len(usages)
+        finally:
+            pool.close()
+        assert not shm.list_shm_segments(), "leaked /dev/shm segments"
+
+    def test_create_returns_none_for_serial(self, toy_table):
+        assert ScoringWorkerPool.create([toy_table], workers=1) is None
+
+    def test_small_batches_stay_local(self, toy_table):
+        pool = ScoringWorkerPool.create([toy_table], workers=2, min_batch=64)
+        assert pool is not None
+        try:
+            wrapped = PooledScoreTable.wrap(toy_table, pool, 0)
+            usages = [usage for usage, _ in list(toy_table.items())[:8]]
+            values = wrapped.score_or_snap_many(usages)
+            assert list(values) == list(toy_table.score_or_snap_many(usages))
+            assert pool.batches == 0  # below min_batch: scored locally
+        finally:
+            pool.close()
+
+    def test_killed_worker_degrades_to_local(self, toy_table):
+        pool = ScoringWorkerPool.create([toy_table], workers=2, min_batch=1)
+        assert pool is not None
+        try:
+            usages = [usage for usage, _ in list(toy_table.items())[:9]]
+            assert pool.score_many(0, usages) is not None
+            os.kill(pool.stats()["worker_pids"][0], signal.SIGKILL)
+            # The dead worker surfaces as a degrade-to-None; the wrapped
+            # table then scores locally with identical values.
+            wrapped = PooledScoreTable.wrap(toy_table, pool, 0)
+            values = wrapped.score_or_snap_many(usages)
+            assert list(values) == list(toy_table.score_or_snap_many(usages))
+            assert not pool.alive
+            assert pool.stats()["failed"]
+        finally:
+            pool.close()
+        assert not shm.list_shm_segments(), "leaked /dev/shm segments"
+
+    def test_killed_worker_service_digest_unchanged(self):
+        # End to end: a mid-stream worker death must not change a single
+        # decision — the stream continues on local scoring.
+        sequential = make_service()
+        pooled = make_service(scoring_workers=2, scoring_min_batch=2)
+        try:
+            want = drive(sequential, n=30)
+            drive(pooled, n=10)
+            os.kill(pooled.scoring_pool.stats()["worker_pids"][0],
+                    signal.SIGKILL)
+            drive(pooled, n=20, start=10)
+            assert pooled.decision_digest == sequential.decision_digest
+            assert len(want) == 30
+        finally:
+            pooled.close()
+            sequential.close()
+        assert not shm.list_shm_segments(), "leaked /dev/shm segments"
