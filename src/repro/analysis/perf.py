@@ -145,6 +145,20 @@ PHASE_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("placements_per_s", True, _key("placements_per_s")),
         MetricSpec("soa_wall_total_s", False, _sweep_soa_wall),
     ),
+    "kernel": (
+        MetricSpec("sweep_wall_s", False, _key("sweep_wall_s")),
+        MetricSpec(
+            "sweep_speedup_vs_iterative", True,
+            _key("sweep_speedup_vs_iterative"),
+        ),
+    ),
+    "delta": (
+        MetricSpec("delta_register_wall_s", False,
+                   _key("delta_register_wall_s")),
+        MetricSpec(
+            "delta_speedup_vs_cold", True, _key("delta_speedup_vs_cold")
+        ),
+    ),
 }
 
 

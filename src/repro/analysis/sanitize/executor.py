@@ -48,7 +48,7 @@ __all__ = [
 OP_KINDS = frozenset({"tick", "place", "victim", "migrate", "fault", "rng"})
 
 #: The built-in twin pairs ``run_twin`` knows how to drive.
-TWIN_NAMES: Tuple[str, ...] = ("soa", "tick", "rank")
+TWIN_NAMES: Tuple[str, ...] = ("soa", "tick", "rank", "kernel")
 
 #: Documented ULP tolerance per twin pair for the float stream (energy /
 #: SLO running totals).  The SoA substrate and the vectorized ranking
@@ -56,8 +56,14 @@ TWIN_NAMES: Tuple[str, ...] = ("soa", "tick", "rank")
 #: vectorized tick re-associates the per-tick power summation
 #: (per-machine adds vs one grouped ``sum()``), which drifts the
 #: running total by well under 1e-12 relative — 1024 ULPs bounds a full
-#: 24 h day with margin while still catching any real reordering.
-DEFAULT_MAX_ULPS: Mapping[str, int] = {"soa": 0, "tick": 1024, "rank": 0}
+#: 24 h day with margin while still catching any real reordering.  The
+#: kernel twin compares *decisions* made over two independently solved
+#: score tables (exact DAG sweep vs near-machine-precision iteration);
+#: the scores differ by a handful of ulps but every ranking winner —
+#: and therefore every downstream float — must match exactly.
+DEFAULT_MAX_ULPS: Mapping[str, int] = {
+    "soa": 0, "tick": 1024, "rank": 0, "kernel": 0,
+}
 
 
 @dataclass(frozen=True)
@@ -465,6 +471,10 @@ def run_twin(
         ``tick`` — scan tick (``fast_path=False``) vs vectorized tick.
         ``rank`` — per-class scoring loop vs ``vector_class_scores``
         (both on the SoA substrate, where the vector path activates).
+        ``kernel`` — score table solved by the exact DAG-sweep kernel
+        vs by the iterative kernel at ``epsilon=1e-14`` (both legs on
+        the SoA substrate, so any divergence is attributable to the
+        rank kernel alone).
 
     Args:
         twin: one of :data:`TWIN_NAMES`.
@@ -482,7 +492,26 @@ def run_twin(
         table = sweep_table(table_cache_dir)
     if max_ulps is None:
         max_ulps = DEFAULT_MAX_ULPS[twin]
-    if twin == "soa":
+    if twin == "kernel":
+        from repro.cluster.ec2 import EC2_VM_TYPES, ec2_pm_shape
+        from repro.core.graph import SuccessorStrategy
+        from repro.core.score_table import build_score_table
+
+        # The provided/default table is sweep-built; the twin leg
+        # re-solves the same graph iteratively to near machine
+        # precision so the remaining difference is the kernel's
+        # closed-form residual.
+        iterative = build_score_table(
+            ec2_pm_shape("M3"),
+            EC2_VM_TYPES,
+            strategy=SuccessorStrategy.BALANCED,
+            epsilon=1e-14,
+            rank_kernel="iterative",
+            graph_cache_dir=table_cache_dir,
+        )
+        leg_a = _scenario_leg("sweep-kernel", scenario, table, "soa")
+        leg_b = _scenario_leg("iterative-kernel", scenario, iterative, "soa")
+    elif twin == "soa":
         leg_a = _scenario_leg("object", scenario, table, "object")
         leg_b = _scenario_leg("soa", scenario, table, "soa")
     elif twin == "tick":

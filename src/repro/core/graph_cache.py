@@ -83,9 +83,22 @@ def graph_cache_key(
     strategy: SuccessorStrategy,
     mode: str = "reachable",
 ) -> str:
-    """Stable content hash identifying one built profile graph."""
+    """Stable content hash identifying one built profile graph.
+
+    Besides the builder generation, the rank-kernel generation
+    (:data:`repro.core.kernel_sweep.KERNEL_CODE_VERSION`) is baked in:
+    the sweep kernel derives its level schedule from cached CSR arrays,
+    so a kernel change must never be fed a graph cached under older
+    assumptions.  Both versions are read at call time so a bump
+    invalidates every existing entry.
+    """
+    from repro.core import kernel_sweep
+
     digest = hashlib.sha256()
-    digest.update(f"{GRAPH_CACHE_FORMAT}:{BUILDER_CODE_VERSION};".encode())
+    digest.update(
+        f"{GRAPH_CACHE_FORMAT}:{BUILDER_CODE_VERSION}"
+        f":k{kernel_sweep.KERNEL_CODE_VERSION};".encode()
+    )
     for group in shape.groups:
         digest.update(
             f"{group.name}:{group.capacities}:{group.anti_collocation};".encode()

@@ -158,15 +158,23 @@ def compute_bpru(graph: ProfileGraph) -> np.ndarray:
     ``bpru(P) = utilization(P)`` when P is a sink, else the maximum BPRU
     over P's successors — i.e. the best utilization reachable at the end
     of any placement path through P.  Computed by a reverse-topological
-    dynamic program over the DAG.
+    dynamic program over the DAG, memoized on the graph (the vector is
+    rank-kernel independent, so iterative and sweep solves share it);
+    the returned array is read-only.
     """
-    bpru = graph.utilization_array().copy()
-    # Sweep levels in descending total usage; within a level every node's
-    # successors are already final, so one reduceat handles the whole level.
-    for nodes, flat, starts in graph.reverse_level_schedule():
-        best = np.maximum.reduceat(bpru[flat], starts)
-        bpru[nodes] = np.maximum(bpru[nodes], best)
-    return bpru
+
+    def build() -> np.ndarray:
+        bpru = graph.utilization_array().copy()
+        # Sweep levels in descending total usage; within a level every
+        # node's successors are already final, so one reduceat handles
+        # the whole level.
+        for nodes, flat, starts in graph.reverse_level_schedule():
+            best = np.maximum.reduceat(bpru[flat], starts)
+            bpru[nodes] = np.maximum(bpru[nodes], best)
+        bpru.setflags(write=False)
+        return bpru
+
+    return graph.memo("bpru", build)
 
 
 def expected_final_utilization(graph: ProfileGraph) -> np.ndarray:
@@ -195,6 +203,7 @@ def profile_pagerank(
     epsilon: float = 1e-10,
     max_iterations: int = 10_000,
     vote_direction: str = "forward",
+    warm_start: Optional[np.ndarray] = None,
 ) -> PageRankResult:
     """Run Algorithm 1 on a profile graph.
 
@@ -209,6 +218,11 @@ def profile_pagerank(
             reading, which also reproduces the paper's evaluation) or
             ``"reverse"`` (reproduces the paper's worked quality
             examples); see the module docstring.
+        warm_start: optional initial rank vector (L1-normalized before
+            use) instead of the uniform start.  The sweep kernel's
+            verifier (:func:`repro.core.kernel_sweep.sweep_residual_ulps`)
+            starts one refinement iteration from the sweep vector; a
+            near-converged table restart also lands here.
 
     Returns:
         A :class:`PageRankResult`; ``scores`` are the Profile-PageRank
@@ -225,7 +239,17 @@ def profile_pagerank(
 
     kernel = transition_kernel(graph, vote_direction)
 
-    pr = np.full(n, 1.0 / n, dtype=float)
+    if warm_start is not None:
+        pr = np.asarray(warm_start, dtype=float).copy()
+        require(
+            pr.shape == (n,),
+            f"warm_start must have shape ({n},), got {pr.shape}",
+        )
+        total = pr.sum()
+        if total > 0:
+            pr /= total
+    else:
+        pr = np.full(n, 1.0 / n, dtype=float)
     iterations = 0
     converged = False
     while iterations < max_iterations:

@@ -117,6 +117,26 @@ class PageRankVMPolicy(ProfileScorePolicy):
         """The per-shape score tables (read-only use intended)."""
         return self._tables
 
+    def replace_tables(
+        self, tables: Mapping[MachineShape, ScoreTable]
+    ) -> None:
+        """Swap in a new score-table generation (live fleet change).
+
+        The serving layer calls this between admission batches when the
+        delta plane republishes grown tables
+        (:class:`repro.serve.fleet.FleetDeltaPlane`).  Cached candidates
+        are dropped — entries scored against the old generation must not
+        survive the swap — and a degraded policy stays degraded until
+        the breaker's next healthy probe, which then probes the *new*
+        tables.
+        """
+        require(
+            len(tables) > 0, "PageRankVMPolicy needs at least one score table"
+        )
+        self._tables = dict(tables)
+        self._shape_ids = {shape: i for i, shape in enumerate(self._tables)}
+        self.invalidate_cache()
+
     def table_for(self, shape: MachineShape) -> ScoreTable:
         """The table for a shape.
 

@@ -40,6 +40,7 @@ except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
 
 from repro.core.graph import ProfileGraph, SuccessorStrategy
 from repro.core.graph_cache import load_or_build_profile_graph
+from repro.core.kernel_sweep import sweep_profile_pagerank
 from repro.core.pagerank import expected_final_utilization, profile_pagerank
 from repro.core.profile import MachineShape, Profile, ResourceGroup, Usage, VMType
 from repro.util.floatguard import GUARD, check_finite
@@ -157,6 +158,11 @@ class ScoreTable:
         table._snap_cache_size = int(snap_cache_size)
         return table
 
+    #: Row-chunk size for lazy dict materialization; bounds the only
+    #: transient allocation to (chunk x dims) int64 regardless of table
+    #: size.
+    _MATERIALIZE_CHUNK = 8_192
+
     def _scores_map(self) -> Dict[Usage, float]:
         """The exact-lookup dict, materialized from the flat arrays.
 
@@ -164,22 +170,31 @@ class ScoreTable:
         lookup rebuilds the usage tuples from the snap matrix rows —
         the matrix stores exact small integers as float64, so the round
         trip is lossless and the dict is identical to the builder's.
+
+        The shared snap matrix is never copied wholesale: rows convert
+        through bounded chunks (:data:`_MATERIALIZE_CHUNK`), the
+        attached array object itself stays in place, and its
+        ``writeable=False`` protection is untouched — the contract the
+        zero-copy shm plane relies on (see :mod:`repro.core.shm`).
         """
         if self._scores is None:
-            assert self._flat_matrix is not None and self._flat_scores is not None
+            matrix = self._flat_matrix
+            assert matrix is not None and self._flat_scores is not None
             boundaries = [0]
             for group in self.shape.groups:
                 boundaries.append(boundaries[-1] + len(group.capacities))
-            rows = self._flat_matrix.astype(np.int64).tolist()
-            usages: List[Usage] = [
-                tuple(
-                    tuple(row[boundaries[g]:boundaries[g + 1]])
-                    for g in range(len(boundaries) - 1)
+            spans = list(zip(boundaries[:-1], boundaries[1:]))
+            usages: List[Usage] = []
+            for start in range(0, matrix.shape[0], self._MATERIALIZE_CHUNK):
+                chunk = matrix[start:start + self._MATERIALIZE_CHUNK]
+                rows = chunk.astype(np.int64).tolist()
+                usages.extend(
+                    tuple(tuple(row[lo:hi]) for lo, hi in spans)
+                    for row in rows
                 )
-                for row in rows
-            ]
             self._flat_usages = usages
             self._scores = dict(zip(usages, self._flat_scores.tolist()))
+            assert self._flat_matrix is matrix  # materialization is in place
         return self._scores
 
     def freeze(self) -> "ScoreTable":
@@ -194,6 +209,51 @@ class ScoreTable:
         matrix.flags.writeable = False
         flat_scores.flags.writeable = False
         return self
+
+    def apply_delta(
+        self, new_rows: np.ndarray, scores: np.ndarray
+    ) -> None:
+        """Grow the table in place after a graph delta.
+
+        ``new_rows`` are the appended profiles' flat usage rows (node-id
+        order, matching :func:`repro.core.graph.extend_profile_graph`'s
+        appended ids) and ``scores`` is the *complete* new score vector
+        — rank redistributes over every profile when the graph grows,
+        so all scores are replaced while the existing matrix rows are
+        only appended to.  Lazy structures (exact-lookup dict, snap
+        cache) reset and rebuild on demand.
+
+        Frozen or shared tables refuse the mutation — a published shm
+        segment is immutable by contract; grow a private master table
+        and republish under the new content key instead (see
+        ``repro.serve.fleet.FleetDeltaPlane``).
+
+        Raises:
+            ValidationError: on a frozen table or mismatched shapes.
+        """
+        matrix, _, _ = self._snap_structures()
+        if not matrix.flags.writeable:
+            raise ValidationError(
+                "cannot apply a delta to a frozen/shared score table; "
+                "grow a private master table and republish it"
+            )
+        appended = np.ascontiguousarray(np.asarray(new_rows, dtype=float))
+        require(
+            appended.ndim == 2 and appended.shape[1] == matrix.shape[1],
+            "delta rows do not match the snap matrix width",
+        )
+        new_scores = np.asarray(scores, dtype=float)
+        require(
+            new_scores.shape == (matrix.shape[0] + appended.shape[0],),
+            "delta score vector does not cover the grown table",
+        )
+        self._flat_matrix = np.ascontiguousarray(
+            np.concatenate([matrix, appended])
+        ) if appended.shape[0] else matrix
+        self._flat_scores = new_scores.copy()
+        self._scores = None
+        self._flat_usages = None
+        self._snap_cache.clear()
 
     def __len__(self) -> int:
         if self._scores is None and self._flat_scores is not None:
@@ -458,6 +518,7 @@ def build_score_table(
     graph: Optional[ProfileGraph] = None,
     jobs: int = 1,
     graph_cache_dir: Optional[Union[str, Path]] = None,
+    rank_kernel: str = "sweep",
 ) -> ScoreTable:
     """Build the graph, run the chosen scoring and return the score table.
 
@@ -480,15 +541,24 @@ def build_score_table(
         graph_cache_dir: optional on-disk graph cache consulted before
             building (see :mod:`repro.core.graph_cache`); ignored when
             ``graph`` is supplied.
+        rank_kernel: ``"sweep"`` (default — the exact DAG-sweep kernel,
+            see :mod:`repro.core.kernel_sweep`) or ``"iterative"`` (the
+            epsilon-bounded power iteration).  The two agree within the
+            documented ulp residual; ``epsilon``/``max_iterations``
+            only apply to the iterative kernel.
 
     Raises:
-        ValidationError: for an unknown ``scoring`` or a graph built for
-            a different shape or VM type set.
+        ValidationError: for an unknown ``scoring`` or ``rank_kernel``,
+            or a graph built for a different shape or VM type set.
     """
     if scoring not in ("pagerank", "pagerank-efu", "expected-utilization"):
         raise ValidationError(
             f"unknown scoring {scoring!r}; use 'pagerank', 'pagerank-efu' "
             "or 'expected-utilization'"
+        )
+    if rank_kernel not in ("sweep", "iterative"):
+        raise ValidationError(
+            f"unknown rank_kernel {rank_kernel!r}; use 'sweep' or 'iterative'"
         )
     if graph is None:
         graph = load_or_build_profile_graph(
@@ -513,13 +583,18 @@ def build_score_table(
     if scoring == "expected-utilization":
         values = expected_final_utilization(graph)
     else:
-        result = profile_pagerank(
-            graph,
-            damping=damping,
-            epsilon=epsilon,
-            max_iterations=max_iterations,
-            vote_direction=vote_direction,
-        )
+        if rank_kernel == "sweep":
+            result = sweep_profile_pagerank(
+                graph, damping=damping, vote_direction=vote_direction
+            )
+        else:
+            result = profile_pagerank(
+                graph,
+                damping=damping,
+                epsilon=epsilon,
+                max_iterations=max_iterations,
+                vote_direction=vote_direction,
+            )
         if scoring == "pagerank-efu":
             values = result.raw * expected_final_utilization(graph)
         else:

@@ -507,9 +507,18 @@ def _table_meta(table: Any) -> Dict[str, Any]:
 
 
 def score_table_key(table: Any) -> str:
-    """Content key of a table's shared form (snap matrix + scores + meta)."""
+    """Content key of a table's shared form (snap matrix + scores + meta).
+
+    The rank-kernel generation
+    (:data:`repro.core.kernel_sweep.KERNEL_CODE_VERSION`) is part of the
+    digest — read at call time — so a kernel bump republishes under a
+    fresh segment name instead of attaching workers to stale scores.
+    """
+    from repro.core import kernel_sweep
+
     matrix, _, scores = table._snap_structures()
     digest = hashlib.sha256()
+    digest.update(f"kernel:{kernel_sweep.KERNEL_CODE_VERSION};".encode())
     digest.update(json.dumps(_table_meta(table), sort_keys=True).encode())
     digest.update(np.ascontiguousarray(matrix).tobytes())
     digest.update(np.ascontiguousarray(scores).tobytes())

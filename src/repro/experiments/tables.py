@@ -47,8 +47,17 @@ def table_cache_key(
     vote_direction: str,
     scoring: str = "pagerank",
 ) -> str:
-    """Stable content hash identifying one score table."""
+    """Stable content hash identifying one score table.
+
+    The rank-kernel generation
+    (:data:`repro.core.kernel_sweep.KERNEL_CODE_VERSION`, read at call
+    time) is baked in so a kernel change misses every cached table
+    instead of serving scores computed by older code.
+    """
+    from repro.core import kernel_sweep
+
     digest = hashlib.sha256()
+    digest.update(f"kernel:{kernel_sweep.KERNEL_CODE_VERSION};".encode())
     for group in shape.groups:
         digest.update(
             f"{group.name}:{group.capacities}:{group.anti_collocation};".encode()

@@ -24,7 +24,7 @@ import asyncio
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -131,8 +131,17 @@ def run_closed_loop(
     n_requests: int = 200,
     concurrency: int = 8,
     seed: int = 0,
+    after_request: Optional[Callable[[int], None]] = None,
 ) -> LoadgenReport:
-    """``concurrency`` workers, one request in flight each."""
+    """``concurrency`` workers, one request in flight each.
+
+    ``after_request`` (when given) runs synchronously on the event-loop
+    thread after each completion, with the number of requests completed
+    so far.  Placement is synchronous on the same thread, so no
+    admission batch is ever mid-placement while the hook executes —
+    this is the mid-run hook the hot-swap drill uses to swap score
+    tables between admission batches.
+    """
     require(n_requests >= 1, "n_requests must be >= 1")
     require(concurrency >= 1, "concurrency must be >= 1")
     client = ASGITestClient(app)
@@ -149,6 +158,8 @@ def run_closed_loop(
             response = await client.request("POST", "/place", body)
             latencies.append(time.perf_counter() - start)
             responses.append(response)
+            if after_request is not None:
+                after_request(len(responses))
 
     async def drive() -> float:
         queue: "asyncio.Queue" = asyncio.Queue()
@@ -171,18 +182,26 @@ def run_open_loop(
     n_requests: int = 200,
     rate_rps: float = 500.0,
     seed: int = 0,
+    after_request: Optional[Callable[[int], None]] = None,
 ) -> LoadgenReport:
-    """Fixed-rate arrivals, completions be damned (shedding territory)."""
+    """Fixed-rate arrivals, completions be damned (shedding territory).
+
+    ``after_request`` behaves as in :func:`run_closed_loop`.
+    """
     require(n_requests >= 1, "n_requests must be >= 1")
     require(rate_rps > 0, "rate_rps must be positive")
     client = ASGITestClient(app)
     bodies = _vm_type_bodies(app, n_requests, seed)
     latencies: List[float] = []
+    completed = [0]
 
     async def one(body: Dict[str, Any]) -> Any:
         start = time.perf_counter()
         response = await client.request("POST", "/place", body)
         latencies.append(time.perf_counter() - start)
+        completed[0] += 1
+        if after_request is not None:
+            after_request(completed[0])
         return response
 
     async def drive() -> List[Any]:

@@ -339,6 +339,66 @@ class PlacementService:
         return self._vm_types.get(name)
 
     @property
+    def vm_type_catalog(self) -> Sequence[VMType]:
+        """The catalog in declaration order.
+
+        Order matters downstream: graph builds (and therefore node ids
+        and cache keys) depend on VM type declaration order, so the
+        delta plane reconstructs its master generation from this exact
+        sequence.
+        """
+        return tuple(self._vm_types.values())
+
+    def register_vm_type(self, vm_type: VMType) -> None:
+        """Add (or replace) one VM type in the request catalog.
+
+        Catalog-only: requests naming the type are admitted from the
+        next batch on.  The score tables must already cover profiles
+        reachable through it — :meth:`repro.serve.fleet.FleetDeltaPlane.register`
+        is the full pipeline (graph delta, partial re-sweep, table
+        append, hot swap) that ends here.
+        """
+        self._vm_types[vm_type.name] = vm_type
+
+    def hot_swap(
+        self,
+        tables: Mapping[Any, Any],
+        vm_types: Optional[Sequence[VMType]] = None,
+    ) -> None:
+        """Swap the policy's score tables with zero downtime.
+
+        The scoring pool (when alive) republishes the new generation
+        into shared memory and re-attaches every worker first; then the
+        policy's local tables are replaced and its content-addressed
+        caches dropped; an optional grown VM type catalog lands in the
+        same swap.  Admission batches are served synchronously, so a
+        call between :meth:`serve_batch` calls (the load generator's
+        after-request hook, the delta plane) is atomic with respect to
+        requests: no decision ever sees a mixed table generation, and a
+        swap to equal-content tables leaves the rolling decision digest
+        bit-identical.
+        """
+        replace = getattr(self._policy, "replace_tables", None)
+        require(
+            replace is not None,
+            f"policy {self._policy.name!r} does not support table hot swap",
+        )
+        swapped = dict(tables)
+        pool = self._scoring_pool
+        if pool is not None and getattr(pool, "alive", False):
+            if pool.swap_tables(list(swapped.values())):
+                from repro.serve.workers import PooledScoreTable
+
+                swapped = {
+                    shape: PooledScoreTable.wrap(table, pool, index)
+                    for index, (shape, table) in enumerate(swapped.items())
+                }
+        replace(swapped)
+        if vm_types is not None:
+            require(len(vm_types) > 0, "vm_types catalog must not be empty")
+            self._vm_types = {vm.name: vm for vm in vm_types}
+
+    @property
     def vm_type_names(self) -> List[str]:
         """The catalog's VM type names, sorted."""
         return sorted(self._vm_types)

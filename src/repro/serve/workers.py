@@ -52,6 +52,19 @@ def _scoring_worker(
             message = conn.recv()
             if message[0] == "stop":
                 break
+            if message[0] == "swap":
+                # ("swap", new_table_keys): attach the replacement
+                # generation before dropping the old one, so a failed
+                # attach leaves the worker still serving the old tables
+                # (the parent sees the error and degrades the pool).
+                _, new_keys = message
+                fresh = [shm.attach_score_table(key) for key in new_keys]
+                for _, bundle in attached:
+                    bundle.close()
+                attached = fresh
+                tables = [table for table, _ in attached]
+                conn.send(("ok", worker_id, len(tables)))
+                continue
             # ("score", table_index, usage_keys)
             _, index, keys = message
             conn.send(("ok", worker_id, tables[index].score_or_snap_many(keys)))
@@ -92,6 +105,7 @@ class ScoringWorkerPool:
         self._closed = False
         self.batches = 0
         self.rows = 0
+        self.swaps = 0
         # Publish once; every worker maps the same physical pages.
         self._bundles = [shm.share_score_table(table) for table in tables]
         keys = [bundle.key for bundle in self._bundles]
@@ -173,6 +187,44 @@ class ScoringWorkerPool:
         self.rows += n
         return values
 
+    def swap_tables(self, tables: Sequence[ScoreTable]) -> bool:
+        """Hot-swap every worker onto a freshly published table generation.
+
+        Publishes the new tables (content-keyed, so identical content
+        reuses the live segments), messages each worker to attach the
+        new generation and drop the old one, then releases the old
+        bundles — at no point is a worker without a complete attached
+        generation, and chunk scoring never interleaves with a swap
+        because both travel the same ordered pipe.  Returns True on
+        success; any failure flips the pool to ``failed`` (subsequent
+        batches score locally over the caller's swapped tables, so
+        decisions stay correct either way) and returns False.
+        """
+        if not self.alive:
+            return False
+        require(len(tables) > 0, "a table swap needs at least one table")
+        new_bundles = [shm.share_score_table(table) for table in tables]
+        keys = [bundle.key for bundle in new_bundles]
+        try:
+            for conn in self._conns:
+                conn.send(("swap", keys))
+            for conn in self._conns:
+                reply = conn.recv()
+                if reply[0] != "ok":
+                    raise RuntimeError(f"table swap failed: {reply!r}")
+        except (EOFError, OSError, BrokenPipeError, RuntimeError):
+            self._failed = True
+            for bundle in new_bundles:
+                bundle.close()
+            self.close()
+            return False
+        old_bundles = self._bundles
+        self._bundles = new_bundles
+        for bundle in old_bundles:
+            bundle.close()
+        self.swaps += 1
+        return True
+
     def rss_per_worker_mb(self) -> List[Optional[float]]:
         """Resident set size of each live worker, in MiB."""
         return [
@@ -187,6 +239,7 @@ class ScoringWorkerPool:
             "min_batch": self.min_batch,
             "batches": self.batches,
             "rows": self.rows,
+            "swaps": self.swaps,
             "failed": self._failed,
             "closed": self._closed,
             "worker_pids": [process.pid for process in self._procs],

@@ -48,7 +48,7 @@ class TestEntryPhase:
 
     def test_registry_covers_the_emitting_phases(self):
         assert set(PHASE_METRICS) == {
-            "harness", "scale_sweep", "serve", "shared",
+            "harness", "scale_sweep", "serve", "shared", "kernel", "delta",
         }
 
 

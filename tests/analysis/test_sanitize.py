@@ -405,7 +405,7 @@ class TestRunTwin:
             run_twin("warp")
 
     def test_twin_names_cover_the_documented_pairs(self):
-        assert TWIN_NAMES == ("soa", "tick", "rank")
+        assert TWIN_NAMES == ("soa", "tick", "rank", "kernel")
         assert set(DEFAULT_MAX_ULPS) == set(TWIN_NAMES)
 
     @pytest.mark.parametrize("twin", TWIN_NAMES)

@@ -293,3 +293,76 @@ class TestPrebuiltGraph:
         serial = build_score_table(toy_shape, toy_vm_types)
         parallel = build_score_table(toy_shape, toy_vm_types, jobs=2)
         assert dict(serial.items()) == dict(parallel.items())
+
+
+class TestFreezeAndSharedContract:
+    """The shared-artifact contract: frozen arrays, in-place laziness."""
+
+    def _flat_table(self, toy_table):
+        import numpy as np
+
+        matrix, _, scores = toy_table._snap_structures()
+        return ScoreTable.from_flat_arrays(
+            shape=toy_table.shape,
+            matrix=np.ascontiguousarray(matrix).copy(),
+            flat_scores=np.ascontiguousarray(scores).copy(),
+            damping=toy_table.damping,
+            strategy=toy_table.strategy,
+            vote_direction=toy_table.vote_direction,
+        )
+
+    def test_freeze_marks_arrays_read_only(self, toy_shape, toy_vm_types):
+        table = build_score_table(toy_shape, toy_vm_types)
+        assert table.freeze() is table
+        matrix, _, scores = table._snap_structures()
+        assert not matrix.flags.writeable
+        assert not scores.flags.writeable
+
+    def test_frozen_table_refuses_deltas(self, toy_shape, toy_vm_types):
+        import numpy as np
+
+        table = build_score_table(toy_shape, toy_vm_types).freeze()
+        rows = np.zeros((1, 4))
+        scores = np.zeros(len(table) + 1)
+        with pytest.raises(ValidationError, match="frozen/shared"):
+            table.apply_delta(rows, scores)
+
+    def test_lazy_materialization_never_copies_the_matrix(self, toy_table):
+        table = self._flat_table(toy_table)
+        matrix = table._flat_matrix
+        matrix.flags.writeable = False
+        assert table._scores is None
+        # Exact lookups force the dict; the attached matrix object must
+        # stay in place with its read-only protection untouched.
+        assert len(table) == len(toy_table)
+        for usage, score in list(toy_table.items())[:8]:
+            assert table.score(usage) == score
+        assert table._flat_matrix is matrix
+        assert not matrix.flags.writeable
+
+    def test_materialization_chunking_covers_every_row(
+        self, toy_table, monkeypatch
+    ):
+        table = self._flat_table(toy_table)
+        # Force several partial chunks through the bounded materializer.
+        monkeypatch.setattr(ScoreTable, "_MATERIALIZE_CHUNK", 7)
+        assert dict(table.items()) == dict(toy_table.items())
+
+    def test_mmap_load_is_frozen(self, toy_table, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "table.json"
+        toy_table.save(path)
+        loaded = ScoreTable.load(path, mmap_mode="r")
+        matrix, _, scores = loaded._snap_structures()
+        assert not matrix.flags.writeable
+        assert not scores.flags.writeable
+        with pytest.raises(ValidationError):
+            loaded.apply_delta(np.zeros((1, 4)), np.zeros(len(loaded) + 1))
+        assert dict(loaded.items()) == dict(toy_table.items())
+
+    def test_unknown_mmap_mode_rejected(self, toy_table, tmp_path):
+        path = tmp_path / "table.json"
+        toy_table.save(path)
+        with pytest.raises(ValidationError):
+            ScoreTable.load(path, mmap_mode="c")

@@ -169,6 +169,26 @@ class TestScoreTableArtifacts:
             bundle.close()
 
 
+    def test_exact_lookup_materializes_in_place(self, toy_table):
+        # The lazy exact-lookup dict must build *over* the attached
+        # segment: same matrix object before and after, still read-only
+        # — the zero-copy contract from_flat_arrays round-trips rely on.
+        bundle = shm.share_score_table(toy_table)
+        try:
+            attached, reader = shm.attach_score_table(bundle.key)
+            try:
+                matrix = attached._flat_matrix
+                assert attached._scores is None
+                assert dict(attached.items()) == dict(toy_table.items())
+                assert attached._flat_matrix is matrix
+                assert not matrix.flags.writeable
+            finally:
+                del attached, matrix
+                reader.close()
+        finally:
+            bundle.close()
+
+
 class TestCrashSafety:
     def test_sigkilled_attacher_leaks_nothing(self):
         # The chaos-kill failure mode: a forked worker attaches, then

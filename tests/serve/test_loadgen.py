@@ -53,6 +53,55 @@ class TestOpenLoop:
         assert set(report.outcomes) <= {"placed", "degraded", "shed", "rejected"}
 
 
+class TestAfterRequestHook:
+    def test_closed_loop_hook_sees_every_completion(self):
+        seen = []
+        report = run_closed_loop(
+            make_app(), n_requests=12, concurrency=3,
+            after_request=seen.append,
+        )
+        assert seen == list(range(1, 13))
+        assert report.n_requests == 12
+
+    def test_open_loop_hook_sees_every_completion(self):
+        seen = []
+        run_open_loop(
+            make_app(), n_requests=8, rate_rps=10_000.0,
+            after_request=seen.append,
+        )
+        assert seen == list(range(1, 9))
+
+    def test_hot_swap_mid_run_keeps_the_digest(self):
+        from repro.serve.fleet import FleetDeltaPlane
+
+        swapped_service = build_toy_service(n_pms=16, clock=ManualClock())
+        control_service = build_toy_service(n_pms=16, clock=ManualClock())
+        try:
+            plane = FleetDeltaPlane(swapped_service)
+            swaps = []
+
+            def maybe_swap(completed):
+                if completed == 10:
+                    plane.swap_current()
+                    swaps.append(completed)
+
+            run_closed_loop(
+                build_app(swapped_service), n_requests=20, concurrency=4,
+                after_request=maybe_swap,
+            )
+            run_closed_loop(
+                build_app(control_service), n_requests=20, concurrency=4
+            )
+            assert swaps == [10]
+            assert (
+                swapped_service.decision_digest
+                == control_service.decision_digest
+            )
+        finally:
+            swapped_service.close()
+            control_service.close()
+
+
 class TestRecordReport:
     def test_serve_phase_entry_round_trips(self, tmp_path):
         out = tmp_path / "BENCH_perf.json"

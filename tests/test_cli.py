@@ -501,3 +501,74 @@ class TestServeCommand:
             assert "uvicorn" in capsys.readouterr().err
         else:
             pytest.skip("uvicorn installed; serve run would block")
+
+
+class TestPerfCheckCommand:
+    def test_missing_file_is_informational(self, tmp_path, capsys):
+        absent = tmp_path / "BENCH_perf.json"
+        assert main(["perf", "check", "--file", str(absent)]) == 0
+        out = capsys.readouterr().out
+        assert "does not exist yet" in out
+        assert "nothing to gate" in out
+
+    def test_empty_trajectory_is_informational(self, tmp_path, capsys):
+        import json
+
+        from repro.util import benchfile
+
+        empty = tmp_path / "BENCH_perf.json"
+        empty.write_text(
+            json.dumps({"format": benchfile.BENCH_FORMAT, "entries": []})
+        )
+        assert main(["perf", "check", "--file", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "no entries yet" in out
+        assert "nothing to gate" in out
+
+    def test_malformed_file_still_fails(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_perf.json"
+        bad.write_text('{"format": "something.else", "entries": []}')
+        assert main(["perf", "check", "--file", str(bad)]) == 2
+        assert "perf check:" in capsys.readouterr().out
+
+    def test_quick_only_history_notes_each_phase(self, tmp_path, capsys):
+        from pathlib import Path
+
+        from repro.util import benchfile
+
+        out = tmp_path / "BENCH_perf.json"
+        for stamp in ("t0", "t1"):
+            benchfile.append_entry(
+                {
+                    "phase": "kernel",
+                    "recorded_at": stamp,
+                    "quick": True,
+                    "sweep_wall_s": 0.005,
+                    "sweep_speedup_vs_iterative": 5.0,
+                },
+                Path(out),
+            )
+        assert main(["perf", "check", "--file", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "only quick entries" in text
+        assert "'kernel'" in text
+
+
+class TestServeHotSwap:
+    def test_loadgen_hot_swap_digest_matches_control(self, capsys):
+        import json
+
+        code = main([
+            "serve", "loadgen", "--requests", "24", "--concurrency", "4",
+            "--hot-swap-at", "10",
+        ])
+        assert code == 0
+        swapped = json.loads(capsys.readouterr().out)
+        assert swapped["hot_swaps"] == 1
+        code = main([
+            "serve", "loadgen", "--requests", "24", "--concurrency", "4",
+        ])
+        assert code == 0
+        control = json.loads(capsys.readouterr().out)
+        assert "hot_swaps" not in control
+        assert swapped["decision_digest"] == control["decision_digest"]
